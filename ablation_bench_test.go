@@ -1,0 +1,169 @@
+package turnpike
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: CLQ
+// sizing, the colored-checkpoint store-budget exclusion, RBB capacity, and
+// the per-run dynamic energy estimate. These complement the per-figure
+// benchmarks in bench_test.go: each isolates one knob and reports both
+// settings as metrics so a regression in either direction is visible.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/hwcost"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func mustOverhead(b *testing.B, r *experiment.Runner, bench string, opt core.Options, cfg pipeline.Config) float64 {
+	b.Helper()
+	o, err := r.Overhead(bench, opt, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkAblationCLQSize sweeps the compact CLQ through 1/2/4/8 entries.
+// The paper fixes 2; the sweep shows why (1 starves overlap, >2 buys
+// nothing — Fig. 24's occupancy explains it).
+func BenchmarkAblationCLQSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		opt := core.TurnpikeAll(4)
+		for _, size := range []int{1, 2, 4, 8} {
+			cfg := pipeline.TurnpikeConfig(4, 10)
+			cfg.CLQSize = size
+			var sum float64
+			benches := []string{"gcc", "lbm", "radix", "fft", "exchange2"}
+			for _, w := range benches {
+				sum += mustOverhead(b, r, w, opt, cfg)
+			}
+			b.ReportMetric(sum/float64(len(benches)), "geo-clq"+itoa(size))
+		}
+	}
+}
+
+// BenchmarkAblationColoredBudget compares Turnpike compiled with colored
+// checkpoints excluded from the region store budget (the shipping design)
+// against counting them — the region-collapse feedback DESIGN.md §decision
+// 7 describes.
+func BenchmarkAblationColoredBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		cfg := pipeline.TurnpikeConfig(4, 10)
+		excl := core.TurnpikeAll(4)
+		counted := excl
+		counted.ColoredCkpts = false
+		var oExcl, oCnt float64
+		benches := []string{"gcc", "lbm", "radix", "exchange2"}
+		for _, w := range benches {
+			oExcl += mustOverhead(b, r, w, excl, cfg)
+			oCnt += mustOverhead(b, r, w, counted, cfg)
+		}
+		n := float64(len(benches))
+		b.ReportMetric(oExcl/n, "excluded")
+		b.ReportMetric(oCnt/n, "counted")
+	}
+}
+
+// BenchmarkAblationRBBSize checks that the region boundary buffer at its
+// default 16 entries never throttles, by comparing against a tight 4-entry
+// configuration under the longest WCDL.
+func BenchmarkAblationRBBSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		opt := core.TurnpikeAll(4)
+		for _, size := range []int{4, 16} {
+			cfg := pipeline.TurnpikeConfig(4, 50)
+			cfg.RBBSize = size
+			var sum float64
+			benches := []string{"gcc", "lbm", "fft"}
+			for _, w := range benches {
+				sum += mustOverhead(b, r, w, opt, cfg)
+			}
+			b.ReportMetric(sum/float64(len(benches)), "rbb"+itoa(size))
+		}
+	}
+}
+
+// BenchmarkAblationEnergy reports the estimated dynamic-energy overhead of
+// the co-design structures per scheme, extending Table 1 to per-run
+// numbers (internal/hwcost's RunEnergy).
+func BenchmarkAblationEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := hwcost.Default22nm()
+		p, _ := workload.ByName("gcc")
+		f := p.Build(benchScale)
+		run := func(opt core.Options, cfg pipeline.Config) pipeline.Stats {
+			c, err := core.Compile(f, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := pipeline.New(c.Prog, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.SeedMemory(s.Mem)
+			st, err := s.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return st
+		}
+		base := run(core.Options{Scheme: core.Baseline, SBSize: 4}, pipeline.BaselineConfig(4))
+		ts := run(core.Options{Scheme: core.Turnstile, SBSize: 4}, pipeline.TurnstileConfig(4, 10))
+		tp := run(core.TurnpikeAll(4), pipeline.TurnpikeConfig(4, 10))
+		b.ReportMetric(100*hwcost.OverheadVsBaseline(m, 4, 2, ts, base), "ts-energy%")
+		b.ReportMetric(100*hwcost.OverheadVsBaseline(m, 4, 2, tp, base), "tp-energy%")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationIssueWidth compares single- against dual-issue cores:
+// Turnpike's surviving checkpoint stores ride in otherwise-empty second
+// issue slots, so its relative overhead grows when the core narrows —
+// quantifying how much of the "checkpoints are nearly free" story the
+// second slot carries.
+func BenchmarkAblationIssueWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		opt := core.TurnpikeAll(4)
+		for _, width := range []int{1, 2} {
+			cfg := pipeline.TurnpikeConfig(4, 10)
+			cfg.IssueWidth = width
+			var sum float64
+			benches := []string{"gcc", "lbm", "exchange2", "fft"}
+			for _, w := range benches {
+				// The baseline must narrow too: Overhead() builds its own
+				// baseline config, so compute the ratio manually.
+				bcfg := pipeline.BaselineConfig(4)
+				bcfg.IssueWidth = width
+				base, err := r.Run(w, core.Options{Scheme: core.Baseline, SBSize: 4}, bcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := r.Run(w, opt, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += float64(st.Cycles) / float64(base.Cycles)
+			}
+			b.ReportMetric(sum/4, "width"+itoa(width))
+		}
+	}
+}

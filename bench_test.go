@@ -1,0 +1,276 @@
+package turnpike
+
+// One benchmark per table and figure of the paper's evaluation (§6). Each
+// regenerates the corresponding result through the experiment harness and
+// reports the headline quantity as a custom benchmark metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Workload scale is kept moderate so a
+// full -bench=. run finishes in minutes; raise benchScale for closer
+// statistics (the shapes are stable across scales).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/hwcost"
+	"repro/internal/pipeline"
+	"repro/internal/sensor"
+)
+
+// benchScale is the workload trip-count percentage used by the benchmark
+// harness runs.
+const benchScale = 12
+
+func geoOf(m map[string]float64) float64 {
+	var xs []float64
+	for _, v := range m {
+		xs = append(xs, v)
+	}
+	return experiment.Geomean(xs)
+}
+
+// BenchmarkFig04CheckpointRatio regenerates Figure 4: the dynamic
+// checkpoint fraction under Turnstile partitioning with 40- vs 4-entry
+// store buffers.
+func BenchmarkFig04CheckpointRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig4(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*geoOf(res.Ratio[4]), "ckpt%-sb4")
+		b.ReportMetric(100*geoOf(res.Ratio[40]), "ckpt%-sb40")
+	}
+}
+
+// BenchmarkFig14CLQOverhead regenerates Figure 14: normalized execution
+// time under the ideal versus the compact CLQ with hardware-only fast
+// release.
+func BenchmarkFig14CLQOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig14(r, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(geoOf(res.Ideal), "geo-ideal")
+		b.ReportMetric(geoOf(res.Compact), "geo-compact")
+	}
+}
+
+// BenchmarkFig15WARFreeRatio regenerates Figure 15: the fraction of stores
+// detected WAR-free by each CLQ design.
+func BenchmarkFig15WARFreeRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig15(r, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mi, mc []float64
+		for _, v := range res.Ideal {
+			mi = append(mi, v)
+		}
+		for _, v := range res.Compact {
+			mc = append(mc, v)
+		}
+		b.ReportMetric(100*experiment.Mean(mi), "warfree%-ideal")
+		b.ReportMetric(100*experiment.Mean(mc), "warfree%-compact")
+	}
+}
+
+// BenchmarkFig18SensorLatency regenerates Figure 18: WCDL versus deployed
+// sensor count across clock frequencies.
+func BenchmarkFig18SensorLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.Fig18()
+		b.ReportMetric(float64(res.Latency[25][300]), "wcdl-300@2.5GHz")
+		b.ReportMetric(float64(res.Latency[25][30]), "wcdl-30@2.5GHz")
+		_ = sensor.Model{}
+	}
+}
+
+// BenchmarkFig19TurnpikeWCDL regenerates Figure 19: Turnpike overhead
+// across WCDL 10..50.
+func BenchmarkFig19TurnpikeWCDL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig19(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(geoOf(res.Overhead[10]), "geo-DL10")
+		b.ReportMetric(geoOf(res.Overhead[50]), "geo-DL50")
+	}
+}
+
+// BenchmarkFig20TurnstileWCDL regenerates Figure 20: Turnstile overhead
+// across WCDL 10..50.
+func BenchmarkFig20TurnstileWCDL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig20(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(geoOf(res.Overhead[10]), "geo-DL10")
+		b.ReportMetric(geoOf(res.Overhead[50]), "geo-DL50")
+	}
+}
+
+// BenchmarkFig21Breakdown regenerates Figure 21: the cumulative
+// optimization ablation at WCDL 10.
+func BenchmarkFig21Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig21(r, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(geoOf(res.Overhead[res.Configs[0]]), "geo-turnstile")
+		b.ReportMetric(geoOf(res.Overhead[res.Configs[len(res.Configs)-1]]), "geo-turnpike")
+	}
+}
+
+// BenchmarkFig22SBSize regenerates Figure 22: the store-buffer size
+// sensitivity of both schemes.
+func BenchmarkFig22SBSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig22(r, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(geoOf(res.Turnstile[40]), "geo-turnstile-sb40")
+		b.ReportMetric(geoOf(res.Turnpike[4]), "geo-turnpike-sb4")
+	}
+}
+
+// BenchmarkFig23StoreBreakdown regenerates Figure 23: the seven-way store
+// classification.
+func BenchmarkFig23StoreBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig23(r, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		released := 0.0
+		pruned := 0.0
+		n := 0.0
+		for _, bd := range res.Breakdown {
+			released += bd["Colored"] + bd["WAR-free store"]
+			pruned += bd["Pruned"]
+			n++
+		}
+		b.ReportMetric(100*released/n, "released%")
+		b.ReportMetric(100*pruned/n, "pruned%")
+	}
+}
+
+// BenchmarkFig24CLQEntries regenerates Figure 24: populated CLQ entries.
+func BenchmarkFig24CLQEntries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig24(r, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var avgs, maxs []float64
+		for _, v := range res.Avg {
+			avgs = append(avgs, v)
+		}
+		for _, v := range res.Max {
+			maxs = append(maxs, v)
+		}
+		b.ReportMetric(experiment.Mean(avgs), "clq-avg")
+		b.ReportMetric(experiment.Mean(maxs), "clq-maxavg")
+	}
+}
+
+// BenchmarkFig25CLQSize regenerates Figure 25: 2- versus 4-entry CLQs.
+func BenchmarkFig25CLQSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig25(r, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(geoOf(res.CLQ2), "geo-clq2")
+		b.ReportMetric(geoOf(res.CLQ4), "geo-clq4")
+	}
+}
+
+// BenchmarkFig26RegionSize regenerates Figure 26: region sizes and code
+// growth.
+func BenchmarkFig26RegionSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(benchScale)
+		res, err := experiment.Fig26(r, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sizes, growth []float64
+		for _, v := range res.RegionSize {
+			sizes = append(sizes, v)
+		}
+		for _, v := range res.CodeGrowth {
+			growth = append(growth, v)
+		}
+		b.ReportMetric(experiment.Mean(sizes), "insts/region")
+		b.ReportMetric(experiment.Mean(growth), "codegrowth%")
+	}
+}
+
+// BenchmarkTable1HardwareCost regenerates Table 1: the analytical area and
+// energy model for the co-design structures.
+func BenchmarkTable1HardwareCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := hwcost.Default22nm()
+		a, e, a40, e40 := hwcost.Ratios(m)
+		b.ReportMetric(a, "tp-area%")
+		b.ReportMetric(e, "tp-energy%")
+		b.ReportMetric(a40, "sb40-area%")
+		b.ReportMetric(e40, "sb40-energy%")
+	}
+}
+
+// BenchmarkFaultCampaign measures detection+recovery behaviour: the
+// recovery guarantee (no SDC) plus the mean recovery penalty, exercising
+// the full co-design end to end.
+func BenchmarkFaultCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := InjectFaults("gcc", Turnpike, FaultCampaignConfig{Trials: 40, Seed: 7, ScalePct: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcomes[fault.SDC] != 0 {
+			b.Fatal("SDC observed")
+		}
+		b.ReportMetric(res.AvgRecoveryCycles, "recovery-cycles")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator speed, the main
+// cost driver of every other benchmark here.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	res, err := Evaluate("gcc", Turnpike, EvalConfig{ScalePct: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts := res.Stats.Insts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate("gcc", Turnpike, EvalConfig{ScalePct: 25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(insts), "insts/run")
+	_ = core.Options{}
+	_ = pipeline.Config{}
+}

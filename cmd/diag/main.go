@@ -1,0 +1,90 @@
+// Command diag prints per-benchmark stall breakdowns and the marginal cost
+// of checkpoint instructions — the calibration instrument used while
+// matching the paper's overhead shapes (not part of the evaluated tooling).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	names := []string{"lbm", "gcc", "mcf", "gemsfdtd", "exchange2", "radix", "libquan"}
+	for _, name := range names {
+		p, _ := workload.ByName(name)
+		f := p.Build(10)
+		base, err := core.Compile(f, core.Options{Scheme: core.Baseline, SBSize: 4})
+		check(err)
+		ts, err := core.Compile(f, core.Options{Scheme: core.Turnstile, SBSize: 4})
+		check(err)
+		tp, err := core.Compile(f, core.TurnpikeAll(4))
+		check(err)
+		b := run(p, base.Prog, pipeline.BaselineConfig(4))
+		t := run(p, ts.Prog, pipeline.TurnstileConfig(4, 10))
+		q := run(p, tp.Prog, pipeline.TurnpikeConfig(4, 10))
+		fmt.Printf("%-10s base cyc=%d insts=%d ipc=%.2f\n", name, b.Cycles, b.Insts, b.IPC())
+		fmt.Printf("  TS  ov=%.3f insts=%d sbStall=%d dataStall=%d branch=%d ckpts=%d quar=%d regions=%d\n",
+			float64(t.Cycles)/float64(b.Cycles), t.Insts, t.SBFullStalls, t.DataStalls, t.BranchBubbles, t.CkptStores, t.Quarantined, t.RegionsExecuted)
+		fmt.Printf("  TP  ov=%.3f insts=%d sbStall=%d dataStall=%d branch=%d ckpts=%d quar=%d warfree=%d colored=%d regions=%d prune=%d livm=%d\n",
+			float64(q.Cycles)/float64(b.Cycles), q.Insts, q.SBFullStalls, q.DataStalls, q.BranchBubbles, q.CkptStores, q.Quarantined, q.WARFreeReleased, q.ColoredReleased, q.RegionsExecuted, tp.Stats.PrunedCkpts, tp.Stats.LIVMMerged)
+
+		// Marginal cost of the remaining checkpoints: same binary with
+		// CKPTs deleted (unsound for recovery, fine for timing).
+		s := run(p, stripCkpts(tp.Prog), pipeline.TurnpikeConfig(4, 10))
+		fmt.Printf("  TP-ckpts cyc=%d -> marginal ckpt cost %.2f cycles each (%d ckpts)\n",
+			s.Cycles, float64(int64(q.Cycles)-int64(s.Cycles))/float64(q.CkptStores), q.CkptStores)
+	}
+}
+
+func run(p workload.Profile, prog *isa.Program, cfg pipeline.Config) pipeline.Stats {
+	s, err := pipeline.New(prog, cfg)
+	check(err)
+	p.SeedMemory(s.Mem)
+	st, err := s.Run()
+	check(err)
+	return st
+}
+
+func stripCkpts(prog *isa.Program) *isa.Program {
+	out := &isa.Program{CkptBase: prog.CkptBase, Entry: prog.Entry}
+	remap := make([]int, len(prog.Insts)+1)
+	for i := range prog.Insts {
+		remap[i] = len(out.Insts)
+		if prog.Insts[i].Op == isa.CKPT {
+			continue
+		}
+		out.Insts = append(out.Insts, prog.Insts[i])
+	}
+	remap[len(prog.Insts)] = len(out.Insts)
+	for i := range out.Insts {
+		if out.Insts[i].Op.IsBranch() {
+			out.Insts[i].Target = remap[out.Insts[i].Target]
+		}
+	}
+	for _, r := range prog.Regions {
+		nr := r
+		if nr.RecoveryPC >= 0 {
+			nr.RecoveryPC = remap[nr.RecoveryPC]
+		}
+		out.Regions = append(out.Regions, nr)
+	}
+	out.RegionOf = make([]int, len(out.Insts))
+	cur := -1
+	for i := range out.Insts {
+		if out.Insts[i].Op == isa.BOUND {
+			cur = int(out.Insts[i].Imm)
+		}
+		out.RegionOf[i] = cur
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

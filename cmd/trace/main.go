@@ -1,0 +1,174 @@
+// Command trace dissects one compiled benchmark: the annotated
+// disassembly with region boundaries and checkpoint stores, the recovery
+// block of every region, per-region static store counts against the
+// budget, and optionally a dynamic region timeline from the simulator
+// (start/end/verify cycles and store-release classes for the first N
+// regions).
+//
+// Usage:
+//
+//	trace [-scheme turnpike] [-timeline 20] gcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "turnpike", "baseline | turnstile | turnpike")
+		sb       = flag.Int("sb", 4, "store buffer entries")
+		wcdl     = flag.Int("wcdl", 10, "worst-case detection latency")
+		scale    = flag.Int("scale", 5, "workload scale percent")
+		timeline = flag.Int("timeline", 0, "print a dynamic timeline of the first N regions")
+		noDisasm = flag.Bool("q", false, "suppress the disassembly listing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: trace [flags] <benchmark>")
+		os.Exit(2)
+	}
+	p, ok := workload.ByName(flag.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	var opt core.Options
+	switch *scheme {
+	case "baseline":
+		opt = core.Options{Scheme: core.Baseline, SBSize: *sb}
+	case "turnstile":
+		opt = core.Options{Scheme: core.Turnstile, SBSize: *sb}
+	case "turnpike":
+		opt = core.TurnpikeAll(*sb)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	f := p.Build(*scale)
+	compiled, err := core.Compile(f, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog := compiled.Prog
+	st := compiled.Stats
+	fmt.Printf("%s under %s: %d instructions, %d regions, %d checkpoints "+
+		"(%d pruned, %d+%d sunk, %d IVs merged), budget %d\n\n",
+		p.Name, *scheme, st.InstrCount, st.Regions, st.Checkpoints,
+		st.PrunedCkpts, st.SunkInBlock, st.SunkOutOfLoop, st.LIVMMerged, st.StoreBudget)
+
+	if !*noDisasm {
+		fmt.Println("== disassembly (body) ==")
+		bodyEnd := len(prog.Insts)
+		for i, ri := range prog.Regions {
+			if ri.RecoveryPC >= 0 && ri.RecoveryPC < bodyEnd {
+				bodyEnd = ri.RecoveryPC
+			}
+			_ = i
+		}
+		for i := 0; i < bodyEnd; i++ {
+			in := &prog.Insts[i]
+			marker := "  "
+			switch {
+			case in.Op == isa.BOUND:
+				marker = "▶ "
+			case in.Op == isa.CKPT:
+				marker = "c "
+			case in.Op.IsStore():
+				marker = "s "
+			}
+			region := ""
+			if prog.RegionOf != nil && prog.RegionOf[i] >= 0 {
+				region = fmt.Sprintf("R%d", prog.RegionOf[i])
+			}
+			fmt.Printf("%4d %s %-28s %s\n", i, marker, in.String(), region)
+		}
+
+		if len(prog.Regions) > 0 {
+			if reports, err := core.AnalyzeRegions(prog); err == nil {
+				fmt.Println("\n== static region structure ==")
+				fmt.Printf("%-8s %-8s %-10s %-8s %-8s %-8s %s\n",
+					"region", "bound@", "max insts", "stores", "ckpts", "live-in", "recovery insts")
+				for _, r := range reports {
+					fmt.Printf("R%-7d @%-7d %-10d %-8d %-8d %-8d %d\n",
+						r.ID, r.BoundPC, r.Insts, r.Stores, r.Ckpts, r.LiveIn, r.RecoveryInsts)
+				}
+			}
+			fmt.Println("\n== recovery blocks ==")
+			for _, ri := range prog.Regions {
+				if ri.RecoveryPC < 0 {
+					continue
+				}
+				fmt.Printf("R%d @%d:", ri.ID, ri.RecoveryPC)
+				for pc := ri.RecoveryPC; pc < len(prog.Insts); pc++ {
+					in := &prog.Insts[pc]
+					fmt.Printf(" %s;", in.String())
+					if in.Op == isa.JMP {
+						break
+					}
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	if *timeline > 0 {
+		printTimeline(p, prog, opt, *sb, *wcdl, *timeline)
+	}
+}
+
+// printTimeline simulates and reports the first n dynamic regions.
+func printTimeline(p workload.Profile, prog *isa.Program, opt core.Options, sb, wcdl, n int) {
+	var cfg pipeline.Config
+	switch opt.Scheme {
+	case core.Baseline:
+		fmt.Println("\n(no regions under the baseline; timeline skipped)")
+		return
+	case core.Turnstile:
+		cfg = pipeline.TurnstileConfig(sb, wcdl)
+	default:
+		cfg = pipeline.TurnpikeConfig(sb, wcdl)
+	}
+	cfg.RecordRegions = true
+	s, err := pipeline.New(prog, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p.SeedMemory(s.Mem)
+	for !s.Halted() && len(s.RegionLog()) < n {
+		if err := s.Step(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("\n== dynamic timeline (first %d regions, WCDL=%d) ==\n", n, wcdl)
+	fmt.Printf("%-9s %-7s %-9s %-9s %-9s %-6s %-8s %-8s %s\n",
+		"instance", "static", "start", "end", "verify", "insts", "warfree", "colored", "quarantined")
+	for i, ev := range s.RegionLog() {
+		if i >= n {
+			break
+		}
+		fate := ""
+		if ev.Squashed {
+			fate = "  (squashed)"
+		}
+		fmt.Printf("#%-8d R%-6d @%-8d @%-8d @%-8d %-6d %-8d %-8d %d%s\n",
+			ev.Instance, ev.StaticID, ev.Start, ev.End, ev.VerifyAt,
+			ev.Insts, ev.WARFree, ev.Colored, ev.Quarantined, fate)
+	}
+	fmt.Printf("(totals so far: %d cycles, %d insts, %d warfree, %d colored, %d quarantined)\n",
+		s.Cycle(), s.Stats.Insts, s.Stats.WARFreeReleased,
+		s.Stats.ColoredReleased, s.Stats.Quarantined)
+}

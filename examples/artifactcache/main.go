@@ -1,0 +1,70 @@
+// Artifact cache: compile once, serialize the binary (including its
+// recovery metadata), load it back, and prove the deserialized program is
+// the same artifact — same simulation results, and it still passes the
+// independent resilience verifier. This is how a deployment would ship
+// pre-compiled resilient kernels to fleets of in-order devices.
+//
+//	go run ./examples/artifactcache
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	p, _ := workload.ByName("fft")
+	f := p.Build(10)
+	compiled, err := core.Compile(f, core.TurnpikeAll(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serialize (a file in a real deployment; a buffer here).
+	var image bytes.Buffer
+	n, err := compiled.Prog.WriteTo(&image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s: %d instructions, %d regions -> %d bytes on the wire\n",
+		p.Name, len(compiled.Prog.Insts), len(compiled.Prog.Regions), n)
+
+	// Load on the "device".
+	loaded, err := isa.ReadProgram(bytes.NewReader(image.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The device can audit the artifact before trusting it.
+	if err := core.VerifyResilience(loaded, 2, false); err != nil {
+		log.Fatalf("artifact failed the resilience audit: %v", err)
+	}
+	fmt.Println("artifact passed the static resilience audit")
+
+	// Same artifact, same results.
+	run := func(prog *isa.Program) (uint64, *isa.Memory) {
+		s, err := pipeline.New(prog, pipeline.TurnpikeConfig(4, 10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.SeedMemory(s.Mem)
+		st, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st.Cycles, s.OutputMemory()
+	}
+	c1, m1 := run(compiled.Prog)
+	c2, m2 := run(loaded)
+	if c1 != c2 || !m1.Equal(m2) {
+		log.Fatalf("deserialized artifact diverged: %d vs %d cycles", c1, c2)
+	}
+	fmt.Printf("original and deserialized artifacts agree: %d cycles, %d output words\n",
+		c1, m1.Len())
+}

@@ -1,0 +1,114 @@
+// Codesign: dissect where Turnpike's win comes from by turning the
+// optimizations on one at a time — the paper's Fig. 21 ablation — and by
+// inspecting what happens to the stores (Fig. 23's categories): pruned,
+// eliminated by LICM/RA/LIVM, fast-released through the CLQ or the color
+// maps, or quarantined like Turnstile would.
+//
+//	go run ./examples/codesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := "exchange2"
+	p, _ := workload.ByName(bench)
+	f := p.Build(12)
+
+	base, err := core.Compile(f, core.Options{Scheme: core.Baseline, SBSize: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseStats := simulate(p, base, pipeline.BaselineConfig(4))
+	fmt.Printf("%s baseline: %d cycles\n\n", bench, baseStats.Cycles)
+
+	steps := []struct {
+		name string
+		opt  core.Options
+		cfg  pipeline.Config
+	}{
+		{"Turnstile (quarantine everything)",
+			core.Options{Scheme: core.Turnstile, SBSize: 4},
+			pipeline.TurnstileConfig(4, 10)},
+		{"+ WAR-free fast release (CLQ)",
+			core.Options{Scheme: core.Turnstile, SBSize: 4},
+			warOnly()},
+		{"+ HW coloring (checkpoints bypass too)",
+			core.Options{Scheme: core.Turnstile, SBSize: 4},
+			pipeline.TurnpikeConfig(4, 10)},
+		{"+ checkpoint pruning",
+			core.Options{Scheme: core.Turnpike, SBSize: 4, ColoredCkpts: true, Prune: true},
+			pipeline.TurnpikeConfig(4, 10)},
+		{"+ checkpoint LICM/sinking",
+			core.Options{Scheme: core.Turnpike, SBSize: 4, ColoredCkpts: true, Prune: true, Sink: true},
+			pipeline.TurnpikeConfig(4, 10)},
+		{"+ checkpoint-aware scheduling",
+			core.Options{Scheme: core.Turnpike, SBSize: 4, ColoredCkpts: true, Prune: true, Sink: true, Sched: true},
+			pipeline.TurnpikeConfig(4, 10)},
+		{"+ store-aware register allocation",
+			core.Options{Scheme: core.Turnpike, SBSize: 4, ColoredCkpts: true, Prune: true, Sink: true, Sched: true, StoreAwareRA: true},
+			pipeline.TurnpikeConfig(4, 10)},
+		{"+ induction variable merging = Turnpike",
+			core.TurnpikeAll(4),
+			pipeline.TurnpikeConfig(4, 10)},
+	}
+
+	fmt.Printf("%-42s %9s %9s\n", "configuration", "cycles", "overhead")
+	for _, s := range steps {
+		compiled, err := core.Compile(f, s.opt)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		st := simulate(p, compiled, s.cfg)
+		fmt.Printf("%-42s %9d %8.1f%%\n", s.name, st.Cycles,
+			100*(float64(st.Cycles)/float64(baseStats.Cycles)-1))
+	}
+
+	// Store anatomy under the full scheme.
+	full, err := core.Compile(f, core.TurnpikeAll(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := simulate(p, full, pipeline.TurnpikeConfig(4, 10))
+	all := st.ProgStores + st.SpillStores + st.CkptStores
+	fmt.Printf("\nstore anatomy under full Turnpike (%d dynamic stores):\n", all)
+	fmt.Printf("  released WAR-free via CLQ : %d (%.0f%%)\n", st.WARFreeReleased, pct(st.WARFreeReleased, all))
+	fmt.Printf("  released via coloring     : %d (%.0f%%)\n", st.ColoredReleased, pct(st.ColoredReleased, all))
+	fmt.Printf("  quarantined (verified)    : %d (%.0f%%)\n", st.Quarantined, pct(st.Quarantined, all))
+	fmt.Printf("  static checkpoints pruned by the compiler: %d\n", full.Stats.PrunedCkpts)
+	fmt.Printf("  checkpoints sunk (in-block / out-of-loop): %d / %d\n",
+		full.Stats.SunkInBlock, full.Stats.SunkOutOfLoop)
+	fmt.Printf("  induction variables merged: %d\n", full.Stats.LIVMMerged)
+}
+
+func warOnly() pipeline.Config {
+	c := pipeline.TurnstileConfig(4, 10)
+	c.WARFreeRelease = true
+	return c
+}
+
+func simulate(p workload.Profile, c *core.Compiled, cfg pipeline.Config) pipeline.Stats {
+	s, err := pipeline.New(c.Prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.SeedMemory(s.Mem)
+	st, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,52 @@
+// Sweep: reproduce the shape of the paper's headline figures (19/20) on a
+// handful of benchmarks — run-time overhead of Turnstile and Turnpike as
+// the sensor mesh shrinks (worst-case detection latency 10..50 cycles),
+// plus the sensor-count axis those latencies correspond to (Fig. 18).
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	turnpike "repro"
+	"repro/internal/sensor"
+)
+
+func main() {
+	benches := []string{"gcc", "lbm", "exchange2", "mcf", "fft"}
+	wcdls := []int{10, 20, 30, 40, 50}
+
+	fmt.Println("sensor mesh sizing (1mm² die, 2.5GHz — Fig. 18's model):")
+	for _, w := range wcdls {
+		n := sensor.SensorsForWCDL(w, 1.0, 2.5)
+		fmt.Printf("  WCDL %2d cycles needs ≥%d sensors\n", w, n)
+	}
+	fmt.Println()
+
+	fmt.Printf("%-10s", "benchmark")
+	for _, w := range wcdls {
+		fmt.Printf("  TS-DL%-3d TP-DL%-3d", w, w)
+	}
+	fmt.Println()
+
+	for _, b := range benches {
+		fmt.Printf("%-10s", b)
+		for _, w := range wcdls {
+			ts, err := turnpike.Evaluate(b, turnpike.Turnstile, turnpike.EvalConfig{WCDL: w, ScalePct: 12})
+			if err != nil {
+				log.Fatal(err)
+			}
+			tp, err := turnpike.Evaluate(b, turnpike.Turnpike, turnpike.EvalConfig{WCDL: w, ScalePct: 12})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8.3f %-8.3f", ts.Overhead, tp.Overhead)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nTS = Turnstile, TP = Turnpike; values are normalized execution time.")
+	fmt.Println("Expect Turnstile to degrade steeply with WCDL while Turnpike stays")
+	fmt.Println("near 1.0 — the paper's Figs. 19/20 in miniature.")
+}

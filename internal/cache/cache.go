@@ -1,0 +1,203 @@
+// Package cache models a set-associative cache hierarchy with LRU
+// replacement, mirroring the paper's gem5 configuration for an ARM
+// Cortex-A53-class core: 32KB/64KB 2-way L1 I/D caches with a 2-cycle hit,
+// a unified 128KB 16-way L2 with a 20-cycle hit, and main memory behind it.
+// Only timing is modeled here (data lives in the simulator's functional
+// memory); the hierarchy returns access latencies and records statistics.
+package cache
+
+import "fmt"
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	HitLatency int // cycles, charged on hit at this level
+}
+
+// Cache is one set-associative level with LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  int
+	tags  [][]uint64 // [set][way], tag values; 0 means empty (tag 0 offset by +1)
+	lru   [][]uint64 // [set][way], last-touch stamps
+	stamp uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New builds a cache from cfg, validating the geometry.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Assoc <= 0 {
+		return nil, fmt.Errorf("cache %s: invalid geometry %d/%d", cfg.Name, cfg.SizeBytes, cfg.Assoc)
+	}
+	lines := cfg.SizeBytes / LineSize
+	if lines%cfg.Assoc != 0 {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible by assoc %d", cfg.Name, lines, cfg.Assoc)
+	}
+	sets := lines / cfg.Assoc
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", cfg.Name, sets)
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	c.tags = make([][]uint64, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Assoc)
+		c.lru[i] = make([]uint64, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr / LineSize
+	return int(line) & (c.sets - 1), line/uint64(c.sets) + 1 // +1 so 0 = empty
+}
+
+// Access touches addr, returning whether it hit and installing the line on
+// miss (allocate-on-miss for both reads and writes).
+func (c *Cache) Access(addr uint64) bool {
+	set, tag := c.index(addr)
+	c.stamp++
+	ways := c.tags[set]
+	for w, t := range ways {
+		if t == tag {
+			c.lru[set][w] = c.stamp
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	// Install into LRU way.
+	victim := 0
+	for w := 1; w < len(ways); w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	ways[victim] = tag
+	c.lru[set][victim] = c.stamp
+	return false
+}
+
+// Contains reports whether addr's line is resident, without touching LRU.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, t := range c.tags[set] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// HitLatency returns this level's hit latency.
+func (c *Cache) HitLatency() int { return c.cfg.HitLatency }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			c.tags[s][w] = 0
+			c.lru[s][w] = 0
+		}
+	}
+	c.stamp, c.Hits, c.Misses = 0, 0, 0
+}
+
+// Hierarchy is the two-level hierarchy with a flat memory behind it.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	// MemLatency is the main-memory access latency in cycles.
+	MemLatency int
+}
+
+// HierarchyConfig sizes a hierarchy; DefaultHierarchy gives the paper's.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLatency   int
+}
+
+// DefaultHierarchyConfig is the paper's §6.1 gem5 configuration.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        Config{Name: "l1i", SizeBytes: 32 << 10, Assoc: 2, HitLatency: 2},
+		L1D:        Config{Name: "l1d", SizeBytes: 64 << 10, Assoc: 2, HitLatency: 2},
+		L2:         Config{Name: "l2", SizeBytes: 128 << 10, Assoc: 16, HitLatency: 20},
+		MemLatency: 100,
+	}
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1i, err := New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MemLatency <= 0 {
+		return nil, fmt.Errorf("cache: memory latency %d <= 0", cfg.MemLatency)
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, MemLatency: cfg.MemLatency}, nil
+}
+
+// MustNewHierarchy panics on config errors; for static configurations.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// DataAccess returns the latency of a data access to addr, updating L1D/L2
+// state. Writes allocate like reads (write-allocate, write-back timing is
+// folded into the store-buffer model).
+func (h *Hierarchy) DataAccess(addr uint64) int {
+	if h.L1D.Access(addr) {
+		return h.L1D.HitLatency()
+	}
+	if h.L2.Access(addr) {
+		return h.L1D.HitLatency() + h.L2.HitLatency()
+	}
+	return h.L1D.HitLatency() + h.L2.HitLatency() + h.MemLatency
+}
+
+// InstAccess returns the latency of an instruction fetch from addr.
+func (h *Hierarchy) InstAccess(addr uint64) int {
+	if h.L1I.Access(addr) {
+		return 0 // fetch hit is hidden by the pipeline
+	}
+	if h.L2.Access(addr) {
+		return h.L2.HitLatency()
+	}
+	return h.L2.HitLatency() + h.MemLatency
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+}

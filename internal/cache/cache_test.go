@@ -1,0 +1,100 @@
+package cache
+
+import "testing"
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(Config{Name: "bad", SizeBytes: 0, Assoc: 2}); err == nil {
+		t.Fatal("accepted zero size")
+	}
+	if _, err := New(Config{Name: "bad", SizeBytes: 1 << 10, Assoc: 3, HitLatency: 1}); err == nil {
+		t.Fatal("accepted non-dividing associativity")
+	}
+	if _, err := New(Config{Name: "ok", SizeBytes: 32 << 10, Assoc: 2, HitLatency: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := MustNew(Config{Name: "c", SizeBytes: 4 << 10, Assoc: 2, HitLatency: 2})
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1008) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways x 64B = 256B cache; lines mapping to set 0 are
+	// multiples of 128.
+	c := MustNew(Config{Name: "t", SizeBytes: 256, Assoc: 2, HitLatency: 1})
+	a, b, d := uint64(0), uint64(128), uint64(256)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a now MRU
+	c.Access(d) // evicts b (LRU)
+	if !c.Contains(a) {
+		t.Fatal("a evicted despite MRU")
+	}
+	if c.Contains(b) {
+		t.Fatal("b not evicted")
+	}
+	if !c.Contains(d) {
+		t.Fatal("d not installed")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchyConfig())
+	// Cold: L1 miss + L2 miss -> full memory latency.
+	lat := h.DataAccess(0x4000)
+	want := h.L1D.HitLatency() + h.L2.HitLatency() + h.MemLatency
+	if lat != want {
+		t.Fatalf("cold access latency %d, want %d", lat, want)
+	}
+	// Warm: L1 hit.
+	if lat := h.DataAccess(0x4000); lat != h.L1D.HitLatency() {
+		t.Fatalf("warm access latency %d, want %d", lat, h.L1D.HitLatency())
+	}
+}
+
+func TestHierarchyL2Backfill(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchyConfig())
+	h.DataAccess(0x8000) // install in L1D and L2
+	// Thrash L1D set while keeping L2 resident: touch many addresses
+	// mapping to the same L1 set (L1D is 64KB 2-way -> 512 sets, stride
+	// 512*64 = 32KB).
+	for i := uint64(1); i <= 4; i++ {
+		h.DataAccess(0x8000 + i*32768)
+	}
+	lat := h.DataAccess(0x8000)
+	want := h.L1D.HitLatency() + h.L2.HitLatency()
+	if lat != want {
+		t.Fatalf("L2 hit latency %d, want %d", lat, want)
+	}
+}
+
+func TestInstAccessHidesHits(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchyConfig())
+	if lat := h.InstAccess(0); lat == 0 {
+		t.Fatal("cold fetch free")
+	}
+	if lat := h.InstAccess(4); lat != 0 {
+		t.Fatalf("warm fetch cost %d", lat)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(Config{Name: "r", SizeBytes: 4 << 10, Assoc: 2, HitLatency: 1})
+	c.Access(0x100)
+	c.Reset()
+	if c.Contains(0x100) || c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// needsCkpt computes, for every program point, the set of registers whose
+// current value must be checkpointed: X(p) contains r when some path from p
+// reaches a BOUND at which r is live, with no intervening redefinition of
+// r. A definition of r at instruction i therefore needs an (eager)
+// checkpoint exactly when r ∈ X(after i) — which also reproduces the
+// paper's "only the last definition in a region is live-out" behaviour,
+// since an intervening redefinition kills the path.
+//
+// The transfer function, applied backward per instruction:
+//
+//	X_before = (X_after − def(i)) ∪ (i is BOUND ? live_at(i) : ∅)
+type needsCkpt struct {
+	// in/out are block-level fixed-point sets.
+	in, out map[*ir.Block]ir.RegSet
+	lv      *ir.Liveness
+	fn      *ir.Func
+}
+
+func computeNeedsCkpt(f *ir.Func, lv *ir.Liveness) *needsCkpt {
+	nc := &needsCkpt{
+		in:  make(map[*ir.Block]ir.RegSet, len(f.Blocks)),
+		out: make(map[*ir.Block]ir.RegSet, len(f.Blocks)),
+		lv:  lv,
+		fn:  f,
+	}
+	n := f.NumVRegs
+	for _, b := range f.Blocks {
+		nc.in[b] = ir.NewRegSet(n)
+		nc.out[b] = ir.NewRegSet(n)
+	}
+	rpo := f.ReversePostorder()
+	changed := true
+	tmp := ir.NewRegSet(n)
+	for changed {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := nc.out[b]
+			for _, s := range b.Succs {
+				if out.UnionWith(nc.in[s]) {
+					changed = true
+				}
+			}
+			tmp.CopyFrom(out)
+			nc.transferBlock(b, tmp, nil)
+			if nc.in[b].UnionWith(tmp) {
+				changed = true
+			}
+		}
+	}
+	return nc
+}
+
+// transferBlock applies the backward transfer through b starting from the
+// set in cur (which is mutated to become X at block entry). When visit is
+// non-nil it is called with X(after i) for every instruction, enabling the
+// insertion pass to reuse the same transfer code.
+func (nc *needsCkpt) transferBlock(b *ir.Block, cur ir.RegSet, visit func(i int, after ir.RegSet)) {
+	liveAfter := nc.lv.LiveAcross(b)
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		if visit != nil {
+			visit(i, cur)
+		}
+		in := &b.Instrs[i]
+		if d, ok := in.Def(); ok {
+			cur.Remove(d)
+		}
+		if in.Op == isa.BOUND {
+			// Live set at the BOUND: registers live after it (BOUND has
+			// no uses or defs, so before == after).
+			cur.UnionWith(liveAfter[i])
+		}
+	}
+}
+
+// insertCheckpoints places `ckpt r` right after every definition whose
+// value is needed across a region boundary (eager checkpointing, §2.2).
+// Returns the number of checkpoints inserted.
+func insertCheckpoints(f *ir.Func) int {
+	lv := ir.ComputeLiveness(f)
+	nc := computeNeedsCkpt(f, lv)
+	inserted := 0
+	for _, b := range f.Blocks {
+		// Collect insertion points first (backward walk), then splice.
+		var points []int // insert after b.Instrs[points[k]]
+		var regs []ir.VReg
+		cur := nc.out[b].Clone()
+		nc.transferBlock(b, cur, func(i int, after ir.RegSet) {
+			in := &b.Instrs[i]
+			if d, ok := in.Def(); ok && after.Has(d) {
+				points = append(points, i)
+				regs = append(regs, d)
+			}
+		})
+		if len(points) == 0 {
+			continue
+		}
+		// points are in descending instruction order; splice from the end
+		// so earlier indices stay valid.
+		for k := 0; k < len(points); k++ {
+			i, r := points[k], regs[k]
+			ck := ir.Instr{Op: isa.CKPT, Dst: ir.NoReg, Src1: ir.NoReg, Src2: r, Kind: isa.StoreCheckpoint}
+			b.Instrs = append(b.Instrs[:i+1:i+1], append([]ir.Instr{ck}, b.Instrs[i+1:]...)...)
+			inserted++
+		}
+	}
+	return inserted
+}
+
+// partitionAndCheckpoint runs the partition/checkpoint fixpoint: partition
+// with the store budget, insert eager checkpoints, and re-partition when
+// the checkpoints themselves blow the budget (checkpoint stores occupy
+// store-buffer entries too — the feedback loop behind the paper's Fig. 4).
+// At the fixpoint no region exceeds budget stores on any path.
+//
+// With countCkpts=false (Turnpike with hardware coloring), checkpoints
+// never occupy a quarantine slot, so one partitioning pass suffices and
+// regions stay long.
+func partitionAndCheckpoint(f *ir.Func, budget int, countCkpts bool) (ckpts int, err error) {
+	// Convergence is monotone (boundaries only ever accumulate, bounded by
+	// the instruction count) but can take a round per added boundary on
+	// store-dense unrolled bodies.
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		if _, err := partition(f, budget, countCkpts); err != nil {
+			return 0, err
+		}
+		n := insertCheckpoints(f)
+		if checkBudget(f, budget, countCkpts) == 0 {
+			return n, nil
+		}
+		// Budget violated by checkpoint stores: remove them, add the
+		// missing boundaries (partition sees the violation spots only with
+		// the checkpoints present, so re-insert boundaries on a copy that
+		// still has them — equivalently, partition now, then strip).
+		if _, err := partition(f, budget, countCkpts); err != nil {
+			return 0, err
+		}
+		stripCheckpoints(f)
+	}
+	return 0, fmt.Errorf("core: partition/checkpoint did not converge in %d rounds (budget %d)", maxRounds, budget)
+}
+
+// dedupeCheckpoints removes redundant checkpoints: within a block segment
+// delimited by BOUNDs, several `ckpt r` with no intervening definition of r
+// store the same value to the same architected slot — only the last one is
+// kept. Sinking (sink.go) creates such duplicates by design (Fig. 10).
+func dedupeCheckpoints(f *ir.Func) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		// lastCkpt maps reg -> index of the most recent kept checkpoint in
+		// the current segment; earlier ones are marked for deletion when a
+		// later duplicate appears before any redef or boundary.
+		lastCkpt := map[ir.VReg]int{}
+		drop := map[int]bool{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch {
+			case in.Op == isa.BOUND || in.Op.IsBranch():
+				lastCkpt = map[ir.VReg]int{}
+			case in.Op == isa.CKPT:
+				if prev, ok := lastCkpt[in.Src2]; ok {
+					drop[prev] = true
+					removed++
+				}
+				lastCkpt[in.Src2] = i
+			default:
+				if d, ok := in.Def(); ok {
+					delete(lastCkpt, d)
+				}
+			}
+		}
+		if len(drop) == 0 {
+			continue
+		}
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			if drop[i] {
+				continue
+			}
+			out = append(out, b.Instrs[i])
+		}
+		b.Instrs = out
+	}
+	return removed
+}
+
+// countCheckpoints returns the number of CKPT instructions in f.
+func countCheckpoints(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == isa.CKPT {
+				n++
+			}
+		}
+	}
+	return n
+}

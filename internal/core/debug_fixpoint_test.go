@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestDebugFixpointTrace traces the partition/checkpoint loop round by
+// round on the kernel to diagnose non-convergence; kept as a regression
+// canary for the fixpoint's monotonicity.
+func TestDebugFixpointTrace(t *testing.T) {
+	f := buildKernel(10)
+	g := f.Clone()
+	// Mimic Compile's preamble minimally: regalloc to physical form.
+	phys, err := physify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 4
+	for round := 0; round < 6; round++ {
+		nb, err := partition(phys, budget, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := insertCheckpoints(phys)
+		v := checkBudget(phys, budget, true)
+		t.Logf("round %d: +%d bounds, %d ckpts inserted, %d violations, %d instrs",
+			round, nb, nc, v, phys.InstrCount())
+		if v == 0 {
+			return
+		}
+		nb2, _ := partition(phys, budget, true)
+		t.Logf("        fix pass added %d bounds; violations now %d", nb2, checkBudget(phys, budget, true))
+		stripCheckpoints(phys)
+	}
+	t.Fatalf("did not converge:\n%s", phys.String())
+}
+
+// physify runs the regalloc step the way Compile does.
+func physify(f *ir.Func) (*ir.Func, error) {
+	return compilePhysify(f)
+}

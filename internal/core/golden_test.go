@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// TestGoldenLowering pins the lowered form of a tiny kernel: a change to
+// partitioning, checkpointing, or lowering that alters the emitted code
+// shows up here as an explicit, reviewable diff rather than a silent
+// perturbation of every experiment.
+func TestGoldenLowering(t *testing.T) {
+	b := ir.NewBuilder("golden")
+	out := b.MovI(int64(isa.DataBase))
+	x := b.MovI(7)
+	y := b.OpI(isa.MUL, x, 6)
+	b.Store(out, 0, y)
+	b.Store(out, 8, x)
+	b.Store(out, 16, y)
+	b.Halt()
+	f := b.MustFinish()
+
+	c, err := Compile(f, Options{Scheme: Turnstile, SBSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trimTrailing(c.Prog.Disassemble())
+	want := strings.TrimLeft(`
+   0: bound                        ; R0
+   1: movi r0, #4096               ; R0
+   2: movi r1, #65536              ; R0
+   3: movi r2, #7                  ; R0
+   4: mul r3, r2, #6               ; R0
+   5: st r3, [r1, #0]              ; R0
+   6: st r2, [r1, #8]              ; R0
+   7: st r3, [r1, #16]             ; R0
+   8: halt                         ; R0
+   9: jmp @0
+`, "\n")
+	if got != want {
+		t.Fatalf("lowering changed; update the golden if intentional.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Sanity on the pinned shape: single region (3 stores ≤ budget 4,
+	// no loop), no checkpoints needed (nothing lives across a boundary).
+	if c.Stats.Regions != 1 || c.Stats.Checkpoints != 0 {
+		t.Fatalf("stats drifted: %+v", c.Stats)
+	}
+}
+
+// trimTrailing removes per-line right padding from a disassembly.
+func trimTrailing(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = strings.TrimRight(lines[i], " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestGoldenLoweringBranchLayout pins the fall-through/JMP synthesis rules.
+func TestGoldenLoweringBranchLayout(t *testing.T) {
+	b := ir.NewBuilder("branches")
+	x := b.MovI(1)
+	tb, fb, jb := b.NewBlock(), b.NewBlock(), b.NewBlock()
+	b.BranchI(isa.BEQ, x, 1, tb, fb)
+	b.SetBlock(tb)
+	b.OpITo(isa.ADD, x, x, 10)
+	b.Jump(jb)
+	b.SetBlock(fb)
+	b.OpITo(isa.ADD, x, x, 20)
+	b.Fallthrough(jb)
+	b.SetBlock(jb)
+	out := b.MovI(int64(isa.DataBase))
+	b.Store(out, 0, x)
+	b.Halt()
+	f := b.MustFinish()
+
+	c, err := Compile(f, Options{Scheme: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := c.Prog.Disassemble()
+	// Layout order is block creation order (entry, taken, fallthrough,
+	// join): the taken block directly follows the branch, so the
+	// *fallthrough* edge needs a synthesized JMP after the branch, and the
+	// taken block's explicit JMP reaches the join.
+	for _, frag := range []string{"beq r1, #1, @4", "jmp @6", "jmp @7"} {
+		if !strings.Contains(dis, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, dis)
+		}
+	}
+	if strings.Count(dis, "jmp") != 2 {
+		t.Fatalf("expected exactly two jmps:\n%s", dis)
+	}
+	// Execute to validate the layout semantics end to end.
+	m := isa.NewMachine(c.Prog)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Load(isa.DataBase); got != 11 {
+		t.Fatalf("result %d, want 11 (taken path)", got)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// lower linearizes a physical-register IR function into an executable
+// isa.Program. When genRecovery is true, every BOUND becomes a region with
+// a compiler-generated recovery block appended after the program body:
+// RESTOREs for the region's live-in registers, reconstruction code for
+// pruned checkpoints (recipes), and a jump back to the region's boundary —
+// the paper's recovery-PC/recovery-block machinery (§2.2, Fig. 9).
+func lower(f *ir.Func, recipes RecipeMap, genRecovery bool) (*isa.Program, error) {
+	if f.NumVRegs > isa.NumRegs {
+		return nil, fmt.Errorf("core: lower called on unallocated function (%d vregs)", f.NumVRegs)
+	}
+
+	// Layout: block start offsets, accounting for fall-through JMPs that
+	// must be synthesized when the layout-successor differs.
+	type layout struct {
+		start    int
+		extraJmp bool // JMP appended after the block's instructions
+		jmpTo    *ir.Block
+	}
+	lay := make(map[*ir.Block]*layout, len(f.Blocks))
+	pos := 0
+	for bi, b := range f.Blocks {
+		l := &layout{start: pos}
+		lay[b] = l
+		pos += len(b.Instrs)
+		var next *ir.Block
+		if bi+1 < len(f.Blocks) {
+			next = f.Blocks[bi+1]
+		}
+		t := b.Terminator()
+		switch {
+		case t != nil && t.Op.IsCondBranch():
+			if b.Succs[1] != next {
+				l.extraJmp, l.jmpTo = true, b.Succs[1]
+			}
+		case t != nil && (t.Op == isa.JMP || t.Op == isa.HALT):
+			// explicit control transfer; nothing to add
+		default:
+			if len(b.Succs) != 1 {
+				return nil, fmt.Errorf("core: block %s lacks terminator and has %d succs", b, len(b.Succs))
+			}
+			if b.Succs[0] != next {
+				l.extraJmp, l.jmpTo = true, b.Succs[0]
+			}
+		}
+		if l.extraJmp {
+			pos++
+		}
+	}
+
+	prog := &isa.Program{CkptBase: isa.DefaultCkptBase}
+	boundLinear := map[int]int{} // bound ID -> linear index
+	var boundOrder []int         // bound IDs in emission order
+
+	emit := func(in isa.Inst) { prog.Insts = append(prog.Insts, in) }
+	lowReg := func(v ir.VReg) isa.Reg {
+		if v == ir.NoReg {
+			return 0
+		}
+		return isa.Reg(v)
+	}
+
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			out := isa.Inst{
+				Op:     in.Op,
+				Rd:     lowReg(in.Dst),
+				Rs1:    lowReg(in.Src1),
+				Rs2:    lowReg(in.Src2),
+				Imm:    in.Imm,
+				HasImm: in.HasImm,
+				Kind:   in.Kind,
+			}
+			switch {
+			case in.Op == isa.BOUND:
+				id := int(in.Imm)
+				boundLinear[id] = len(prog.Insts)
+				boundOrder = append(boundOrder, id)
+				out.Imm = int64(len(boundOrder) - 1) // region ID in program order
+			case in.Op.IsCondBranch():
+				out.Target = lay[b.Succs[0]].start
+			case in.Op == isa.JMP:
+				out.Target = lay[b.Succs[0]].start
+			}
+			emit(out)
+		}
+		if l := lay[b]; l.extraJmp {
+			emit(isa.Inst{Op: isa.JMP, Target: lay[l.jmpTo].start})
+		}
+	}
+	bodyLen := len(prog.Insts)
+
+	// Sanity: computed layout matches emission.
+	for _, b := range f.Blocks {
+		if lay[b].start >= bodyLen && len(b.Instrs) > 0 {
+			return nil, fmt.Errorf("core: layout overflow for %s", b)
+		}
+	}
+
+	if genRecovery {
+		if err := emitRecovery(f, prog, recipes, boundLinear, boundOrder); err != nil {
+			return nil, err
+		}
+	}
+
+	// RegionOf: region of each body instruction (last BOUND seen); -1 for
+	// recovery code and anything before the first BOUND.
+	prog.RegionOf = make([]int, len(prog.Insts))
+	cur := -1
+	for i := 0; i < len(prog.Insts); i++ {
+		if i >= bodyLen {
+			cur = -1
+		} else if prog.Insts[i].Op == isa.BOUND {
+			cur = int(prog.Insts[i].Imm)
+		}
+		prog.RegionOf[i] = cur
+	}
+
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("core: lowered program invalid: %w", err)
+	}
+	return prog, nil
+}
+
+// emitRecovery appends one recovery block per region and fills
+// prog.Regions. Region IDs are bound emission order; RecoveryPC points at
+// the block, which ends by jumping back to the region's BOUND.
+func emitRecovery(f *ir.Func, prog *isa.Program, recipes RecipeMap, boundLinear map[int]int, boundOrder []int) error {
+	// Live-in registers per bound from the physical IR.
+	lv := ir.ComputeLiveness(f)
+	liveAt := map[int][]ir.VReg{} // bound ID -> live regs (sorted)
+	for _, b := range f.Blocks {
+		var la []ir.RegSet
+		for i := range b.Instrs {
+			if b.Instrs[i].Op != isa.BOUND {
+				continue
+			}
+			if la == nil {
+				la = lv.LiveAcross(b)
+			}
+			id := int(b.Instrs[i].Imm)
+			// Imm was rewritten during lowering? No: lowering copies, the
+			// IR still holds the bound ID assigned by numberBounds.
+			liveAt[id] = la[i].Members()
+		}
+	}
+
+	prog.Regions = make([]isa.RegionInfo, len(boundOrder))
+	for regionID, boundID := range boundOrder {
+		entry := len(prog.Insts)
+		live := liveAt[boundID]
+		recs := recipes[boundID]
+
+		// Restores first (registers without recipes), ascending.
+		var pending []Recipe
+		for _, r := range live {
+			if rec, ok := recs[r]; ok {
+				pending = append(pending, rec)
+				continue
+			}
+			prog.Insts = append(prog.Insts, isa.Inst{Op: isa.RESTORE, Rd: isa.Reg(r)})
+		}
+		// Recipes in dependency order: a recipe runs once all of its deps
+		// are available (restored above, or produced by an earlier recipe).
+		avail := map[ir.VReg]bool{}
+		for _, r := range live {
+			if _, ok := recs[r]; !ok {
+				avail[r] = true
+			}
+		}
+		sort.Slice(pending, func(i, j int) bool { return pending[i].Reg < pending[j].Reg })
+		for len(pending) > 0 {
+			progress := false
+			rest := pending[:0]
+			for _, rec := range pending {
+				ready := true
+				for _, d := range rec.Deps {
+					if !avail[d] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					rest = append(rest, rec)
+					continue
+				}
+				for _, in := range rec.Instrs {
+					prog.Insts = append(prog.Insts, isa.Inst{
+						Op: in.Op, Rd: isa.Reg(in.Dst),
+						Rs1: lowerSrc(in.Src1), Rs2: lowerSrc(in.Src2),
+						Imm: in.Imm, HasImm: in.HasImm,
+					})
+				}
+				avail[rec.Reg] = true
+				progress = true
+			}
+			pending = append([]Recipe(nil), rest...)
+			if !progress {
+				return fmt.Errorf("core: recipe dependency cycle at region %d", regionID)
+			}
+		}
+		prog.Insts = append(prog.Insts, isa.Inst{Op: isa.JMP, Target: boundLinear[boundID]})
+		prog.Regions[regionID] = isa.RegionInfo{ID: regionID, RecoveryPC: entry}
+	}
+	return nil
+}
+
+func lowerSrc(v ir.VReg) isa.Reg {
+	if v == ir.NoReg {
+		return 0
+	}
+	return isa.Reg(v)
+}

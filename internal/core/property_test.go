@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// genProgram and seedFuzzMem delegate to the shared fuzz kernel generator.
+func genProgram(seed int64) *ir.Func { return workload.Fuzz(seed) }
+
+func seedFuzzMem(mem *isa.Memory, seed int64) { workload.FuzzSeedMemory(mem, seed) }
+
+// goldenFuzz interprets the IR directly.
+func goldenFuzz(t *testing.T, f *ir.Func, seed int64) *isa.Memory {
+	t.Helper()
+	it := &ir.Interp{Regs: make([]uint64, f.NumVRegs), Mem: isa.NewMemory(), StepLimit: 5_000_000}
+	seedFuzzMem(it.Mem, seed)
+	if err := it.Run(f); err != nil {
+		t.Fatalf("seed %d: interp: %v", seed, err)
+	}
+	return maskPrivate(it.Mem)
+}
+
+// TestQuickCompileAllSchemesPreservesSemantics is the central property of
+// the compiler: for random structured programs and random optimization
+// subsets, the lowered binary computes exactly what the IR computes.
+func TestQuickCompileAllSchemesPreservesSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		f := genProgram(seed)
+		want := goldenFuzz(t, f, seed)
+		rng := rand.New(rand.NewSource(seed ^ 0xabcdef))
+		opts := []Options{
+			{Scheme: Baseline},
+			{Scheme: Turnstile, SBSize: 4},
+			{
+				Scheme: Turnpike, SBSize: 2 + 2*rng.Intn(4),
+				StoreAwareRA: rng.Intn(2) == 0,
+				LIVM:         rng.Intn(2) == 0,
+				Prune:        rng.Intn(2) == 0,
+				Sink:         rng.Intn(2) == 0,
+				Sched:        rng.Intn(2) == 0,
+				ColoredCkpts: rng.Intn(2) == 0,
+			},
+			TurnpikeAll(4),
+		}
+		for _, opt := range opts {
+			c, err := Compile(f, opt)
+			if err != nil {
+				t.Logf("seed %d opt %+v: %v", seed, opt, err)
+				return false
+			}
+			m := isa.NewMachine(c.Prog)
+			m.StepLimit = 5_000_000
+			seedFuzzMem(m.Mem, seed)
+			if err := m.Run(); err != nil {
+				t.Logf("seed %d opt %+v: run: %v", seed, opt, err)
+				return false
+			}
+			if !want.Equal(maskPrivate(m.OutputMemory())) {
+				t.Logf("seed %d opt %+v: output diverged:\n%s",
+					seed, opt, want.Diff(maskPrivate(m.OutputMemory()), 8))
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(20260704)),
+		Values:   nil,
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRecoveryRollbackOnFuzz extends the rollback property to random
+// programs: at sampled boundaries, a garbage-register machine running the
+// recovery block and re-executing must land on the fault-free output.
+func TestQuickRecoveryRollbackOnFuzz(t *testing.T) {
+	check := func(seed int64) bool {
+		f := genProgram(seed)
+		c, err := Compile(f, TurnpikeAll(4))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		prog := c.Prog
+		gm := isa.NewMachine(prog)
+		gm.StepLimit = 5_000_000
+		seedFuzzMem(gm.Mem, seed)
+		if err := gm.Run(); err != nil {
+			t.Logf("seed %d: golden: %v", seed, err)
+			return false
+		}
+		golden := maskPrivate(gm.OutputMemory())
+
+		m := isa.NewMachine(prog)
+		m.StepLimit = 5_000_000
+		seedFuzzMem(m.Mem, seed)
+		checked := 0
+		boundSeen := 0
+		for {
+			in := &prog.Insts[m.PC]
+			if in.Op == isa.BOUND && m.Executed > 0 && checked < 8 {
+				boundSeen++
+				if boundSeen%11 == 1 {
+					rm := isa.NewMachine(prog)
+					rm.Mem = m.Mem.Clone()
+					rm.PC = prog.Regions[in.Imm].RecoveryPC
+					rm.StepLimit = 5_000_000
+					for r := range rm.Regs {
+						rm.Regs[r] = 0xBADBADBADBAD
+					}
+					if err := rm.Run(); err != nil {
+						t.Logf("seed %d: rollback: %v", seed, err)
+						return false
+					}
+					if !golden.Equal(maskPrivate(rm.OutputMemory())) {
+						t.Logf("seed %d: rollback diverged at pc %d", seed, m.PC)
+						return false
+					}
+					checked++
+				}
+			}
+			ok, err := m.Step()
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(777))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPartitionBudgetInvariant: for random programs, no path through
+// any region exceeds the store budget the partitioner was given.
+func TestQuickPartitionBudgetInvariant(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0xb0d6e7))
+		budget := 2 + rng.Intn(6)
+		f := genProgram(seed)
+		phys, err := compilePhysify(f.Clone())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if _, err := partitionAndCheckpoint(phys, budget, true); err != nil {
+			t.Logf("seed %d budget %d: %v", seed, budget, err)
+			return false
+		}
+		if v := checkBudget(phys, budget, true); v != 0 {
+			t.Logf("seed %d budget %d: %d violations", seed, budget, v)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(31337))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Recipe reconstructs a pruned checkpoint's register value inside a
+// recovery block: Instrs write Reg, reading only registers in Deps (which
+// the recovery block restores or reconstructs first) — the paper's §4.1.3
+// "value can be reconstructed from a constant or the value of other
+// checkpoints at recovery time".
+type Recipe struct {
+	Reg    ir.VReg
+	Instrs []ir.Instr
+	Deps   []ir.VReg
+}
+
+// RecipeMap registers recipes per region boundary: boundID -> reg -> recipe.
+type RecipeMap map[int]map[ir.VReg]Recipe
+
+// numberBounds assigns a unique ID to every BOUND (stored in its Imm field)
+// and returns the number of bounds. It must run after the final
+// partitioning and before pruning/lowering, which key on these IDs.
+func numberBounds(f *ir.Func) int {
+	id := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == isa.BOUND {
+				b.Instrs[i].Imm = int64(id)
+				id++
+			}
+		}
+	}
+	return id
+}
+
+// pruneCheckpoints removes checkpoints whose value is reconstructible at
+// every recovery point that could need it, following Penny's optimal
+// pruning idea restricted to ALU backward slices of depth one (constants,
+// moves, and single ALU ops over still-checkpointed operands; chains
+// compose across registers because each pruned operand registers its own
+// recipe). Returns the number pruned and the recipes for recovery-block
+// generation.
+//
+// A checkpoint of r defined by instruction d qualifies when:
+//
+//   - d is MOVI, MOV, or an ALU op that does not read r itself and does
+//     not load from memory;
+//   - a bounded forward walk from d reaches every BOUND at which r is
+//     still live before any redefinition of r, without exhausting the
+//     exploration budget;
+//   - d's block dominates every such BOUND (unique reaching definition);
+//   - no operand of d is redefined anywhere along the walk while r lives;
+//   - every operand of d is live at each such BOUND, so the recovery block
+//     can restore (or reconstruct) it first.
+func pruneCheckpoints(f *ir.Func) (int, RecipeMap, error) {
+	lv := ir.ComputeLiveness(f)
+	dt := ir.ComputeDominators(f)
+	recipes := RecipeMap{}
+
+	type site struct {
+		block *ir.Block
+		idx   int // index of the CKPT instruction
+	}
+	var sites []site
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == isa.CKPT {
+				sites = append(sites, site{b, i})
+			}
+		}
+	}
+
+	drop := map[*ir.Block]map[int]bool{}
+	pruned := 0
+	for _, s := range sites {
+		ck := &s.block.Instrs[s.idx]
+		r := ck.Src2
+		if s.idx == 0 {
+			continue // sunk or boundary-adjacent; no adjacent def
+		}
+		d := &s.block.Instrs[s.idx-1]
+		dd, ok := d.Def()
+		if !ok || dd != r {
+			continue // eager adjacency broken (e.g. by earlier transforms)
+		}
+		slice, deps, ok := buildSlice(f, lv, s.block, s.idx, r)
+		if !ok {
+			continue
+		}
+		bounds, ok := collectBounds(f, lv, s.block, s.idx, r, deps)
+		if !ok || len(bounds) == 0 {
+			continue
+		}
+		// Unique reaching definition: d's block dominates every bound's
+		// block; same-block bounds must come after the def.
+		sound := true
+		for _, bp := range bounds {
+			if bp.block == s.block {
+				if bp.idx < s.idx {
+					sound = false
+					break
+				}
+				continue
+			}
+			if !dt.Dominates(s.block, bp.block) {
+				sound = false
+				break
+			}
+		}
+		// Slice temporaries are written by the recovery block; they must
+		// be dead at every collected bound, or the recipe would clobber a
+		// restored live-in (a temp dead after the checkpoint can still be
+		// redefined downstream and live at a later bound).
+		if sound && len(slice) > 1 {
+			var temps []ir.VReg
+			for i := range slice[:len(slice)-1] {
+				if td, ok := slice[i].Def(); ok && td != r {
+					temps = append(temps, td)
+				}
+			}
+			laCache := map[*ir.Block][]ir.RegSet{}
+		tempCheck:
+			for _, bp := range bounds {
+				la, ok := laCache[bp.block]
+				if !ok {
+					la = lv.LiveAcross(bp.block)
+					laCache[bp.block] = la
+				}
+				for _, tmp := range temps {
+					if la[bp.idx].Has(tmp) {
+						sound = false
+						break tempCheck
+					}
+				}
+			}
+		}
+		if !sound {
+			continue
+		}
+		// Register the recipe at every collected bound.
+		rec := Recipe{Reg: r, Instrs: slice, Deps: deps}
+		for _, bp := range bounds {
+			id := int(bp.block.Instrs[bp.idx].Imm)
+			if recipes[id] == nil {
+				recipes[id] = map[ir.VReg]Recipe{}
+			}
+			if _, dup := recipes[id][r]; dup {
+				// Two pruned defs of r reaching one bound would mean two
+				// dominating defs with no redef in between — impossible;
+				// treat defensively as an internal error.
+				return 0, nil, fmt.Errorf("core: duplicate recipe for %v at bound %d", r, id)
+			}
+			recipes[id][r] = rec
+		}
+		if drop[s.block] == nil {
+			drop[s.block] = map[int]bool{}
+		}
+		drop[s.block][s.idx] = true
+		pruned++
+	}
+
+	for b, idxs := range drop {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			if idxs[i] {
+				continue
+			}
+			out = append(out, b.Instrs[i])
+		}
+		b.Instrs = out
+	}
+	// Dropping instructions invalidated recorded bound indices inside the
+	// same blocks; renumbering is not needed because recipes key on the
+	// BOUND's Imm ID, which travels with the instruction.
+	return pruned, recipes, nil
+}
+
+// prunableDef reports whether d's value can be recomputed in a recovery
+// block: pure ALU over registers/immediates (no loads, no divides —
+// divides are excluded only to keep recovery blocks cheap).
+func prunableDef(d *ir.Instr) bool {
+	switch d.Op {
+	case isa.MOVI, isa.MOV, isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.CMPEQ, isa.CMPLT:
+		return true
+	}
+	return false
+}
+
+// buildSlice collects the backward slice that recomputes register r from
+// values restorable at recovery time — Penny's reconstruction generalized
+// beyond a single instruction. Starting from r's definition (the
+// instruction right above the checkpoint at ckIdx), the scan walks up the
+// block resolving operands:
+//
+//   - an operand that is *dead* after the checkpoint (a temporary) must be
+//     recomputed: its reaching definition joins the slice and its own
+//     operands are resolved in turn — provided the definition is a pure
+//     ALU op in the same block with no intervening redefinition;
+//   - an operand that is *live* after the checkpoint becomes a leaf
+//     dependency: the recovery block restores it, and collectBounds later
+//     verifies it is live and stable at every relevant boundary.
+//
+// Slice temporaries are dead at the boundaries, so the recovery block may
+// freely write their registers. The scan is bounded and bails on loads,
+// self-reads, barriers, or any redefinition of a leaf inside the window
+// (which would give the leaf two values).
+func buildSlice(f *ir.Func, lv *ir.Liveness, blk *ir.Block, ckIdx int, r ir.VReg) ([]ir.Instr, []ir.VReg, bool) {
+	const maxSlice = 6
+	const maxScan = 48
+	la := lv.LiveAcross(blk)
+	liveAfterCk := la[ckIdx]
+
+	d := &blk.Instrs[ckIdx-1]
+	if !prunableDef(d) {
+		return nil, nil, false
+	}
+	needTemp := map[ir.VReg]bool{} // dead temporaries awaiting a definition
+	leaf := map[ir.VReg]bool{}     // live-at-recovery dependencies
+	classify := func(in *ir.Instr) bool {
+		var ub [3]ir.VReg
+		for _, u := range in.Uses(ub[:0]) {
+			if u == r {
+				return false // self-read: the old value is unavailable
+			}
+			if liveAfterCk.Has(u) {
+				leaf[u] = true
+			} else {
+				needTemp[u] = true
+			}
+		}
+		return true
+	}
+	if !classify(d) {
+		return nil, nil, false
+	}
+	sliceRev := []ir.Instr{*d}
+	for i := ckIdx - 2; i >= 0 && len(needTemp) > 0; i-- {
+		if ckIdx-2-i > maxScan {
+			return nil, nil, false
+		}
+		in := &blk.Instrs[i]
+		if in.Op == isa.BOUND || in.Op.IsBranch() {
+			return nil, nil, false // temporaries defined beyond a barrier
+		}
+		dd, ok := in.Def()
+		if !ok {
+			continue
+		}
+		if leaf[dd] {
+			// A leaf redefined inside the window would have carried two
+			// different values into the slice; bail conservatively.
+			return nil, nil, false
+		}
+		if !needTemp[dd] {
+			continue
+		}
+		if !prunableDef(in) {
+			return nil, nil, false
+		}
+		if len(sliceRev) >= maxSlice {
+			return nil, nil, false
+		}
+		delete(needTemp, dd)
+		if !classify(in) {
+			return nil, nil, false
+		}
+		sliceRev = append(sliceRev, *in)
+	}
+	if len(needTemp) > 0 {
+		return nil, nil, false // unresolved temporaries (defined upstream)
+	}
+	// Reverse into program order.
+	slice := make([]ir.Instr, 0, len(sliceRev))
+	for i := len(sliceRev) - 1; i >= 0; i-- {
+		slice = append(slice, sliceRev[i])
+	}
+	deps := make([]ir.VReg, 0, len(leaf))
+	for v := range leaf {
+		deps = append(deps, v)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	return slice, deps, true
+}
+
+type boundPos struct {
+	block *ir.Block
+	idx   int
+}
+
+// collectBounds walks forward from the checkpoint at (startBlock, ckIdx)
+// and gathers every BOUND where reg is live before any redefinition of reg.
+// It aborts (ok=false) when any dep is redefined while reg lives, when the
+// exploration exceeds its instruction budget, or — crucially for loops —
+// when a *redefinition* of reg can itself reach one of the collected
+// bounds while reg is live: in that case the bound sees two different
+// reaching values (e.g. a loop header reached once from the preheader and
+// again around the back edge), so a single recipe cannot be sound there.
+func collectBounds(f *ir.Func, lv *ir.Liveness, startBlock *ir.Block, ckIdx int, reg ir.VReg, deps []ir.VReg) ([]boundPos, bool) {
+	const maxVisit = 512
+	budget := maxVisit
+
+	liveAfterCache := map[*ir.Block][]ir.RegSet{}
+	liveAfter := func(b *ir.Block) []ir.RegSet {
+		la, ok := liveAfterCache[b]
+		if !ok {
+			la = lv.LiveAcross(b)
+			liveAfterCache[b] = la
+		}
+		return la
+	}
+
+	depSet := map[ir.VReg]bool{}
+	for _, d := range deps {
+		depSet[d] = true
+	}
+
+	type pos struct {
+		block *ir.Block
+		idx   int
+	}
+	var out []boundPos
+	collected := map[pos]bool{}
+
+	// Phase 1: fresh-value walk from the checkpoint.
+	{
+		visited := map[*ir.Block]bool{}
+		// walk scans b.Instrs[from:]. Returns (continueToSuccs, ok).
+		walk := func(b *ir.Block, from int) (bool, bool) {
+			la := liveAfter(b)
+			for i := from; i < len(b.Instrs); i++ {
+				if budget--; budget < 0 {
+					return false, false
+				}
+				in := &b.Instrs[i]
+				if d, ok := in.Def(); ok {
+					if d == reg {
+						return false, true // this definition ends our reach
+					}
+					if depSet[d] {
+						return false, false // operand clobbered while reg live
+					}
+				}
+				if in.Op == isa.BOUND {
+					// live-before BOUND == live-after (no uses/defs).
+					if !la[i].Has(reg) {
+						return false, true // reg dead downstream
+					}
+					// Operands must be restorable here so the recovery
+					// block can produce them before the recipe runs.
+					for d := range depSet {
+						if !la[i].Has(d) {
+							return false, false
+						}
+					}
+					p := pos{b, i}
+					if !collected[p] {
+						collected[p] = true
+						out = append(out, boundPos{b, i})
+					}
+				}
+				if in.Op == isa.HALT {
+					return false, true
+				}
+			}
+			return true, true
+		}
+		cont, ok := walk(startBlock, ckIdx+1)
+		if !ok {
+			return nil, false
+		}
+		if cont {
+			stack := append([]*ir.Block(nil), startBlock.Succs...)
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if visited[b] {
+					continue
+				}
+				visited[b] = true
+				cont, ok := walk(b, 0)
+				if !ok {
+					return nil, false
+				}
+				if cont {
+					stack = append(stack, b.Succs...)
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, true
+	}
+
+	// Phase 2: poison walk from every *other* definition of reg anywhere
+	// in the function — if a different value of reg can flow (while reg is
+	// live) into a collected bound, that bound has two reaching
+	// definitions and a single recipe cannot be sound there. Walking from
+	// every def (rather than only the redefs the fresh walk encountered)
+	// handles redefinition chains, where a second redef hides behind a
+	// first and still reaches a collected bound around a loop back edge.
+	var redefs []pos
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b == startBlock && i == ckIdx-1 {
+				continue // the pruned checkpoint's own def
+			}
+			if d, ok := b.Instrs[i].Def(); ok && d == reg {
+				redefs = append(redefs, pos{b, i + 1})
+			}
+		}
+	}
+	for _, rd := range redefs {
+		visited := map[*ir.Block]bool{}
+		walk := func(b *ir.Block, from int) (bool, bool) {
+			la := liveAfter(b)
+			for i := from; i < len(b.Instrs); i++ {
+				if budget--; budget < 0 {
+					return false, false
+				}
+				in := &b.Instrs[i]
+				if d, ok := in.Def(); ok && d == reg {
+					return false, true // another redef takes over
+				}
+				if in.Op == isa.BOUND {
+					if !la[i].Has(reg) {
+						return false, true
+					}
+					if collected[pos{b, i}] {
+						return false, false // two reaching values at one bound
+					}
+				}
+				if in.Op == isa.HALT {
+					return false, true
+				}
+			}
+			return true, true
+		}
+		cont, ok := walk(rd.block, rd.idx)
+		if !ok {
+			return nil, false
+		}
+		if cont {
+			stack := append([]*ir.Block(nil), rd.block.Succs...)
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if visited[b] {
+					continue
+				}
+				visited[b] = true
+				cont, ok := walk(b, 0)
+				if !ok {
+					return nil, false
+				}
+				if cont {
+					stack = append(stack, b.Succs...)
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].block.ID != out[j].block.ID {
+			return out[i].block.ID < out[j].block.ID
+		}
+		return out[i].idx < out[j].idx
+	})
+	return out, true
+}

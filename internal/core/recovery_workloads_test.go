@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// TestRecoveryExactOnWorkloads replays every workload kernel on the
+// reference machine and, at sampled dynamic region boundaries, simulates a
+// worst-case rollback: a scratch machine whose registers are garbage runs
+// the region's recovery block against the current memory image and then
+// re-executes the program to completion. Its final output memory must
+// equal the fault-free run's. This validates the compiler's recovery
+// metadata — live-in restores, pruning recipes (including multi-
+// instruction slices whose temporaries are dead), and sinking — on all 36
+// kernels, independent of the pipeline's quarantine/coloring machinery.
+func TestRecoveryExactOnWorkloads(t *testing.T) {
+	for _, p := range workload.Benchmarks() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			f := p.Build(1)
+			c, err := Compile(f, TurnpikeAll(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := c.Prog
+
+			// Golden run for the final memory image.
+			gm := isa.NewMachine(prog)
+			gm.StepLimit = 20_000_000
+			p.SeedMemory(gm.Mem)
+			if err := gm.Run(); err != nil {
+				t.Fatal(err)
+			}
+			golden := maskPrivate(gm.OutputMemory())
+
+			m := isa.NewMachine(prog)
+			m.StepLimit = 20_000_000
+			p.SeedMemory(m.Mem)
+
+			checked := 0
+			boundSeen := 0
+			const maxChecks = 25
+			for {
+				in := &prog.Insts[m.PC]
+				if in.Op == isa.BOUND && m.Executed > 0 && checked < maxChecks {
+					boundSeen++
+					// Sample boundaries; checking each one would square
+					// the runtime.
+					if boundSeen%37 == 1 {
+						region := int(in.Imm)
+						rpc := prog.Regions[region].RecoveryPC
+						rm := isa.NewMachine(prog)
+						rm.Mem = m.Mem.Clone()
+						rm.PC = rpc
+						rm.StepLimit = 30_000_000
+						for r := range rm.Regs {
+							rm.Regs[r] = 0xDEADBEEFDEADBEEF // prove restores suffice
+						}
+						if err := rm.Run(); err != nil {
+							t.Fatalf("region %d (pc %d) rollback: %v", region, m.PC, err)
+						}
+						got := maskPrivate(rm.OutputMemory())
+						if !golden.Equal(got) {
+							t.Fatalf("region %d (pc %d): rollback re-execution diverged:\n%s",
+								region, m.PC, golden.Diff(got, 8))
+						}
+						checked++
+					}
+				}
+				ok, err := m.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no boundaries checked")
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// RegionReport describes one static region of a compiled binary, derived
+// purely from the program (no compiler state): the analysis a tool or a
+// reviewer runs over an artifact.
+type RegionReport struct {
+	ID      int
+	BoundPC int
+	// Insts is the maximum instruction count from this boundary to any
+	// next boundary (longest path through the region, boundaries and
+	// recovery code excluded).
+	Insts int
+	// Stores / Ckpts are the maximum store and checkpoint counts along
+	// any path through the region.
+	Stores, Ckpts int
+	// LiveIn counts registers the region's recovery must produce.
+	LiveIn int
+	// RecoveryInsts is the region's recovery block length (JMP included).
+	RecoveryInsts int
+}
+
+// AnalyzeRegions computes per-region static structure for a resilient
+// binary. It complements VerifyResilience: where the verifier answers
+// "is this sound", the analyzer answers "what does it look like" —
+// region sizes for Fig. 26-style reporting, store pressure against the
+// budget, recovery block weight.
+func AnalyzeRegions(p *isa.Program) ([]RegionReport, error) {
+	if len(p.Regions) == 0 {
+		return nil, fmt.Errorf("core: program has no regions")
+	}
+	g := isa.BuildCFG(p)
+	liveIn := g.LiveIn()
+
+	reports := make([]RegionReport, len(p.Regions))
+	boundPC := map[int]int{}
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.BOUND {
+			boundPC[int(p.Insts[i].Imm)] = i
+		}
+	}
+	for id := range p.Regions {
+		pc, ok := boundPC[id]
+		if !ok {
+			return nil, fmt.Errorf("core: region %d has no BOUND", id)
+		}
+		r := RegionReport{ID: id, BoundPC: pc, LiveIn: liveIn[pc].Count()}
+		r.Insts, r.Stores, r.Ckpts = regionMaxima(p, g, pc)
+		if rpc := p.Regions[id].RecoveryPC; rpc >= 0 {
+			for i := rpc; i < len(p.Insts); i++ {
+				r.RecoveryInsts++
+				if p.Insts[i].Op == isa.JMP {
+					break
+				}
+			}
+		}
+		reports[id] = r
+	}
+	return reports, nil
+}
+
+// regionMaxima walks forward from the region's BOUND to the next
+// boundaries, returning the maximum instruction, store, and checkpoint
+// counts along any path. The walk is bounded and cycle-safe: a block
+// revisited with no higher count is not re-expanded.
+func regionMaxima(p *isa.Program, g *isa.ProgCFG, boundPC int) (insts, stores, ckpts int) {
+	type state struct{ i, s, c int }
+	best := map[int]state{}
+	type item struct {
+		pc     int
+		st     state
+		budget int
+	}
+	stack := []item{{boundPC + 1, state{}, 4096}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pc, st := it.pc, it.st
+		if pc < 0 || pc >= len(p.Insts) || it.budget <= 0 {
+			continue
+		}
+		if b, ok := best[pc]; ok && b.i >= st.i && b.s >= st.s && b.c >= st.c {
+			continue
+		}
+		if b, ok := best[pc]; !ok || st.i > b.i || st.s > b.s || st.c > b.c {
+			nb := best[pc]
+			if st.i > nb.i {
+				nb.i = st.i
+			}
+			if st.s > nb.s {
+				nb.s = st.s
+			}
+			if st.c > nb.c {
+				nb.c = st.c
+			}
+			best[pc] = nb
+		}
+		in := &p.Insts[pc]
+		if in.Op == isa.BOUND || in.Op == isa.HALT {
+			if st.i > insts {
+				insts = st.i
+			}
+			if st.s > stores {
+				stores = st.s
+			}
+			if st.c > ckpts {
+				ckpts = st.c
+			}
+			continue
+		}
+		st.i++
+		if in.Op.IsStore() {
+			st.s++
+			if in.Op == isa.CKPT {
+				st.c++
+			}
+		}
+		for _, nxt := range g.Succs[pc] {
+			stack = append(stack, item{nxt, st, it.budget - 1})
+		}
+	}
+	return insts, stores, ckpts
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestAnalyzeRegionsConsistency(t *testing.T) {
+	for _, name := range []string{"gcc", "lbm", "radix"} {
+		p, _ := workload.ByName(name)
+		f := p.Build(2)
+		c, err := Compile(f, TurnpikeAll(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := AnalyzeRegions(c.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) != c.Stats.Regions {
+			t.Fatalf("%s: %d reports for %d regions", name, len(reports), c.Stats.Regions)
+		}
+		budget := c.Stats.StoreBudget
+		totalRecovery := 0
+		for _, r := range reports {
+			// Colored checkpoints are excluded from the budget; regular
+			// stores must respect it.
+			if r.Stores-r.Ckpts > budget {
+				t.Errorf("%s region %d: %d regular stores > budget %d",
+					name, r.ID, r.Stores-r.Ckpts, budget)
+			}
+			if r.RecoveryInsts < 1 {
+				t.Errorf("%s region %d: no recovery block", name, r.ID)
+			}
+			if r.Insts < 0 || r.LiveIn < 0 {
+				t.Errorf("%s region %d: negative maxima", name, r.ID)
+			}
+			totalRecovery += r.RecoveryInsts
+		}
+		if totalRecovery != c.Stats.RecoveryInsts {
+			t.Errorf("%s: recovery insts %d != compile stats %d",
+				name, totalRecovery, c.Stats.RecoveryInsts)
+		}
+	}
+}
+
+func TestAnalyzeRegionsMatchesKnownShape(t *testing.T) {
+	// The golden kernel from golden_test.go: one region, three stores.
+	f := buildKernel(5)
+	c := compileOrDie(t, f, Options{Scheme: Turnstile, SBSize: 40})
+	reports, err := AnalyzeRegions(c.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SB-40 budget keeps boundaries only at entry and the loop header.
+	if len(reports) < 2 || len(reports) > 4 {
+		t.Fatalf("unexpected region count %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.Stores > 40 {
+			t.Errorf("region %d exceeds the SB-40 budget: %d", r.ID, r.Stores)
+		}
+	}
+}
+
+func TestAnalyzeRegionsRejectsBaseline(t *testing.T) {
+	f := buildKernel(5)
+	c := compileOrDie(t, f, Options{Scheme: Baseline})
+	if _, err := AnalyzeRegions(c.Prog); err == nil {
+		t.Fatal("accepted a region-less binary")
+	}
+}

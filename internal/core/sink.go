@@ -1,0 +1,169 @@
+package core
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// sinkCheckpoints relaxes eager checkpointing (§4.1.4): a checkpoint only
+// has to execute (a) before the register is consumed by a later region's
+// recovery and (b) before its defining region ends. Two legal motions
+// follow:
+//
+//  1. Within a region: move the checkpoint from right-after-the-def down to
+//     just before the next BOUND in the same block, un-serializing it from
+//     the defining instruction (complementing the scheduler).
+//
+//  2. Out of a loop (the Fig. 10 case): when the checkpointed register is
+//     dead at the loop header boundary — i.e. every iteration redefines it
+//     before any use, so no in-loop region restart ever restores it — the
+//     per-iteration checkpoint can be removed entirely and replaced by one
+//     checkpoint at each loop exit where the register is live. Soundness:
+//     an error inside the loop restarts an iteration region, which
+//     re-executes the definition; an error after the loop but before the
+//     sunk checkpoint restarts a region whose entry is the last header
+//     boundary, and the path from there to the fault re-executes the
+//     definition too.
+//
+// Both motions are budget-aware when checkpoints count against the store
+// budget (no hardware coloring): a checkpoint is only moved into a segment
+// that still has room for one more store, so partitioning invariants hold
+// without re-running the fixpoint. With colored checkpoints the budget is
+// irrelevant to the motion. Returns (sunk-in-block, sunk-out-of-loop).
+func sinkCheckpoints(f *ir.Func, budget int, countCkpts bool) (inBlock, outOfLoop int) {
+	dt := ir.ComputeDominators(f)
+	loops := ir.FindLoops(f, dt)
+	lv := ir.ComputeLiveness(f)
+
+	// Phase 2 first (loop exits), since it deletes in-loop checkpoints
+	// that phase 1 would otherwise just move around.
+	for _, l := range loops.Loops {
+		outOfLoop += sinkOutOfLoop(f, l, lv, budget, countCkpts)
+		if outOfLoop > 0 {
+			lv = ir.ComputeLiveness(f)
+		}
+	}
+
+	// Phase 1: within-block sink toward the next BOUND.
+	for _, b := range f.Blocks {
+		inBlock += sinkWithinBlock(b)
+	}
+	dedupeCheckpoints(f)
+	return inBlock, outOfLoop
+}
+
+// sinkWithinBlock moves each checkpoint down to just before the next BOUND
+// in its block, as long as no intervening instruction redefines the
+// register (there cannot be one — checkpoints follow the last def — but
+// scheduling may have interleaved code, so it is checked) and no
+// intervening instruction is a branch. Returns the number moved.
+func sinkWithinBlock(b *ir.Block) int {
+	moved := 0
+	for i := 0; i < len(b.Instrs); i++ {
+		if b.Instrs[i].Op != isa.CKPT {
+			continue
+		}
+		r := b.Instrs[i].Src2
+		// Find the last position before the next BOUND/branch/redef.
+		j := i
+		for k := i + 1; k < len(b.Instrs); k++ {
+			op := b.Instrs[k].Op
+			if op == isa.BOUND || op.IsBranch() || op == isa.HALT {
+				break
+			}
+			if d, ok := b.Instrs[k].Def(); ok && d == r {
+				break
+			}
+			j = k
+		}
+		if j == i {
+			continue
+		}
+		ck := b.Instrs[i]
+		copy(b.Instrs[i:], b.Instrs[i+1:j+1])
+		b.Instrs[j] = ck
+		moved++
+	}
+	return moved
+}
+
+// sinkOutOfLoop implements the Fig. 10 motion for one loop. The register
+// must be dead at *every* region boundary inside the loop — not just the
+// header: partitioning places additional BOUNDs mid-iteration, and a
+// restart at any of them restores the register from its checkpoint, so a
+// register live at such a bound must keep an in-loop checkpoint.
+func sinkOutOfLoop(f *ir.Func, l *ir.Loop, lv *ir.Liveness, budget int, countCkpts bool) int {
+	// Registers live at any in-loop BOUND.
+	liveAtSomeBound := ir.NewRegSet(f.NumVRegs)
+	for blk := range l.Body {
+		var la []ir.RegSet
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op != isa.BOUND {
+				continue
+			}
+			if la == nil {
+				la = lv.LiveAcross(blk)
+			}
+			liveAtSomeBound.UnionWith(la[i])
+		}
+	}
+	sunk := 0
+	for blk := range l.Body {
+		for i := 0; i < len(blk.Instrs); i++ {
+			if blk.Instrs[i].Op != isa.CKPT {
+				continue
+			}
+			r := blk.Instrs[i].Src2
+			if liveAtSomeBound.Has(r) {
+				continue // needed by an in-loop region restart
+			}
+			// The register must be defined inside this loop (it is — a
+			// checkpoint follows its def), and every exit where r is live
+			// must accept one more store within budget.
+			exits := make([]*ir.Block, 0, len(l.Exits))
+			for _, ex := range l.Exits {
+				if lv.In[ex].Has(r) {
+					exits = append(exits, ex)
+				}
+			}
+			ok := true
+			for _, ex := range exits {
+				if l.Body[ex] || (countCkpts && !segmentHasRoom(ex, budget)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Remove the in-loop checkpoint...
+			blk.Instrs = append(blk.Instrs[:i:i], blk.Instrs[i+1:]...)
+			i--
+			// ...and checkpoint r at the top of each relevant exit, before
+			// the exit's first BOUND so it stays in the region entered
+			// from the loop.
+			for _, ex := range exits {
+				ck := ir.Instr{Op: isa.CKPT, Dst: ir.NoReg, Src1: ir.NoReg, Src2: r, Kind: isa.StoreCheckpoint}
+				ex.Instrs = append([]ir.Instr{ck}, ex.Instrs...)
+			}
+			sunk++
+		}
+	}
+	return sunk
+}
+
+// segmentHasRoom reports whether the leading segment of block b (up to its
+// first BOUND) has fewer than budget stores, so one more checkpoint fits.
+// Conservative: callers only insert at the very top of b.
+func segmentHasRoom(b *ir.Block, budget int) bool {
+	n := 0
+	for i := range b.Instrs {
+		if b.Instrs[i].Op == isa.BOUND {
+			break
+		}
+		if b.Instrs[i].Op.IsStore() {
+			n++
+		}
+	}
+	return n+1 <= budget-1 // keep one slot of headroom for upstream stores
+}

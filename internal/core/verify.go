@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// VerifyResilience statically checks a compiled resilient binary against
+// the co-design's invariants, using only program-level analyses
+// (isa.BuildCFG / LiveIn) that share no code with the passes that produced
+// the binary — an independent auditor a downstream user can run over any
+// program before trusting its recovery metadata.
+//
+// Checked invariants:
+//
+//  1. Every region has a recovery block: a run of RESTORE/ALU instructions
+//     ending in a JMP back to that region's BOUND.
+//  2. Coverage: every register live at a region's BOUND is produced by its
+//     recovery block (restored or recomputed) before the jump back.
+//  3. Recovery blocks are self-contained: any register they *read* is
+//     produced earlier in the same block (recipes consume restored
+//     leaves, never garbage).
+//  4. Recovery code contains no stores (it must be re-executable any
+//     number of times without touching memory).
+//  5. Store budget: along any path, the stores of one region (optionally
+//     ignoring colored checkpoints) never exceed the given budget.
+//  6. Every BOUND carries a valid region ID, in program order.
+//
+// A nil error means the binary passes; otherwise the error describes the
+// first violation.
+func VerifyResilience(p *isa.Program, budget int, countCkpts bool) error {
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("core: program has no regions")
+	}
+	g := isa.BuildCFG(p)
+	liveIn := g.LiveIn()
+
+	// Locate each region's BOUND instruction.
+	boundPC := make([]int, len(p.Regions))
+	for i := range boundPC {
+		boundPC[i] = -1
+	}
+	seen := 0
+	for i := range p.Insts {
+		if p.Insts[i].Op != isa.BOUND {
+			continue
+		}
+		id := int(p.Insts[i].Imm)
+		if id != seen {
+			return fmt.Errorf("core: BOUND at %d has region ID %d, want %d (program order)", i, id, seen)
+		}
+		if id < 0 || id >= len(p.Regions) {
+			return fmt.Errorf("core: BOUND at %d carries invalid region %d", i, id)
+		}
+		boundPC[id] = i
+		seen++
+	}
+	if seen != len(p.Regions) {
+		return fmt.Errorf("core: %d BOUNDs for %d regions", seen, len(p.Regions))
+	}
+
+	// Check each recovery block.
+	for id, ri := range p.Regions {
+		if ri.RecoveryPC < 0 || ri.RecoveryPC >= len(p.Insts) {
+			return fmt.Errorf("core: region %d recovery PC %d invalid", id, ri.RecoveryPC)
+		}
+		var produced isa.RegBitmap
+		pc := ri.RecoveryPC
+		for {
+			if pc >= len(p.Insts) {
+				return fmt.Errorf("core: region %d recovery block runs off the program", id)
+			}
+			in := &p.Insts[pc]
+			if in.Op == isa.JMP {
+				if in.Target != boundPC[id] {
+					return fmt.Errorf("core: region %d recovery jumps to %d, want BOUND at %d",
+						id, in.Target, boundPC[id])
+				}
+				break
+			}
+			if in.Op.IsStore() {
+				return fmt.Errorf("core: region %d recovery block contains a store at %d", id, pc)
+			}
+			if in.Op != isa.RESTORE && !in.Op.IsALU() {
+				return fmt.Errorf("core: region %d recovery block contains %v at %d", id, in.Op, pc)
+			}
+			// Self-containment: reads must be produced earlier in the block.
+			var usebuf [3]isa.Reg
+			for _, u := range in.Uses(usebuf[:0]) {
+				if !produced.Has(u) {
+					return fmt.Errorf("core: region %d recovery reads %v at %d before producing it", id, u, pc)
+				}
+			}
+			if d, ok := in.Def(); ok {
+				produced = produced.With(d)
+			}
+			pc++
+		}
+		// Coverage: registers live at the BOUND are all produced.
+		need := liveIn[boundPC[id]]
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if need.Has(r) && !produced.Has(r) {
+				return fmt.Errorf("core: region %d: %v live at its boundary but not produced by recovery", id, r)
+			}
+		}
+	}
+
+	// Store budget along every path: max-stores-since-BOUND dataflow over
+	// the instruction CFG (forward, monotone max, saturating at budget+1).
+	if budget > 0 {
+		counts := make([]int, len(p.Insts))
+		for i := range counts {
+			counts[i] = -1 // unreached
+		}
+		counts[p.Entry] = 0
+		work := []int{p.Entry}
+		for len(work) > 0 {
+			i := work[len(work)-1]
+			work = work[:len(work)-1]
+			c := counts[i]
+			in := &p.Insts[i]
+			next := c
+			switch {
+			case in.Op == isa.BOUND:
+				next = 0
+			case in.Op.IsStore() && (countCkpts || in.Op != isa.CKPT):
+				next = c + 1
+				if next > budget {
+					return fmt.Errorf("core: store at %d is the %dth of its region (budget %d)", i, next, budget)
+				}
+			}
+			for _, s := range g.Succs[i] {
+				if next > counts[s] {
+					counts[s] = next
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return nil
+}

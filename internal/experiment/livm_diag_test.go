@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// TestLIVMMarginal reports LIVM's marginal effect per benchmark - a manual
+// calibration aid, enabled with TURNPIKE_DIAG=1.
+func TestLIVMMarginal(t *testing.T) {
+	if os.Getenv("TURNPIKE_DIAG") == "" {
+		t.Skip("diagnostic; set TURNPIKE_DIAG=1 to run")
+	}
+	r := NewRunner(10)
+	noLIVM := core.TurnpikeAll(4)
+	noLIVM.LIVM = false
+	all := core.TurnpikeAll(4)
+	cfg := pipeline.TurnpikeConfig(4, 10)
+	var with, without []float64
+	for _, b := range sortedBenchNames() {
+		o1, err := r.Overhead(b, noLIVM, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := r.Overhead(b, all, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without = append(without, o1)
+		with = append(with, o2)
+		if o2 > o1+0.005 || o2 < o1-0.005 {
+			t.Logf("%-12s noLIVM=%.3f all=%.3f (%+.1fpp)", b, o1, o2, 100*(o2-o1))
+		}
+	}
+	t.Logf("geomean: without=%.4f with=%.4f", Geomean(without), Geomean(with))
+}

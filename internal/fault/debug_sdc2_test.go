@@ -1,0 +1,37 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestDebugSDC2 reproduces a failing fft injection with diagnostics;
+// retained as a regression test for the exact scenario.
+func TestDebugSDC2(t *testing.T) {
+	p, _ := workload.ByName("fft")
+	f := p.Build(2)
+	c, err := core.Compile(f, core.TurnpikeAll(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := c.Prog
+	cfg := pipeline.TurnpikeConfig(4, 10)
+
+	golden, _, err := run(prog, cfg, p.SeedMemory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := Injection{Reg: 4, Bit: 48, AtInst: 632, Latency: 1}
+	mem, st, err := run(prog, cfg, p.SeedMemory, &inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Equal(mem) {
+		t.Skip("scenario no longer reproduces")
+	}
+	t.Logf("stats: recoveries=%d parity=%d", st.Recoveries, st.ParityTrips)
+	t.Fatalf("SDC:\n%s", golden.Diff(mem, 12))
+}

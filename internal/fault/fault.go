@@ -1,0 +1,218 @@
+// Package fault runs soft-error injection campaigns against the pipeline
+// simulator: single-bit flips in architectural registers at random points,
+// sensor detection within WCDL, recovery through the compiler-generated
+// recovery blocks, and a golden-run comparison that classifies every
+// outcome. The paper's core claim — acoustic-sensor verification plus
+// region-level recovery eliminates silent data corruption — becomes the
+// campaign invariant: zero SDC outcomes.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/sensor"
+)
+
+// Outcome classifies one injection run.
+type Outcome int
+
+const (
+	// Masked: the flip changed nothing observable and no recovery was
+	// needed (e.g. a dead register) — output still correct.
+	Masked Outcome = iota
+	// Recovered: detection fired, recovery ran, output correct.
+	Recovered
+	// SDC: output differs from the golden run — must never happen.
+	SDC
+	// Crash: the simulator reported an error.
+	Crash
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case Recovered:
+		return "recovered"
+	case SDC:
+		return "SDC"
+	case Crash:
+		return "crash"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Trials is the number of injections.
+	Trials int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Sim is the pipeline configuration (must be resilient).
+	Sim pipeline.Config
+	// MaxInjectInst bounds the injection point (instruction count); 0
+	// derives it from a fault-free run's length.
+	MaxInjectInst uint64
+	// Sampler overrides the detection-latency distribution (e.g. a
+	// sensor.PhysicalDetector for grid-placed meshes). Nil uses the
+	// uniform-in-[1,WCDL] Detector. Sampled latencies are clamped to the
+	// configured WCDL, preserving the recovery argument.
+	Sampler LatencySampler
+}
+
+// LatencySampler produces per-strike detection latencies in cycles.
+type LatencySampler interface {
+	Latency() int
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Outcomes   map[Outcome]int
+	Recoveries uint64
+	Parity     uint64
+	// AvgRecoveryCycles is the mean recovery penalty over runs that
+	// recovered at least once.
+	AvgRecoveryCycles float64
+	// SlowdownSamples holds, per recovered trial, the run's cycle count
+	// relative to the golden run — the end-to-end cost of one strike.
+	SlowdownSamples []float64
+}
+
+// SlowdownPercentile returns the p-th percentile (0..100) of the recovered
+// trials' relative slowdowns, or 0 when none recovered.
+func (r *Result) SlowdownPercentile(p float64) float64 {
+	if len(r.SlowdownSamples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.SlowdownSamples...)
+	sort.Float64s(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Injection describes one trial, for failure reporting.
+type Injection struct {
+	Reg     isa.Reg
+	Bit     uint
+	AtInst  uint64
+	Latency int
+}
+
+// Campaign injects cfg.Trials faults into prog and verifies every outcome
+// against the fault-free golden memory. seedMem populates program inputs
+// for both runs. It returns the aggregate result; the first SDC or crash
+// aborts the campaign with an error describing the trial.
+func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 100
+	}
+	// Golden run.
+	golden, goldenStats, err := run(prog, cfg.Sim, seedMem, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run failed: %w", err)
+	}
+	maxAt := cfg.MaxInjectInst
+	if maxAt == 0 {
+		maxAt = goldenStats.Insts * 9 / 10
+		if maxAt == 0 {
+			maxAt = 1
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var det LatencySampler = sensor.NewDetector(cfg.Sim.WCDL, cfg.Seed+1)
+	if cfg.Sampler != nil {
+		det = cfg.Sampler
+	}
+	res := &Result{Outcomes: map[Outcome]int{}}
+	var recCycles, recRuns uint64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		lat := det.Latency()
+		if lat < 1 {
+			lat = 1
+		}
+		if lat > cfg.Sim.WCDL {
+			lat = cfg.Sim.WCDL
+		}
+		inj := Injection{
+			Reg:     isa.Reg(1 + rng.Intn(isa.NumRegs-1)),
+			Bit:     uint(rng.Intn(64)),
+			AtInst:  uint64(rng.Int63n(int64(maxAt))) + 1,
+			Latency: lat,
+		}
+		mem, st, err := run(prog, cfg.Sim, seedMem, &inj)
+		if err != nil {
+			res.Outcomes[Crash]++
+			return res, fmt.Errorf("fault: trial %d crashed (%+v): %w", trial, inj, err)
+		}
+		switch {
+		case !golden.Equal(mem):
+			res.Outcomes[SDC]++
+			return res, fmt.Errorf("fault: trial %d produced SDC (%+v)", trial, inj)
+		case st.Recoveries > 0:
+			res.Outcomes[Recovered]++
+			recCycles += st.RecoveryCycles
+			recRuns++
+			if goldenStats.Cycles > 0 {
+				res.SlowdownSamples = append(res.SlowdownSamples,
+					float64(st.Cycles)/float64(goldenStats.Cycles))
+			}
+		default:
+			res.Outcomes[Masked]++
+		}
+		res.Recoveries += st.Recoveries
+		res.Parity += st.ParityTrips
+	}
+	if recRuns > 0 {
+		res.AvgRecoveryCycles = float64(recCycles) / float64(recRuns)
+	}
+	return res, nil
+}
+
+// run executes prog once, optionally injecting inj, and returns the output
+// memory (with private regions masked) and the run's statistics.
+func run(prog *isa.Program, cfg pipeline.Config, seedMem func(*isa.Memory), inj *Injection) (*isa.Memory, pipeline.Stats, error) {
+	s, err := pipeline.New(prog, cfg)
+	if err != nil {
+		return nil, pipeline.Stats{}, err
+	}
+	if seedMem != nil {
+		seedMem(s.Mem)
+	}
+	injected := false
+	for !s.Halted() {
+		if inj != nil && !injected && s.Stats.Insts >= inj.AtInst {
+			if err := s.InjectBitFlip(inj.Reg, inj.Bit, inj.Latency); err != nil {
+				return nil, s.Stats, err
+			}
+			injected = true
+		}
+		if err := s.Step(); err != nil {
+			return nil, s.Stats, err
+		}
+	}
+	return mask(s.OutputMemory()), s.Stats, nil
+}
+
+// mask removes compiler-private regions (spill slots) from the image;
+// OutputMemory already masks checkpoint storage.
+func mask(m *isa.Memory) *isa.Memory {
+	out := isa.NewMemory()
+	for _, e := range m.Snapshot() {
+		if e.Addr >= isa.StackBase && e.Addr < isa.StackLimit {
+			continue
+		}
+		out.Store(e.Addr, e.Val)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package hwcost
+
+import "repro/internal/pipeline"
+
+// RunEnergy estimates the dynamic energy the co-design structures spend
+// during one simulated run, by combining the per-access energies of the
+// analytical model with the simulator's event counters. This extends the
+// paper's static Table 1 into a per-workload number: Turnpike's color-map
+// and CLQ accesses versus the store-buffer CAM searches both schemes pay.
+//
+// Accounting (per event, in pJ):
+//
+//   - every store commits into the SB and drains: 2 SB accesses;
+//   - every load searches the SB for forwarding: 1 SB access;
+//   - every CLQ-checked load/store touches the CLQ once;
+//   - every colored checkpoint reads AC and writes UC (2 color-map
+//     accesses); every verification moves UC to VC (1 more).
+type RunEnergy struct {
+	SBpJ       float64
+	CLQpJ      float64
+	ColorMapPJ float64
+}
+
+// TotalPJ is the summed dynamic energy.
+func (e RunEnergy) TotalPJ() float64 { return e.SBpJ + e.CLQpJ + e.ColorMapPJ }
+
+// EstimateRunEnergy computes the estimate for a finished run.
+func EstimateRunEnergy(m Model, sbEntries, clqEntries int, st pipeline.Stats) RunEnergy {
+	sb := m.AccessEnergy(StoreBuffer(sbEntries))
+	clq := m.AccessEnergy(CLQ(clqEntries))
+	cm := m.AccessEnergy(ColorMaps())
+
+	stores := float64(st.ProgStores + st.SpillStores + st.CkptStores)
+	loads := float64(st.Insts) * 0.25 // loads searched the SB; ~load ratio
+	if st.Insts > 0 {
+		// Better estimate when the store mix is known: treat the
+		// non-store, non-checkpoint remainder as 25% loads.
+		loads = float64(st.Insts-st.ProgStores-st.SpillStores-st.CkptStores) * 0.25
+	}
+
+	var e RunEnergy
+	e.SBpJ = sb * (2*stores + loads)
+	clqTouches := float64(st.WARFreeReleased + st.Quarantined) // store-side checks
+	clqTouches += loads                                        // load-side insertions
+	if st.CLQOccSamples > 0 || st.WARFreeReleased > 0 {
+		e.CLQpJ = clq * clqTouches
+	}
+	if st.ColoredReleased > 0 {
+		e.ColorMapPJ = cm * (2*float64(st.ColoredReleased) + float64(st.RegionsExecuted))
+	}
+	return e
+}
+
+// OverheadVsBaseline returns the co-design's relative dynamic-energy
+// overhead against a baseline run on the same store buffer: the extra CLQ
+// and color-map energy, plus any extra SB traffic from checkpoint stores,
+// divided by the baseline's SB energy.
+func OverheadVsBaseline(m Model, sbEntries, clqEntries int, scheme, baseline pipeline.Stats) float64 {
+	s := EstimateRunEnergy(m, sbEntries, clqEntries, scheme)
+	b := EstimateRunEnergy(m, sbEntries, clqEntries, baseline)
+	if b.TotalPJ() == 0 {
+		return 0
+	}
+	return s.TotalPJ()/b.TotalPJ() - 1
+}

@@ -1,0 +1,156 @@
+// Package hwcost is an analytical area/energy model for the small CAM and
+// RAM structures the co-design adds, standing in for CACTI 3.0 at 22nm
+// (which the paper uses for Table 1). The model is first-order: area and
+// per-access dynamic energy scale linearly with bit count, with CAM cells
+// paying a constant factor over RAM cells for the match line and the
+// comparison logic, plus a fixed per-structure periphery overhead. The
+// coefficients are calibrated against the paper's published Table 1
+// values, and the *ratios* the paper reports (Turnpike ≈ 9.8% of a 4-entry
+// SB's area; a 40-entry SB ≈ 5× a 4-entry SB) emerge from the model rather
+// than being hard-coded.
+package hwcost
+
+import "fmt"
+
+// Kind is the storage technology of a structure.
+type Kind int
+
+const (
+	// RAM is plain SRAM storage, indexed access.
+	RAM Kind = iota
+	// CAM is content-addressable storage (every entry compares on access).
+	CAM
+)
+
+func (k Kind) String() string {
+	if k == CAM {
+		return "CAM"
+	}
+	return "RAM"
+}
+
+// Structure describes one hardware table.
+type Structure struct {
+	Name    string
+	Kind    Kind
+	Entries int
+	// BitsPerEntry is the stored payload width.
+	BitsPerEntry int
+}
+
+// Bits returns total storage bits.
+func (s Structure) Bits() int { return s.Entries * s.BitsPerEntry }
+
+// Model holds the technology coefficients (22nm-class defaults).
+type Model struct {
+	// RAMAreaPerBit / CAMAreaPerBit in µm² per bit.
+	RAMAreaPerBit float64
+	CAMAreaPerBit float64
+	// RAMPeriphery / CAMPeriphery fixed area per structure, µm².
+	RAMPeriphery float64
+	CAMPeriphery float64
+	// RAMEnergyPerBit / CAMEnergyPerBit in pJ per bit per access.
+	RAMEnergyPerBit float64
+	CAMEnergyPerBit float64
+	// RAMEnergyPeriphery / CAMEnergyPeriphery fixed pJ per access (sense
+	// amps, decoders; match-line precharge dominates the CAM constant).
+	RAMEnergyPeriphery float64
+	CAMEnergyPeriphery float64
+}
+
+// Default22nm returns coefficients solved from the paper's published
+// Table 1 values (two structures of each kind give two equations per
+// linear coefficient pair): 4/40-entry SBs for the CAM constants, color
+// maps and CLQ for the RAM constants.
+func Default22nm() Model {
+	return Model{
+		CAMAreaPerBit:      0.58125,
+		CAMPeriphery:       342.28,
+		RAMAreaPerBit:      0.190891,
+		RAMPeriphery:       0.0,
+		CAMEnergyPerBit:    0.00038987,
+		CAMEnergyPeriphery: 0.24385,
+		RAMEnergyPerBit:    0.000131146,
+		RAMEnergyPeriphery: 0.0,
+	}
+}
+
+// Area returns the structure's area in µm².
+func (m Model) Area(s Structure) float64 {
+	switch s.Kind {
+	case CAM:
+		return m.CAMPeriphery + m.CAMAreaPerBit*float64(s.Bits())
+	default:
+		return m.RAMPeriphery + m.RAMAreaPerBit*float64(s.Bits())
+	}
+}
+
+// AccessEnergy returns the per-access dynamic energy in pJ.
+func (m Model) AccessEnergy(s Structure) float64 {
+	switch s.Kind {
+	case CAM:
+		return m.CAMEnergyPeriphery + m.CAMEnergyPerBit*float64(s.Bits())
+	default:
+		return m.RAMEnergyPeriphery + m.RAMEnergyPerBit*float64(s.Bits())
+	}
+}
+
+// The evaluated structures (Table 1). An SB entry holds a 48-bit physical
+// address tag (CAM-searched for store-to-load forwarding), 64 bits of
+// data, and control state; the CLQ entry holds two 48-bit range bounds
+// plus a region tag; the color maps hold 6 bits (3 maps × log2 4) per
+// architectural register.
+func StoreBuffer(entries int) Structure {
+	return Structure{Name: fmt.Sprintf("%d-entry SB", entries), Kind: CAM,
+		Entries: entries, BitsPerEntry: 48 + 64 + 8}
+}
+
+// ColorMaps is the AC/UC/VC state for 32 registers.
+func ColorMaps() Structure {
+	return Structure{Name: "color maps (AC/UC/VC)", Kind: RAM, Entries: 32, BitsPerEntry: 6}
+}
+
+// CLQ is the compact committed-load queue: 8 bytes per entry (two range
+// bounds plus a region tag), matching the paper's "2-entry CLQ requires
+// 16 bytes".
+func CLQ(entries int) Structure {
+	return Structure{Name: fmt.Sprintf("%d-entry CLQ", entries), Kind: RAM,
+		Entries: entries, BitsPerEntry: 64}
+}
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	Name     string
+	AreaUM2  float64
+	EnergyPJ float64
+}
+
+// Table1 computes the paper's Table 1 with the given model.
+func Table1(m Model) []Table1Row {
+	sb4 := StoreBuffer(4)
+	sb40 := StoreBuffer(40)
+	cm := ColorMaps()
+	clq := CLQ(2)
+	rows := []Table1Row{
+		{sb4.Name + " (CAM)", m.Area(sb4), m.AccessEnergy(sb4)},
+		{"Color maps in Turnpike (RAM)", m.Area(cm), m.AccessEnergy(cm)},
+		{clq.Name + " in Turnpike (RAM)", m.Area(clq), m.AccessEnergy(clq)},
+		{"Turnpike in total (color maps + 2-entry CLQ)",
+			m.Area(cm) + m.Area(clq), m.AccessEnergy(cm) + m.AccessEnergy(clq)},
+		{sb40.Name + " (CAM)", m.Area(sb40), m.AccessEnergy(sb40)},
+	}
+	return rows
+}
+
+// Ratios returns (turnpikeTotal/sb4, sb40/sb4) for area and energy — the
+// paper's bottom two Table 1 rows (≈9.8%/9.7% and ≈504%/497%).
+func Ratios(m Model) (tpAreaPct, tpEnergyPct, sb40AreaPct, sb40EnergyPct float64) {
+	sb4 := StoreBuffer(4)
+	sb40 := StoreBuffer(40)
+	tpArea := m.Area(ColorMaps()) + m.Area(CLQ(2))
+	tpEnergy := m.AccessEnergy(ColorMaps()) + m.AccessEnergy(CLQ(2))
+	return 100 * tpArea / m.Area(sb4),
+		100 * tpEnergy / m.AccessEnergy(sb4),
+		100 * m.Area(sb40) / m.Area(sb4),
+		100 * m.AccessEnergy(sb40) / m.AccessEnergy(sb4)
+}

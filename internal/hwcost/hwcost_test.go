@@ -1,0 +1,77 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+)
+
+func within(got, want, tolPct float64) bool {
+	return math.Abs(got-want) <= want*tolPct/100
+}
+
+func TestTable1MatchesPublishedValues(t *testing.T) {
+	// Paper Table 1 (CACTI, 22nm): the model coefficients were solved
+	// from these values, so the match must be tight.
+	m := Default22nm()
+	cases := []struct {
+		s    Structure
+		area float64 // µm²
+		pj   float64 // pJ per access
+	}{
+		{StoreBuffer(4), 621.28, 0.43099},
+		{ColorMaps(), 36.651, 0.02518},
+		{CLQ(2), 24.434, 0.01679},
+		{StoreBuffer(40), 3132.50, 2.11525},
+	}
+	for _, c := range cases {
+		if got := m.Area(c.s); !within(got, c.area, 2) {
+			t.Errorf("%s area = %.2f, want %.2f", c.s.Name, got, c.area)
+		}
+		if got := m.AccessEnergy(c.s); !within(got, c.pj, 2) {
+			t.Errorf("%s energy = %.5f, want %.5f", c.s.Name, got, c.pj)
+		}
+	}
+}
+
+func TestTable1Ratios(t *testing.T) {
+	// Bottom rows of Table 1: Turnpike ≈ 9.8%/9.7% of the 4-entry SB;
+	// a 40-entry SB ≈ 504%/497% of it.
+	a, e, a40, e40 := Ratios(Default22nm())
+	if !within(a, 9.8, 5) || !within(e, 9.7, 5) {
+		t.Errorf("Turnpike ratios = %.1f%%/%.1f%%, want ~9.8/9.7", a, e)
+	}
+	if !within(a40, 504, 3) || !within(e40, 497, 3) {
+		t.Errorf("40-entry SB ratios = %.0f%%/%.0f%%, want ~504/497", a40, e40)
+	}
+}
+
+func TestTable1RowsComplete(t *testing.T) {
+	rows := Table1(Default22nm())
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.AreaUM2 <= 0 || r.EnergyPJ <= 0 {
+			t.Errorf("row %q has non-positive values", r.Name)
+		}
+	}
+}
+
+func TestMonotoneInBits(t *testing.T) {
+	m := Default22nm()
+	if m.Area(StoreBuffer(8)) <= m.Area(StoreBuffer(4)) {
+		t.Error("area not monotone in entries")
+	}
+	if m.AccessEnergy(CLQ(4)) <= m.AccessEnergy(CLQ(2)) {
+		t.Error("energy not monotone in entries")
+	}
+}
+
+func TestCAMCostsMoreThanRAM(t *testing.T) {
+	m := Default22nm()
+	ram := Structure{Name: "r", Kind: RAM, Entries: 4, BitsPerEntry: 120}
+	cam := Structure{Name: "c", Kind: CAM, Entries: 4, BitsPerEntry: 120}
+	if m.Area(cam) <= m.Area(ram) || m.AccessEnergy(cam) <= m.AccessEnergy(ram) {
+		t.Error("CAM not more expensive than RAM at equal bits")
+	}
+}

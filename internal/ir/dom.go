@@ -1,0 +1,80 @@
+package ir
+
+// DomTree holds immediate-dominator information computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+type DomTree struct {
+	// IDom maps each reachable block to its immediate dominator; the entry
+	// block maps to itself.
+	IDom map[*Block]*Block
+	// rpoIndex orders blocks by reverse postorder for intersection.
+	rpoIndex map[*Block]int
+	entry    *Block
+}
+
+// ComputeDominators builds the dominator tree of f's reachable blocks.
+func ComputeDominators(f *Func) *DomTree {
+	rpo := f.ReversePostorder()
+	dt := &DomTree{
+		IDom:     make(map[*Block]*Block, len(rpo)),
+		rpoIndex: make(map[*Block]int, len(rpo)),
+		entry:    f.Blocks[0],
+	}
+	for i, b := range rpo {
+		dt.rpoIndex[b] = i
+	}
+	dt.IDom[dt.entry] = dt.entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == dt.entry {
+				continue
+			}
+			var newIDom *Block
+			for _, p := range b.Preds {
+				if _, ok := dt.IDom[p]; !ok {
+					continue // pred not yet processed / unreachable
+				}
+				if newIDom == nil {
+					newIDom = p
+				} else {
+					newIDom = dt.intersect(p, newIDom)
+				}
+			}
+			if newIDom == nil {
+				continue
+			}
+			if dt.IDom[b] != newIDom {
+				dt.IDom[b] = newIDom
+				changed = true
+			}
+		}
+	}
+	return dt
+}
+
+func (dt *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for dt.rpoIndex[a] > dt.rpoIndex[b] {
+			a = dt.IDom[a]
+		}
+		for dt.rpoIndex[b] > dt.rpoIndex[a] {
+			b = dt.IDom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (dt *DomTree) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		idom, ok := dt.IDom[b]
+		if !ok || idom == b {
+			return false
+		}
+		b = idom
+	}
+}

@@ -1,0 +1,191 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// genCFG builds a random reducible CFG function from a seed (pure control
+// structure; bodies are small ALU snippets). Used to property-test the
+// analyses themselves.
+func genCFG(seed int64) *Func {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("cfgfuzz")
+	vals := []VReg{b.MovI(1), b.MovI(2), b.MovI(3)}
+	emit := func() {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			v := vals[rng.Intn(len(vals))]
+			b.OpITo(isa.XOR, v, v, int64(rng.Intn(100)+1))
+		}
+	}
+	depth := 1 + rng.Intn(3)
+	var build func(d int)
+	build = func(d int) {
+		if d == 0 {
+			emit()
+			return
+		}
+		switch rng.Intn(3) {
+		case 0: // diamond
+			tb, fb, jb := b.NewBlock(), b.NewBlock(), b.NewBlock()
+			c := vals[rng.Intn(len(vals))]
+			b.BranchI(isa.BEQ, c, int64(rng.Intn(4)), tb, fb)
+			b.SetBlock(tb)
+			build(d - 1)
+			b.Jump(jb)
+			b.SetBlock(fb)
+			build(d - 1)
+			b.Fallthrough(jb)
+			b.SetBlock(jb)
+		case 1: // counted loop
+			i := b.MovI(0)
+			head, body, exit := b.NewBlock(), b.NewBlock(), b.NewBlock()
+			b.Fallthrough(head)
+			b.SetBlock(head)
+			b.BranchI(isa.BGE, i, int64(2+rng.Intn(6)), exit, body)
+			b.SetBlock(body)
+			build(d - 1)
+			b.OpITo(isa.ADD, i, i, 1)
+			b.Jump(head)
+			b.SetBlock(exit)
+		default:
+			emit()
+			build(d - 1)
+		}
+	}
+	build(depth)
+	b.Halt()
+	return b.MustFinish()
+}
+
+// TestQuickDominatorInvariants: the entry dominates every reachable block;
+// immediate dominators are themselves dominated by the entry; and a
+// block's idom is one of its CFG ancestors (dominance is consistent with
+// reachability).
+func TestQuickDominatorInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		f := genCFG(seed)
+		dt := ComputeDominators(f)
+		entry := f.Blocks[0]
+		for _, b := range f.ReversePostorder() {
+			if !dt.Dominates(entry, b) {
+				t.Logf("seed %d: entry does not dominate %v", seed, b)
+				return false
+			}
+			if b == entry {
+				continue
+			}
+			idom := dt.IDom[b]
+			if idom == nil {
+				t.Logf("seed %d: reachable %v has no idom", seed, b)
+				return false
+			}
+			if !dt.Dominates(idom, b) || dt.Dominates(b, idom) {
+				t.Logf("seed %d: idom relation broken at %v", seed, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLivenessInvariants: nothing is live into the entry block of a
+// well-formed program (every use is dominated by a def), and per-block
+// live-in equals use ∪ (live-out − def).
+func TestQuickLivenessInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		f := genCFG(seed)
+		lv := ComputeLiveness(f)
+		if lv.In[f.Blocks[0]].Len() != 0 {
+			t.Logf("seed %d: live-in at entry: %v", seed, lv.In[f.Blocks[0]].Members())
+			return false
+		}
+		for _, b := range f.Blocks {
+			// Recompute in = use ∪ (out − def) directly and compare.
+			want := lv.Out[b].Clone()
+			lv.DefB[b].ForEach(func(v VReg) { want.Remove(v) })
+			want.UnionWith(lv.UseB[b])
+			got := lv.In[b]
+			bad := false
+			want.ForEach(func(v VReg) {
+				if !got.Has(v) {
+					bad = true
+				}
+			})
+			got.ForEach(func(v VReg) {
+				if !want.Has(v) {
+					bad = true
+				}
+			})
+			if bad {
+				t.Logf("seed %d: liveness equation broken at %v", seed, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLoopInvariants: every discovered loop's header dominates all of
+// its body; latches are in the body; exits are outside.
+func TestQuickLoopInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		f := genCFG(seed)
+		dt := ComputeDominators(f)
+		lf := FindLoops(f, dt)
+		for _, l := range lf.Loops {
+			for b := range l.Body {
+				if !dt.Dominates(l.Header, b) {
+					t.Logf("seed %d: header does not dominate body block %v", seed, b)
+					return false
+				}
+			}
+			for _, latch := range l.Latches {
+				if !l.Body[latch] {
+					t.Logf("seed %d: latch outside body", seed)
+					return false
+				}
+			}
+			for _, e := range l.Exits {
+				if l.Body[e] {
+					t.Logf("seed %d: exit inside body", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(44))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneEquivalence: a clone interprets to the same memory.
+func TestQuickCloneEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		f := genCFG(seed)
+		a, err := RunIR(f)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		bIt, err := RunIR(f.Clone())
+		if err != nil {
+			t.Logf("seed %d clone: %v", seed, err)
+			return false
+		}
+		return a.Mem.Equal(bIt.Mem)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(45))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Interp executes a function directly on the IR, producing the memory image
+// the program computes. It gives pass and lowering tests a golden reference
+// that is independent of register allocation and of the pipeline simulator.
+//
+// CKPT/RESTORE/BOUND have no architectural effect at the IR level (they are
+// resilience metadata); the interpreter ignores them so that functions
+// before and after checkpoint insertion compare equal.
+type Interp struct {
+	Regs []uint64
+	Mem  *isa.Memory
+	// Executed counts dynamically executed IR instructions.
+	Executed uint64
+	// StepLimit bounds execution (0 = default of 100M).
+	StepLimit uint64
+	// Trace, when set, observes every instruction before it executes,
+	// with the current register file. Used by workload characterization
+	// and debugging; must not mutate state.
+	Trace func(in *Instr, regs []uint64)
+}
+
+// RunIR interprets f from its entry block and returns the interpreter state.
+func RunIR(f *Func) (*Interp, error) {
+	it := &Interp{
+		Regs: make([]uint64, f.NumVRegs),
+		Mem:  isa.NewMemory(),
+	}
+	return it, it.Run(f)
+}
+
+// Run interprets f using the receiver's existing register and memory state.
+func (it *Interp) Run(f *Func) error {
+	if it.StepLimit == 0 {
+		it.StepLimit = 100_000_000
+	}
+	if len(it.Regs) < f.NumVRegs {
+		regs := make([]uint64, f.NumVRegs)
+		copy(regs, it.Regs)
+		it.Regs = regs
+	}
+	b := f.Blocks[0]
+	for {
+		next, halted, err := it.runBlock(b)
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
+		}
+		if next == nil {
+			return fmt.Errorf("ir: %s fell off %s", f.Name, b)
+		}
+		b = next
+	}
+}
+
+func (it *Interp) runBlock(b *Block) (next *Block, halted bool, err error) {
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		it.Executed++
+		if it.Executed > it.StepLimit {
+			return nil, false, fmt.Errorf("ir: step limit %d exceeded in %s", it.StepLimit, b)
+		}
+		if it.Trace != nil {
+			it.Trace(in, it.Regs)
+		}
+		switch {
+		case in.Op == isa.HALT:
+			return nil, true, nil
+		case in.Op == isa.NOP || in.Op == isa.BOUND || in.Op == isa.CKPT || in.Op == isa.RESTORE:
+			// No architectural effect at IR level.
+		case in.Op == isa.MOVI:
+			it.Regs[in.Dst] = uint64(in.Imm)
+		case in.Op == isa.MOV:
+			it.Regs[in.Dst] = it.Regs[in.Src1]
+		case in.Op.IsALU():
+			bv := uint64(0)
+			if in.HasImm {
+				bv = uint64(in.Imm)
+			} else {
+				bv = it.Regs[in.Src2]
+			}
+			it.Regs[in.Dst] = isa.ALUOp(in.Op, it.Regs[in.Src1], bv)
+		case in.Op == isa.LD:
+			it.Regs[in.Dst] = it.Mem.Load(it.Regs[in.Src1] + uint64(in.Imm))
+		case in.Op == isa.ST:
+			it.Mem.Store(it.Regs[in.Src1]+uint64(in.Imm), it.Regs[in.Src2])
+		case in.Op == isa.JMP:
+			return b.Succs[0], false, nil
+		case in.Op.IsCondBranch():
+			bv := uint64(0)
+			if in.HasImm {
+				bv = uint64(in.Imm)
+			} else {
+				bv = it.Regs[in.Src2]
+			}
+			if isa.BranchTaken(in.Op, it.Regs[in.Src1], bv) {
+				return b.Succs[0], false, nil
+			}
+			return b.Succs[1], false, nil
+		default:
+			return nil, false, fmt.Errorf("ir: unimplemented op %v", in.Op)
+		}
+	}
+	if len(b.Succs) != 1 {
+		return nil, false, fmt.Errorf("ir: %s ends without terminator and has %d succs", b, len(b.Succs))
+	}
+	return b.Succs[0], false, nil
+}

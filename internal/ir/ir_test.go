@@ -1,0 +1,309 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildCountLoop builds: sum = Σ mem[A+i*8] for i in [0,n), store sum at out.
+func buildCountLoop(n int64) *Func {
+	b := NewBuilder("countloop")
+	base := b.MovI(int64(isa.DataBase))
+	out := b.MovI(int64(isa.DataBase) + 1024)
+	i := b.MovI(0)
+	sum := b.MovI(0)
+
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.Fallthrough(head)
+
+	b.SetBlock(head)
+	b.BranchI(isa.BGE, i, n, exit, body)
+
+	b.SetBlock(body)
+	off := b.OpI(isa.SHL, i, 3)
+	addr := b.Op(isa.ADD, base, off)
+	v := b.Load(addr, 0)
+	b.OpTo(isa.ADD, sum, sum, v)
+	b.OpITo(isa.ADD, i, i, 1)
+	b.Jump(head)
+
+	b.SetBlock(exit)
+	b.Store(out, 0, sum)
+	b.Halt()
+	return b.MustFinish()
+}
+
+func TestBuilderVerify(t *testing.T) {
+	f := buildCountLoop(10)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if f.InstrCount() == 0 {
+		t.Fatal("empty function")
+	}
+}
+
+func TestInterpCountLoop(t *testing.T) {
+	f := buildCountLoop(10)
+	it := &Interp{Regs: make([]uint64, f.NumVRegs), Mem: isa.NewMemory()}
+	// Seed input data: mem[A+i*8] = i+1 so the sum is 55.
+	for i := uint64(0); i < 10; i++ {
+		it.Mem.Store(isa.DataBase+i*8, i+1)
+	}
+	if err := it.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := it.Mem.Load(isa.DataBase + 1024); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	f := buildCountLoop(10)
+	lv := ComputeLiveness(f)
+	head := f.Blocks[1]
+	// i (vreg 2) and sum (vreg 3) are live into the loop header.
+	if !lv.In[head].Has(2) {
+		t.Errorf("i not live-in at header")
+	}
+	if !lv.In[head].Has(3) {
+		t.Errorf("sum not live-in at header")
+	}
+	// The exit block needs sum and the output pointer.
+	exit := f.Blocks[3]
+	if !lv.In[exit].Has(3) {
+		t.Errorf("sum not live-in at exit")
+	}
+	if !lv.In[exit].Has(1) {
+		t.Errorf("out not live-in at exit")
+	}
+}
+
+func TestLiveAcross(t *testing.T) {
+	f := buildCountLoop(4)
+	lv := ComputeLiveness(f)
+	body := f.Blocks[2]
+	la := lv.LiveAcross(body)
+	if len(la) != len(body.Instrs) {
+		t.Fatalf("LiveAcross length %d != %d", len(la), len(body.Instrs))
+	}
+	// After the final jump, liveness equals block live-out.
+	last := la[len(la)-1]
+	want := lv.Out[body]
+	want.ForEach(func(v VReg) {
+		if !last.Has(v) {
+			t.Errorf("missing %v in live-after-last", v)
+		}
+	})
+}
+
+func TestDominators(t *testing.T) {
+	f := buildCountLoop(4)
+	dt := ComputeDominators(f)
+	entry, head, body, exit := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if !dt.Dominates(entry, exit) || !dt.Dominates(head, body) || !dt.Dominates(head, exit) {
+		t.Fatalf("dominance relations wrong: idom=%v", dt.IDom)
+	}
+	if dt.Dominates(body, exit) {
+		t.Fatalf("body should not dominate exit")
+	}
+	if dt.IDom[body] != head {
+		t.Fatalf("idom(body) = %v, want %v", dt.IDom[body], head)
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	f := buildCountLoop(4)
+	dt := ComputeDominators(f)
+	lf := FindLoops(f, dt)
+	if len(lf.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(lf.Loops))
+	}
+	l := lf.Loops[0]
+	if l.Header != f.Blocks[1] {
+		t.Errorf("header = %v, want b1", l.Header)
+	}
+	if !l.Contains(f.Blocks[2]) {
+		t.Errorf("body block not in loop")
+	}
+	if l.Contains(f.Blocks[3]) {
+		t.Errorf("exit block in loop")
+	}
+	if l.Depth != 1 {
+		t.Errorf("depth = %d, want 1", l.Depth)
+	}
+	if lf.Depth(f.Blocks[2]) != 1 || lf.Depth(f.Blocks[0]) != 0 {
+		t.Errorf("block depth wrong")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// for i in 0..3 { for j in 0..3 { } }
+	b := NewBuilder("nested")
+	i := b.MovI(0)
+	oh := b.NewBlock() // outer header
+	ob := b.NewBlock() // outer body = inner preheader
+	ih := b.NewBlock() // inner header
+	ib := b.NewBlock() // inner body
+	ox := b.NewBlock() // outer latch
+	ex := b.NewBlock()
+	b.Fallthrough(oh)
+	b.SetBlock(oh)
+	b.BranchI(isa.BGE, i, 3, ex, ob)
+	b.SetBlock(ob)
+	j := b.MovI(0)
+	b.Fallthrough(ih)
+	b.SetBlock(ih)
+	b.BranchI(isa.BGE, j, 3, ox, ib)
+	b.SetBlock(ib)
+	b.OpITo(isa.ADD, j, j, 1)
+	b.Jump(ih)
+	b.SetBlock(ox)
+	b.OpITo(isa.ADD, i, i, 1)
+	b.Jump(oh)
+	b.SetBlock(ex)
+	b.Halt()
+	f := b.MustFinish()
+
+	dt := ComputeDominators(f)
+	lf := FindLoops(f, dt)
+	if len(lf.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(lf.Loops))
+	}
+	outer, inner := lf.Loops[0], lf.Loops[1]
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Fatalf("depths = %d,%d want 1,2", outer.Depth, inner.Depth)
+	}
+	if inner.Parent != outer {
+		t.Fatalf("inner.Parent wrong")
+	}
+	if !outer.Body[inner.Header] {
+		t.Fatalf("outer loop should contain inner header")
+	}
+}
+
+func TestFindBasicIVs(t *testing.T) {
+	f := buildCountLoop(10)
+	dt := ComputeDominators(f)
+	lf := FindLoops(f, dt)
+	ivs := FindBasicIVs(f, lf.Loops[0])
+	// i (step 1) qualifies. sum does not (sum = sum + v is not reg+imm).
+	found := false
+	for _, iv := range ivs {
+		if iv.Reg == 2 && iv.Step == 1 {
+			found = true
+			if !iv.HasInitConst || iv.InitConst != 0 {
+				t.Errorf("init constant not found: %+v", iv)
+			}
+		}
+		if iv.Reg == 3 {
+			t.Errorf("sum misidentified as basic IV")
+		}
+	}
+	if !found {
+		t.Fatalf("basic IV i not found: %+v", ivs)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := buildCountLoop(4)
+	g := f.Clone()
+	g.Blocks[2].Instrs[0].Imm = 999
+	if f.Blocks[2].Instrs[0].Imm == 999 {
+		t.Fatal("clone shares instruction storage")
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// CFG edges must point at clone blocks, not originals.
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if containsBlock(f.Blocks, s) {
+				t.Fatal("clone edge points into original function")
+			}
+		}
+	}
+}
+
+func TestVerifyCatchesBadCFG(t *testing.T) {
+	f := buildCountLoop(4)
+	// Break terminator arity.
+	f.Blocks[1].Succs = f.Blocks[1].Succs[:1]
+	if err := f.Verify(); err == nil {
+		t.Fatal("Verify accepted cond branch with one successor")
+	}
+}
+
+func TestVerifyCatchesMidBlockBranch(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.MovI(1)
+	blk := b.Block()
+	b.Halt()
+	// Insert a JMP before the HALT by hand.
+	blk.Instrs = append([]Instr{{Op: isa.JMP}}, blk.Instrs...)
+	b.F.RecomputePreds()
+	if err := b.F.Verify(); err == nil {
+		t.Fatal("Verify accepted mid-block branch")
+	}
+	_ = x
+}
+
+func TestRegSet(t *testing.T) {
+	s := NewRegSet(200)
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(199)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	for _, v := range []VReg{0, 63, 64, 199} {
+		if !s.Has(v) {
+			t.Errorf("missing %v", v)
+		}
+	}
+	if s.Has(100) || s.Has(-1) || s.Has(5000) {
+		t.Errorf("false positives")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Len() != 3 {
+		t.Errorf("Remove failed")
+	}
+	o := NewRegSet(200)
+	o.Add(5)
+	if !o.UnionWith(s) {
+		t.Errorf("UnionWith reported no change")
+	}
+	if o.UnionWith(s) {
+		t.Errorf("UnionWith reported change on no-op")
+	}
+	got := o.Members()
+	want := []VReg{0, 5, 64, 199}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	f := buildCountLoop(4)
+	rpo := f.ReversePostorder()
+	if rpo[0] != f.Blocks[0] {
+		t.Fatal("RPO must start at entry")
+	}
+	pos := map[*Block]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	// Header precedes body and exit in RPO.
+	if pos[f.Blocks[1]] > pos[f.Blocks[2]] || pos[f.Blocks[1]] > pos[f.Blocks[3]] {
+		t.Fatalf("RPO order wrong: %v", rpo)
+	}
+}

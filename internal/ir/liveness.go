@@ -1,0 +1,92 @@
+package ir
+
+// Liveness holds per-block live-in/live-out virtual register sets, computed
+// by the standard backward dataflow iteration to a fixed point.
+type Liveness struct {
+	In  map[*Block]RegSet
+	Out map[*Block]RegSet
+	// UseB/DefB are the per-block gen/kill sets (upward-exposed uses and
+	// definitions), kept so passes can re-derive local facts cheaply.
+	UseB map[*Block]RegSet
+	DefB map[*Block]RegSet
+
+	fn *Func
+}
+
+// ComputeLiveness runs the liveness analysis on f.
+func ComputeLiveness(f *Func) *Liveness {
+	lv := &Liveness{
+		In:   make(map[*Block]RegSet, len(f.Blocks)),
+		Out:  make(map[*Block]RegSet, len(f.Blocks)),
+		UseB: make(map[*Block]RegSet, len(f.Blocks)),
+		DefB: make(map[*Block]RegSet, len(f.Blocks)),
+		fn:   f,
+	}
+	n := f.NumVRegs
+	var uses []VReg
+	for _, b := range f.Blocks {
+		use, def := NewRegSet(n), NewRegSet(n)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				if !def.Has(u) {
+					use.Add(u)
+				}
+			}
+			if d, ok := in.Def(); ok {
+				def.Add(d)
+			}
+		}
+		lv.UseB[b], lv.DefB[b] = use, def
+		lv.In[b], lv.Out[b] = NewRegSet(n), NewRegSet(n)
+	}
+	// Iterate in postorder (reverse of RPO) for fast convergence of the
+	// backward problem.
+	rpo := f.ReversePostorder()
+	changed := true
+	tmp := NewRegSet(n)
+	for changed {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := lv.Out[b]
+			for _, s := range b.Succs {
+				if out.UnionWith(lv.In[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			tmp.CopyFrom(out)
+			lv.DefB[b].ForEach(func(v VReg) { tmp.Remove(v) })
+			tmp.UnionWith(lv.UseB[b])
+			if lv.In[b].UnionWith(tmp) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAcross returns, for block b, a slice parallel to b.Instrs where
+// entry i is the set of registers live immediately *after* instruction i.
+// Passes use this for within-block decisions (scheduling, checkpointing).
+func (lv *Liveness) LiveAcross(b *Block) []RegSet {
+	n := lv.fn.NumVRegs
+	out := make([]RegSet, len(b.Instrs))
+	cur := lv.Out[b].Clone()
+	var uses []VReg
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		out[i] = cur.Clone()
+		in := &b.Instrs[i]
+		if d, ok := in.Def(); ok {
+			cur.Remove(d)
+		}
+		uses = in.Uses(uses[:0])
+		for _, u := range uses {
+			cur.Add(u)
+		}
+	}
+	_ = n
+	return out
+}

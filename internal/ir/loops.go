@@ -1,0 +1,237 @@
+package ir
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Loop is a natural loop: a back edge latch->header where the header
+// dominates the latch, with Body the set of blocks in the loop.
+type Loop struct {
+	Header *Block
+	// Latches are the blocks with back edges to Header (usually one).
+	Latches []*Block
+	// Body contains all blocks of the loop, including Header and Latches.
+	Body map[*Block]bool
+	// Exits are blocks outside the loop that are successors of loop blocks.
+	Exits []*Block
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Depth is the nesting depth (outermost = 1).
+	Depth int
+}
+
+// Contains reports whether b belongs to the loop body.
+func (l *Loop) Contains(b *Block) bool { return l.Body[b] }
+
+// LoopForest holds all natural loops of a function.
+type LoopForest struct {
+	// Loops lists all loops, outer before inner.
+	Loops []*Loop
+	// ByHeader maps header blocks to their loop. Loops sharing a header
+	// are merged (standard natural-loop treatment).
+	ByHeader map[*Block]*Loop
+	// InnermostOf maps each block to the innermost loop containing it.
+	InnermostOf map[*Block]*Loop
+}
+
+// FindLoops discovers the natural loops of f using dominator information.
+func FindLoops(f *Func, dt *DomTree) *LoopForest {
+	lf := &LoopForest{
+		ByHeader:    make(map[*Block]*Loop),
+		InnermostOf: make(map[*Block]*Loop),
+	}
+	rpo := f.ReversePostorder()
+	// Find back edges and collect loop bodies; merge loops with the same
+	// header.
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			if dt.Dominates(s, b) {
+				l := lf.ByHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Body: map[*Block]bool{s: true}}
+					lf.ByHeader[s] = l
+					lf.Loops = append(lf.Loops, l)
+				}
+				l.Latches = append(l.Latches, b)
+				collectBody(l, b)
+			}
+		}
+	}
+	// Compute exits.
+	for _, l := range lf.Loops {
+		seen := map[*Block]bool{}
+		for b := range l.Body {
+			for _, s := range b.Succs {
+				if !l.Body[s] && !seen[s] {
+					seen[s] = true
+					l.Exits = append(l.Exits, s)
+				}
+			}
+		}
+		sort.Slice(l.Exits, func(i, j int) bool { return l.Exits[i].ID < l.Exits[j].ID })
+	}
+	// Nesting: loop A is parent of B if A contains B's header and A != B.
+	// Pick the smallest such container as the immediate parent.
+	for _, inner := range lf.Loops {
+		var best *Loop
+		for _, outer := range lf.Loops {
+			if outer == inner || !outer.Body[inner.Header] {
+				continue
+			}
+			if best == nil || len(outer.Body) < len(best.Body) {
+				best = outer
+			}
+		}
+		inner.Parent = best
+	}
+	for _, l := range lf.Loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	// Innermost loop per block.
+	for _, l := range lf.Loops {
+		for b := range l.Body {
+			cur := lf.InnermostOf[b]
+			if cur == nil || len(l.Body) < len(cur.Body) {
+				lf.InnermostOf[b] = l
+			}
+		}
+	}
+	// Stable order: outer loops (larger bodies) first, then by header ID.
+	sort.Slice(lf.Loops, func(i, j int) bool {
+		if lf.Loops[i].Depth != lf.Loops[j].Depth {
+			return lf.Loops[i].Depth < lf.Loops[j].Depth
+		}
+		return lf.Loops[i].Header.ID < lf.Loops[j].Header.ID
+	})
+	return lf
+}
+
+func collectBody(l *Loop, latch *Block) {
+	// Walk predecessors backward from the latch until the header.
+	stack := []*Block{latch}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if l.Body[b] {
+			continue
+		}
+		l.Body[b] = true
+		for _, p := range b.Preds {
+			stack = append(stack, p)
+		}
+	}
+}
+
+// Depth returns the loop-nesting depth of block b (0 = not in a loop).
+// Used for spill-cost frequency estimates.
+func (lf *LoopForest) Depth(b *Block) int {
+	if l := lf.InnermostOf[b]; l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// BasicIV is a basic induction variable: a register with exactly one
+// in-loop definition of the form v = v + C (or v = v - C), identified per
+// the classic definition. InitVal captures the defining value on loop entry
+// when it is a known constant or an affine function of the loop preheader.
+type BasicIV struct {
+	Reg  VReg
+	Step int64 // signed per-iteration increment
+	// DefBlock/DefIndex locate the increment instruction.
+	DefBlock *Block
+	DefIndex int
+	// Init describes the value on entry to the loop when discoverable:
+	// a MOVI constant (InitConst) or an ADD of base register + constant.
+	HasInitConst bool
+	InitConst    int64
+	// InitBase is the register whose value, plus InitOffset, initializes
+	// the IV in the preheader; NoReg when unknown.
+	InitBase   VReg
+	InitOffset int64
+}
+
+// FindBasicIVs scans loop l for basic induction variables. A register
+// qualifies when it has exactly one definition inside the loop, of the form
+// reg = reg + imm or reg = reg - imm.
+func FindBasicIVs(f *Func, l *Loop) []BasicIV {
+	defCount := map[VReg]int{}
+	for b := range l.Body {
+		for i := range b.Instrs {
+			if d, ok := b.Instrs[i].Def(); ok {
+				defCount[d]++
+			}
+		}
+	}
+	var ivs []BasicIV
+	// Deterministic block order.
+	blocks := make([]*Block, 0, len(l.Body))
+	for b := range l.Body {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
+	for _, b := range blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if !in.HasImm || in.Dst != in.Src1 || defCount[in.Dst] != 1 {
+				continue
+			}
+			var step int64
+			switch in.Op {
+			case isa.ADD:
+				step = in.Imm
+			case isa.SUB:
+				step = -in.Imm
+			default:
+				continue
+			}
+			iv := BasicIV{Reg: in.Dst, Step: step, DefBlock: b, DefIndex: i, InitBase: NoReg}
+			fillInit(f, l, &iv)
+			ivs = append(ivs, iv)
+		}
+	}
+	return ivs
+}
+
+// fillInit looks for the IV's initializing definition in the loop's
+// preheader chain: the unique predecessor of the header from outside the
+// loop. Only simple forms (MOVI, ADD reg+imm, MOV) are recognized.
+func fillInit(f *Func, l *Loop, iv *BasicIV) {
+	var pre *Block
+	for _, p := range l.Header.Preds {
+		if !l.Body[p] {
+			if pre != nil {
+				return // multiple outside preds: no unique preheader
+			}
+			pre = p
+		}
+	}
+	if pre == nil {
+		return
+	}
+	// Find the last definition of iv.Reg in the preheader.
+	for i := len(pre.Instrs) - 1; i >= 0; i-- {
+		in := &pre.Instrs[i]
+		d, ok := in.Def()
+		if !ok || d != iv.Reg {
+			continue
+		}
+		switch {
+		case in.Op == isa.MOVI:
+			iv.HasInitConst = true
+			iv.InitConst = in.Imm
+		case in.Op == isa.ADD && in.HasImm:
+			iv.InitBase = in.Src1
+			iv.InitOffset = in.Imm
+		case in.Op == isa.MOV:
+			iv.InitBase = in.Src1
+		}
+		return
+	}
+}

@@ -1,0 +1,276 @@
+package ir
+
+// Textual IR: ParseFunc reads the same format Func.String prints, so
+// kernels can be written by hand, checked into test suites, or piped
+// between tools. The grammar, by example:
+//
+//	func dot (7 vregs)
+//	b0: -> b1
+//	    movi v0, #65536
+//	    movi v1, #0
+//	    movi v2, #0
+//	b1: -> b3 b2
+//	    bge v1, #512
+//	b2: -> b1
+//	    shl v3, v1, #3
+//	    add v4, v0, v3
+//	    ld v5, [v4, #0]
+//	    add v2, v2, v5
+//	    add v1, v1, #1
+//	    jmp
+//	b3:
+//	    st v2, [v0, #4096]
+//	    halt
+//
+// The header line is optional (the register count is inferred). Successor
+// lists follow the block label; conditional branches take successors
+// [taken, fallthrough] in list order.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// ParseFunc parses the textual IR format produced by Func.String.
+func ParseFunc(text string) (*Func, error) {
+	f := &Func{Name: "parsed"}
+	blocks := map[string]*Block{}
+	succNames := map[*Block][]string{}
+	var cur *Block
+	maxVReg := -1
+
+	getBlock := func(name string) *Block {
+		if b, ok := blocks[name]; ok {
+			return b
+		}
+		b := f.NewBlock()
+		blocks[name] = b
+		return b
+	}
+
+	lines := strings.Split(text, "\n")
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "func ") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				f.Name = fields[1]
+			}
+			continue
+		}
+		if colon := strings.Index(line, ":"); colon > 0 && strings.HasPrefix(line, "b") && !strings.Contains(line[:colon], " ") {
+			// Block label, optionally followed by "-> b1 b2".
+			name := line[:colon]
+			cur = getBlock(name)
+			rest := strings.TrimSpace(line[colon+1:])
+			if rest != "" {
+				if !strings.HasPrefix(rest, "->") {
+					return nil, fmt.Errorf("ir: line %d: expected '->' after label", ln+1)
+				}
+				succNames[cur] = strings.Fields(strings.TrimSpace(rest[2:]))
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("ir: line %d: instruction before any block label", ln+1)
+		}
+		in, hi, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("ir: line %d: %w", ln+1, err)
+		}
+		if hi > maxVReg {
+			maxVReg = hi
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+	if len(f.Blocks) == 0 {
+		return nil, fmt.Errorf("ir: no blocks")
+	}
+	for b, names := range succNames {
+		for _, n := range names {
+			s, ok := blocks[n]
+			if !ok {
+				return nil, fmt.Errorf("ir: unknown successor %q", n)
+			}
+			b.Succs = append(b.Succs, s)
+		}
+	}
+	f.NumVRegs = maxVReg + 1
+	f.RecomputePreds()
+	if err := f.Verify(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseInstr parses one instruction line, returning the highest vreg seen.
+func parseInstr(line string) (Instr, int, error) {
+	hi := -1
+	reg := func(tok string) (VReg, error) {
+		tok = strings.TrimSuffix(strings.TrimSpace(tok), ",")
+		if tok == "_" {
+			return NoReg, nil
+		}
+		if !strings.HasPrefix(tok, "v") {
+			return NoReg, fmt.Errorf("expected vreg, got %q", tok)
+		}
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n < 0 {
+			return NoReg, fmt.Errorf("bad vreg %q", tok)
+		}
+		if n > hi {
+			hi = n
+		}
+		return VReg(n), nil
+	}
+	imm := func(tok string) (int64, error) {
+		tok = strings.TrimSuffix(strings.TrimSpace(tok), ",")
+		if !strings.HasPrefix(tok, "#") {
+			return 0, fmt.Errorf("expected immediate, got %q", tok)
+		}
+		return strconv.ParseInt(tok[1:], 10, 64)
+	}
+
+	fields := strings.Fields(line)
+	op := fields[0]
+	args := fields[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case "nop":
+		return Instr{Op: isa.NOP, Dst: NoReg, Src1: NoReg, Src2: NoReg}, hi, need(0)
+	case "bound":
+		return Instr{Op: isa.BOUND, Dst: NoReg, Src1: NoReg, Src2: NoReg}, hi, need(0)
+	case "halt":
+		return Instr{Op: isa.HALT, Dst: NoReg, Src1: NoReg, Src2: NoReg}, hi, need(0)
+	case "jmp":
+		return Instr{Op: isa.JMP, Dst: NoReg, Src1: NoReg, Src2: NoReg}, hi, need(0)
+	case "movi":
+		if err := need(2); err != nil {
+			return Instr{}, hi, err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		v, err := imm(args[1])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: isa.MOVI, Dst: d, Src1: NoReg, Src2: NoReg, Imm: v}, hi, nil
+	case "mov":
+		if err := need(2); err != nil {
+			return Instr{}, hi, err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		s, err := reg(args[1])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: isa.MOV, Dst: d, Src1: s, Src2: NoReg}, hi, nil
+	case "ckpt":
+		if err := need(1); err != nil {
+			return Instr{}, hi, err
+		}
+		s, err := reg(args[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: isa.CKPT, Dst: NoReg, Src1: NoReg, Src2: s, Kind: isa.StoreCheckpoint}, hi, nil
+	case "restore":
+		if err := need(1); err != nil {
+			return Instr{}, hi, err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: isa.RESTORE, Dst: d, Src1: NoReg, Src2: NoReg}, hi, nil
+	case "ld", "st":
+		// ld v1, [v2, #8]  /  st v1, [v2, #8]
+		if len(args) != 3 || !strings.HasPrefix(args[1], "[") || !strings.HasSuffix(args[2], "]") {
+			return Instr{}, hi, fmt.Errorf("%s expects 'r, [base, #off]'", op)
+		}
+		r, err := reg(args[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		base, err := reg(strings.TrimPrefix(args[1], "["))
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		off, err := imm(strings.TrimSuffix(args[2], "]"))
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		if op == "ld" {
+			return Instr{Op: isa.LD, Dst: r, Src1: base, Src2: NoReg, Imm: off}, hi, nil
+		}
+		return Instr{Op: isa.ST, Dst: NoReg, Src1: base, Src2: r, Imm: off, Kind: isa.StoreProgram}, hi, nil
+	case "beq", "bne", "blt", "bge":
+		if err := need(2); err != nil {
+			return Instr{}, hi, err
+		}
+		ops := map[string]isa.Op{"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE}
+		s1, err := reg(args[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		if strings.HasPrefix(strings.TrimSpace(args[1]), "#") {
+			v, err := imm(args[1])
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			return Instr{Op: ops[op], Dst: NoReg, Src1: s1, Src2: NoReg, Imm: v, HasImm: true}, hi, nil
+		}
+		s2, err := reg(args[1])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: ops[op], Dst: NoReg, Src1: s1, Src2: s2}, hi, nil
+	case "add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr", "cmpeq", "cmplt":
+		if err := need(3); err != nil {
+			return Instr{}, hi, err
+		}
+		ops := map[string]isa.Op{
+			"add": isa.ADD, "sub": isa.SUB, "mul": isa.MUL, "div": isa.DIV,
+			"and": isa.AND, "or": isa.OR, "xor": isa.XOR, "shl": isa.SHL,
+			"shr": isa.SHR, "cmpeq": isa.CMPEQ, "cmplt": isa.CMPLT,
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		s1, err := reg(args[1])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		if strings.HasPrefix(strings.TrimSpace(args[2]), "#") {
+			v, err := imm(args[2])
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			return Instr{Op: ops[op], Dst: d, Src1: s1, Src2: NoReg, Imm: v, HasImm: true}, hi, nil
+		}
+		s2, err := reg(args[2])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: ops[op], Dst: d, Src1: s1, Src2: s2}, hi, nil
+	}
+	return Instr{}, hi, fmt.Errorf("unknown op %q", op)
+}

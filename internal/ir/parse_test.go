@@ -1,0 +1,129 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+const dotText = `
+func dot (7 vregs)
+b0: -> b1
+    movi v0, #65536
+    movi v1, #0
+    movi v2, #0
+b1: -> b3 b2
+    bge v1, #16
+b2: -> b1
+    shl v3, v1, #3
+    add v4, v0, v3
+    ld v5, [v4, #0]
+    add v2, v2, v5
+    add v1, v1, #1
+    jmp
+b3:
+    st v2, [v0, #4096]
+    halt
+`
+
+func TestParseFuncExecutes(t *testing.T) {
+	f, err := ParseFunc(dotText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "dot" {
+		t.Fatalf("name = %q", f.Name)
+	}
+	it := &Interp{Regs: make([]uint64, f.NumVRegs), Mem: isa.NewMemory()}
+	for i := uint64(0); i < 16; i++ {
+		it.Mem.Store(isa.DataBase+i*8, i+1)
+	}
+	if err := it.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := it.Mem.Load(isa.DataBase + 4096); got != 136 {
+		t.Fatalf("sum = %d, want 136", got)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	f, err := ParseFunc(dotText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseFunc(f.String())
+	if err != nil {
+		t.Fatalf("reparse of printed form: %v\n%s", err, f.String())
+	}
+	if f.String() != g.String() {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", f.String(), g.String())
+	}
+}
+
+func TestParsePrintRoundTripOnRandomCFGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8080))
+	for trial := 0; trial < 40; trial++ {
+		f := genCFG(rng.Int63())
+		g, err := ParseFunc(f.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, f.String())
+		}
+		if f.String() != g.String() {
+			t.Fatalf("trial %d: round trip changed the function", trial)
+		}
+		// Same semantics.
+		a, err := RunIR(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunIR(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Mem.Equal(b.Mem) {
+			t.Fatalf("trial %d: semantics changed", trial)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"instruction before label": "movi v0, #1",
+		"unknown op":               "b0:\n    frobnicate v0",
+		"unknown successor":        "b0: -> b9\n    halt",
+		"bad vreg":                 "b0:\n    movi x0, #1\n    halt",
+		"bad immediate":            "b0:\n    movi v0, 12\n    halt",
+		"bad memory operand":       "b0:\n    ld v0, v1\n    halt",
+		"missing arrow":            "b0: b1\n    halt",
+		"wrong arity":              "b0:\n    add v0, v1\n    halt",
+		"no blocks":                "   \n",
+		"mid-block branch":         "b0: -> b0\n    jmp\n    movi v0, #1",
+		"missing successor":        "b0:\n    jmp",
+	}
+	for name, text := range cases {
+		if _, err := ParseFunc(text); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseAcceptsCommentsAndHeaderless(t *testing.T) {
+	f, err := ParseFunc(`
+// a comment
+b0:
+    movi v0, #3
+    # another comment
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVRegs != 1 || f.InstrCount() != 2 {
+		t.Fatalf("unexpected parse: %s", f.String())
+	}
+	if !strings.Contains(f.String(), "movi v0, #3") {
+		t.Fatal("instruction lost")
+	}
+}

@@ -1,0 +1,161 @@
+package isa
+
+// Binary serialization of compiled programs, so downstream users can cache
+// compilation artifacts (compiling large kernels with all Turnpike passes
+// is much slower than loading them). The format is versioned,
+// fixed-endian, and self-validating on load.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// progMagic identifies the serialized program format; progVersion gates
+// compatibility.
+const (
+	progMagic   = 0x54504B45 // "TPKE"
+	progVersion = 1
+)
+
+// WriteTo serializes the program. The error is never nil halfway: either
+// the full image is written or nothing useful is.
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("isa: refusing to serialize invalid program: %w", err)
+	}
+	var buf bytes.Buffer
+	put32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	put64 := func(v uint64) { binary.Write(&buf, binary.LittleEndian, v) }
+
+	put32(progMagic)
+	put32(progVersion)
+	put64(p.CkptBase)
+	put32(uint32(p.Entry))
+	put32(uint32(len(p.Insts)))
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		flags := uint8(0)
+		if in.HasImm {
+			flags = 1
+		}
+		buf.WriteByte(uint8(in.Op))
+		buf.WriteByte(uint8(in.Rd))
+		buf.WriteByte(uint8(in.Rs1))
+		buf.WriteByte(uint8(in.Rs2))
+		buf.WriteByte(flags)
+		buf.WriteByte(uint8(in.Kind))
+		binary.Write(&buf, binary.LittleEndian, in.Imm)
+		put32(uint32(in.Target))
+	}
+	put32(uint32(len(p.Regions)))
+	for _, r := range p.Regions {
+		put32(uint32(r.ID))
+		put32(uint32(int32(r.RecoveryPC)))
+	}
+	if p.RegionOf == nil {
+		put32(0)
+	} else {
+		put32(uint32(len(p.RegionOf)))
+		for _, r := range p.RegionOf {
+			put32(uint32(int32(r)))
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadProgram deserializes a program and validates it.
+func ReadProgram(r io.Reader) (*Program, error) {
+	var magic, version uint32
+	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
+	if err := rd(&magic); err != nil {
+		return nil, fmt.Errorf("isa: reading magic: %w", err)
+	}
+	if magic != progMagic {
+		return nil, fmt.Errorf("isa: bad magic %#x", magic)
+	}
+	if err := rd(&version); err != nil {
+		return nil, err
+	}
+	if version != progVersion {
+		return nil, fmt.Errorf("isa: unsupported program version %d", version)
+	}
+	p := &Program{}
+	var entry, nInsts uint32
+	if err := rd(&p.CkptBase); err != nil {
+		return nil, err
+	}
+	if err := rd(&entry); err != nil {
+		return nil, err
+	}
+	if err := rd(&nInsts); err != nil {
+		return nil, err
+	}
+	const maxInsts = 1 << 24
+	if nInsts > maxInsts {
+		return nil, fmt.Errorf("isa: implausible instruction count %d", nInsts)
+	}
+	p.Entry = int(entry)
+	p.Insts = make([]Inst, nInsts)
+	for i := range p.Insts {
+		var hdr [6]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		in := &p.Insts[i]
+		in.Op = Op(hdr[0])
+		in.Rd = Reg(hdr[1])
+		in.Rs1 = Reg(hdr[2])
+		in.Rs2 = Reg(hdr[3])
+		in.HasImm = hdr[4]&1 != 0
+		in.Kind = StoreKind(hdr[5])
+		if err := rd(&in.Imm); err != nil {
+			return nil, err
+		}
+		var tgt uint32
+		if err := rd(&tgt); err != nil {
+			return nil, err
+		}
+		in.Target = int(tgt)
+	}
+	var nRegions uint32
+	if err := rd(&nRegions); err != nil {
+		return nil, err
+	}
+	if nRegions > maxInsts {
+		return nil, fmt.Errorf("isa: implausible region count %d", nRegions)
+	}
+	for i := uint32(0); i < nRegions; i++ {
+		var id, rpc uint32
+		if err := rd(&id); err != nil {
+			return nil, err
+		}
+		if err := rd(&rpc); err != nil {
+			return nil, err
+		}
+		p.Regions = append(p.Regions, RegionInfo{ID: int(id), RecoveryPC: int(int32(rpc))})
+	}
+	var nRegionOf uint32
+	if err := rd(&nRegionOf); err != nil {
+		return nil, err
+	}
+	if nRegionOf > 0 {
+		if nRegionOf > maxInsts {
+			return nil, fmt.Errorf("isa: implausible RegionOf length %d", nRegionOf)
+		}
+		p.RegionOf = make([]int, nRegionOf)
+		for i := range p.RegionOf {
+			var v uint32
+			if err := rd(&v); err != nil {
+				return nil, err
+			}
+			p.RegionOf[i] = int(int32(v))
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: deserialized program invalid: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,116 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+func roundTrip(t *testing.T, p *Program) *Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func sampleProgram() *Program {
+	return &Program{
+		CkptBase: DefaultCkptBase,
+		Insts: []Inst{
+			{Op: BOUND, Imm: 0},
+			{Op: MOVI, Rd: 1, Imm: -7},
+			{Op: ADD, Rd: 2, Rs1: 1, Imm: 3, HasImm: true},
+			{Op: CKPT, Rs2: 2, Kind: StoreCheckpoint},
+			{Op: ST, Rs1: 1, Rs2: 2, Imm: 16, Kind: StoreProgram},
+			{Op: BEQ, Rs1: 1, Rs2: 2, Target: 1},
+			{Op: HALT},
+			{Op: RESTORE, Rd: 2},
+			{Op: JMP, Target: 0},
+		},
+		Regions:  []RegionInfo{{ID: 0, RecoveryPC: 7}},
+		RegionOf: []int{0, 0, 0, 0, 0, 0, 0, -1, -1},
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	q := roundTrip(t, p)
+	if len(q.Insts) != len(p.Insts) {
+		t.Fatalf("instruction count %d != %d", len(q.Insts), len(p.Insts))
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != q.Insts[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, p.Insts[i], q.Insts[i])
+		}
+	}
+	if len(q.Regions) != 1 || q.Regions[0] != p.Regions[0] {
+		t.Fatalf("regions differ: %+v", q.Regions)
+	}
+	for i := range p.RegionOf {
+		if p.RegionOf[i] != q.RegionOf[i] {
+			t.Fatalf("RegionOf[%d] differs", i)
+		}
+	}
+	if q.CkptBase != p.CkptBase || q.Entry != p.Entry {
+		t.Fatal("header fields differ")
+	}
+}
+
+func TestProgramRoundTripExecutes(t *testing.T) {
+	p := sampleProgram()
+	q := roundTrip(t, p)
+	run := func(pr *Program) *Memory {
+		m := NewMachine(pr)
+		m.StepLimit = 1000
+		m.Run() // the loop exits via step limit or halt; either is fine
+		return m.Mem
+	}
+	if !run(p).Equal(run(q)) {
+		t.Fatal("round-tripped program behaves differently")
+	}
+}
+
+func TestReadProgramRejectsGarbage(t *testing.T) {
+	if _, err := ReadProgram(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	if _, err := ReadProgram(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("accepted zero magic")
+	}
+	// Corrupt a valid image's version field.
+	var buf bytes.Buffer
+	if _, err := sampleProgram().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	img[4] = 99
+	if _, err := ReadProgram(bytes.NewReader(img)); err == nil {
+		t.Fatal("accepted wrong version")
+	}
+}
+
+func TestReadProgramRejectsTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := sampleProgram().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	for _, cut := range []int{len(img) / 2, len(img) - 3} {
+		if _, err := ReadProgram(bytes.NewReader(img[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestWriteToRejectsInvalid(t *testing.T) {
+	p := &Program{Insts: []Inst{{Op: JMP, Target: 99}}}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err == nil {
+		t.Fatal("serialized an invalid program")
+	}
+}

@@ -1,0 +1,280 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op                          Op
+		alu, branch, store, load, w bool
+	}{
+		{ADD, true, false, false, false, true},
+		{MOVI, true, false, false, false, true},
+		{LD, false, false, false, true, true},
+		{ST, false, false, true, false, false},
+		{CKPT, false, false, true, false, false},
+		{RESTORE, false, false, false, true, true},
+		{BEQ, false, true, false, false, false},
+		{JMP, false, true, false, false, false},
+		{BOUND, false, false, false, false, false},
+		{HALT, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsALU() != c.alu || c.op.IsBranch() != c.branch ||
+			c.op.IsStore() != c.store || c.op.IsLoad() != c.load ||
+			c.op.WritesReg() != c.w {
+			t.Errorf("%v classification wrong", c.op)
+		}
+	}
+}
+
+func TestALUOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{ADD, 3, 4, 7},
+		{SUB, 3, 4, ^uint64(0)},
+		{MUL, 5, 6, 30},
+		{DIV, 20, 5, 4},
+		{DIV, 20, 0, 0},
+		{AND, 0b1100, 0b1010, 0b1000},
+		{OR, 0b1100, 0b1010, 0b1110},
+		{XOR, 0b1100, 0b1010, 0b0110},
+		{SHL, 1, 65, 2}, // shift amounts mask to 6 bits
+		{SHR, 8, 2, 2},
+		{CMPEQ, 4, 4, 1},
+		{CMPEQ, 4, 5, 0},
+		{CMPLT, ^uint64(0), 0, 1}, // -1 < 0 signed
+		{CMPLT, 1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := ALUOp(c.op, c.a, c.b); got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	if !BranchTaken(BEQ, 3, 3) || BranchTaken(BEQ, 3, 4) {
+		t.Error("BEQ wrong")
+	}
+	if !BranchTaken(BNE, 3, 4) || BranchTaken(BNE, 3, 3) {
+		t.Error("BNE wrong")
+	}
+	if !BranchTaken(BLT, ^uint64(0), 0) || BranchTaken(BLT, 0, ^uint64(0)) {
+		t.Error("BLT signedness wrong")
+	}
+	if !BranchTaken(BGE, 0, ^uint64(0)) {
+		t.Error("BGE signedness wrong")
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	st := Inst{Op: ST, Rs1: 3, Rs2: 4, Kind: StoreProgram}
+	uses := st.Uses(nil)
+	if len(uses) != 2 || uses[0] != 3 || uses[1] != 4 {
+		t.Errorf("ST uses = %v", uses)
+	}
+	if _, ok := st.Def(); ok {
+		t.Error("ST defines a register")
+	}
+	addi := Inst{Op: ADD, Rd: 1, Rs1: 2, Imm: 5, HasImm: true}
+	uses = addi.Uses(nil)
+	if len(uses) != 1 || uses[0] != 2 {
+		t.Errorf("ADDI uses = %v", uses)
+	}
+	if d, ok := addi.Def(); !ok || d != 1 {
+		t.Errorf("ADDI def = %v,%v", d, ok)
+	}
+	ck := Inst{Op: CKPT, Rs2: 7, Kind: StoreCheckpoint}
+	uses = ck.Uses(nil)
+	if len(uses) != 1 || uses[0] != 7 {
+		t.Errorf("CKPT uses = %v", uses)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	good := &Program{Insts: []Inst{{Op: MOVI, Rd: 1, Imm: 3}, {Op: HALT}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Program{Insts: []Inst{{Op: JMP, Target: 99}, {Op: HALT}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted out-of-range branch target")
+	}
+	bad = &Program{Insts: []Inst{{Op: MOVI, Rd: 40}, {Op: HALT}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted invalid destination register")
+	}
+	bad = &Program{Insts: []Inst{{Op: ST, Rs1: 1, Rs2: 2}, {Op: HALT}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted store without kind")
+	}
+	bad = &Program{Insts: []Inst{{Op: MOVI, Rd: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted program without HALT")
+	}
+}
+
+func TestMachineRunsLoop(t *testing.T) {
+	// sum 1..10 via a backward branch.
+	p := &Program{Insts: []Inst{
+		{Op: MOVI, Rd: 1, Imm: 0},                           // 0: i
+		{Op: MOVI, Rd: 2, Imm: 0},                           // 1: sum
+		{Op: ADD, Rd: 1, Rs1: 1, Imm: 1, HasImm: true},      // 2
+		{Op: ADD, Rd: 2, Rs1: 2, Rs2: 1},                    // 3
+		{Op: BLT, Rs1: 1, Imm: 10, HasImm: true, Target: 2}, // 4
+		{Op: MOVI, Rd: 3, Imm: 0x2000},                      // 5
+		{Op: ST, Rs1: 3, Rs2: 2, Kind: StoreProgram},        // 6
+		{Op: HALT}, // 7
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Load(0x2000); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestMachineCkptRestore(t *testing.T) {
+	p := &Program{CkptBase: DefaultCkptBase, Insts: []Inst{
+		{Op: MOVI, Rd: 5, Imm: 42},
+		{Op: CKPT, Rs2: 5, Kind: StoreCheckpoint},
+		{Op: MOVI, Rd: 5, Imm: 0},
+		{Op: RESTORE, Rd: 5},
+		{Op: MOVI, Rd: 6, Imm: 0x2000},
+		{Op: ST, Rs1: 6, Rs2: 5, Kind: StoreProgram},
+		{Op: HALT},
+	}}
+	m := NewMachine(p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Load(0x2000); got != 42 {
+		t.Fatalf("restored %d, want 42", got)
+	}
+}
+
+func TestMemorySemantics(t *testing.T) {
+	m := NewMemory()
+	m.Store(8, 7)
+	m.Store(16, 9)
+	if m.Load(8) != 7 || m.Load(16) != 9 || m.Load(24) != 0 {
+		t.Fatal("load/store broken")
+	}
+	m.Store(8, 0) // zero store erases (canonical form)
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after zero store", m.Len())
+	}
+	c := m.Clone()
+	c.Store(16, 1)
+	if m.Load(16) != 9 {
+		t.Fatal("clone aliases original")
+	}
+	if m.Equal(c) {
+		t.Fatal("Equal on differing memories")
+	}
+	c.Store(16, 9)
+	if !m.Equal(c) {
+		t.Fatal("Equal on identical memories")
+	}
+}
+
+func TestMemoryEqualProperty(t *testing.T) {
+	// Property: a memory equals its clone after any sequence of stores
+	// applied to both in the same order.
+	f := func(ops []struct {
+		Addr uint16
+		Val  uint32
+	}) bool {
+		a, b := NewMemory(), NewMemory()
+		for _, op := range ops {
+			a.Store(uint64(op.Addr)*8, uint64(op.Val))
+			b.Store(uint64(op.Addr)*8, uint64(op.Val))
+		}
+		return a.Equal(b) && b.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputMemoryMasksCkptStorage(t *testing.T) {
+	p := &Program{CkptBase: DefaultCkptBase, Insts: []Inst{
+		{Op: MOVI, Rd: 1, Imm: 9},
+		{Op: CKPT, Rs2: 1, Kind: StoreCheckpoint},
+		{Op: MOVI, Rd: 2, Imm: 0x2000},
+		{Op: ST, Rs1: 2, Rs2: 1, Kind: StoreProgram},
+		{Op: HALT},
+	}}
+	m := NewMachine(p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := m.OutputMemory()
+	if out.Load(p.CkptSlot(1, 0)) != 0 {
+		t.Fatal("checkpoint storage visible in output memory")
+	}
+	if out.Load(0x2000) != 9 {
+		t.Fatal("program output missing")
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	p := &Program{Insts: []Inst{
+		{Op: MOVI, Rd: 1, Imm: 3},
+		{Op: LD, Rd: 2, Rs1: 1, Imm: 8},
+		{Op: ST, Rs1: 1, Rs2: 2, Imm: 16, Kind: StoreProgram},
+		{Op: BEQ, Rs1: 1, Rs2: 2, Target: 0},
+		{Op: HALT},
+	}, RegionOf: []int{0, 0, 0, 0, 0}, Regions: []RegionInfo{{ID: 0, RecoveryPC: -1}}}
+	d := p.Disassemble()
+	for _, want := range []string{"movi r1, #3", "ld r2, [r1, #8]", "st r2, [r1, #16]", "beq r1, r2, @0", "halt", "R0"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := &Program{Insts: []Inst{{Op: JMP, Target: 0}, {Op: HALT}}}
+	m := NewMachine(p)
+	m.StepLimit = 100
+	if err := m.Run(); err == nil {
+		t.Fatal("infinite loop not caught")
+	}
+}
+
+func TestCkptSlotLayout(t *testing.T) {
+	p := &Program{CkptBase: 0x1000}
+	if p.CkptSlot(0, 0) != 0x1000 {
+		t.Fatal("slot 0,0 misplaced")
+	}
+	if p.CkptSlot(0, 1) != 0x1008 {
+		t.Fatal("colors not adjacent")
+	}
+	if p.CkptSlot(1, 0) != 0x1000+NumColors*8 {
+		t.Fatal("register stride wrong")
+	}
+	// Slots never overlap across (reg,color) pairs.
+	seen := map[uint64]bool{}
+	for r := Reg(0); r < NumRegs; r++ {
+		for c := 0; c < NumColors; c++ {
+			a := p.CkptSlot(r, c)
+			if seen[a] {
+				t.Fatalf("slot collision at %#x", a)
+			}
+			seen[a] = true
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package passes implements the machine-independent optimizations the
+// Turnpike compiler uses: dead-code elimination, loop strength reduction
+// (the pass that *creates* the extra induction variables the paper
+// observes), loop induction variable merging (LIVM, §4.1.2, which removes
+// them again to kill loop-carried checkpoints), and checkpoint-aware list
+// scheduling (§4.2).
+package passes
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// DeadCodeElim removes instructions that define a register that is never
+// live afterwards and that have no side effects (no stores, branches,
+// checkpoints, or boundaries). It iterates until no instruction is removed,
+// and returns the number of instructions deleted.
+func DeadCodeElim(f *ir.Func) int {
+	removed := 0
+	for {
+		lv := ir.ComputeLiveness(f)
+		n := 0
+		for _, b := range f.Blocks {
+			la := lv.LiveAcross(b)
+			out := b.Instrs[:0]
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				if d, ok := in.Def(); ok && in.Op != isa.LD && in.Op != isa.RESTORE {
+					if !la[i].Has(d) {
+						n++
+						continue
+					}
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package passes
+
+import (
+	"math/bits"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// LIVM is the paper's loop induction variable merging (§4.1.2). It looks
+// for pairs of basic induction variables (a, b) in a loop where b is an
+// affine function of a:
+//
+//	b == initB + (a - initA) * (stepB / stepA)
+//
+// and demotes b to an *induced* induction variable: every in-loop use of b
+// is replaced with a freshly computed value derived from a, the increment
+// of b is deleted, and b's loop-carried dependence disappears — so b is no
+// longer live-out of the loop's regions and its per-iteration checkpoint
+// store vanishes. (The inverse of strength reduction, traded deliberately:
+// one or two ALU ops per use against a store-buffer entry per iteration.)
+//
+// Requirements for a merge, checked conservatively:
+//   - single-latch loop with a unique preheader;
+//   - stepA divides stepB with a power-of-two (or 1) quotient, so the
+//     scaling is a shift;
+//   - both IVs have recognizable preheader initializations: a with a known
+//     constant, b either constant or base-register + offset with the base
+//     not redefined in the loop;
+//   - every in-loop use of b is positioned before both increments, and
+//     both increments sit in the same block (values of a and b then move in
+//     lock step at every use point);
+//   - b is not used after the loop (not live at any exit), since after
+//     merging b is no longer maintained.
+//
+// Returns the number of merged (eliminated) induction variables.
+func LIVM(f *ir.Func) int {
+	dt := ir.ComputeDominators(f)
+	loops := ir.FindLoops(f, dt)
+	lv := ir.ComputeLiveness(f)
+	merged := 0
+	for _, l := range loops.Loops {
+		merged += livmLoop(f, l, lv)
+		if merged > 0 {
+			// Liveness is stale after a rewrite; recompute for later loops.
+			lv = ir.ComputeLiveness(f)
+		}
+	}
+	if merged > 0 {
+		DeadCodeElim(f)
+	}
+	return merged
+}
+
+func livmLoop(f *ir.Func, l *ir.Loop, lv *ir.Liveness) int {
+	pre := uniquePreheader(l)
+	if pre == nil || len(l.Latches) != 1 {
+		return 0
+	}
+	ivs := ir.FindBasicIVs(f, l)
+	if len(ivs) < 2 {
+		return 0
+	}
+	merged := 0
+	for bi := range ivs {
+		b := &ivs[bi]
+		if b.Step == 0 {
+			continue
+		}
+		// b must die with the loop.
+		liveOutside := false
+		for _, ex := range l.Exits {
+			if lv.In[ex].Has(b.Reg) {
+				liveOutside = true
+				break
+			}
+		}
+		if liveOutside {
+			continue
+		}
+		for ai := range ivs {
+			a := &ivs[ai]
+			if ai == bi || a.Step == 0 || !a.HasInitConst {
+				continue
+			}
+			if b.Step%a.Step != 0 {
+				continue
+			}
+			q := b.Step / a.Step
+			if q <= 0 || q&(q-1) != 0 {
+				continue
+			}
+			shift := int64(bits.TrailingZeros64(uint64(q)))
+			// b's init must be expressible: constant, or base+offset with
+			// base invariant in the loop.
+			var baseReg ir.VReg = ir.NoReg
+			var baseOff int64
+			switch {
+			case b.HasInitConst:
+				baseOff = b.InitConst
+			case b.InitBase != ir.NoReg:
+				if definedInLoop(l, b.InitBase) {
+					continue
+				}
+				baseReg, baseOff = b.InitBase, b.InitOffset
+			default:
+				continue
+			}
+			// Both increments in one block; uses of b precede them.
+			if a.DefBlock != b.DefBlock {
+				continue
+			}
+			if !usesPrecedeIncrements(l, b.Reg, a, b) {
+				continue
+			}
+			if rewriteMerge(f, l, a, b, baseReg, baseOff, shift) {
+				merged++
+			}
+			break
+		}
+	}
+	return merged
+}
+
+func definedInLoop(l *ir.Loop, v ir.VReg) bool {
+	for b := range l.Body {
+		for i := range b.Instrs {
+			if d, ok := b.Instrs[i].Def(); ok && d == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// usesPrecedeIncrements verifies every in-loop use of reg (other than its
+// own increment) happens before both IV increments in program order: uses
+// must not be in the increments' block at or after the earlier increment,
+// and the increments' block must be the single latch (executed last).
+func usesPrecedeIncrements(l *ir.Loop, reg ir.VReg, a, b *ir.BasicIV) bool {
+	incBlock := a.DefBlock
+	if len(l.Latches) != 1 || l.Latches[0] != incBlock {
+		return false
+	}
+	firstInc := a.DefIndex
+	if b.DefIndex < firstInc {
+		firstInc = b.DefIndex
+	}
+	var uses []ir.VReg
+	for blk := range l.Body {
+		for i := range blk.Instrs {
+			if blk == incBlock && i == b.DefIndex {
+				continue // b's own increment
+			}
+			in := &blk.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				if u != reg {
+					continue
+				}
+				if blk == incBlock && i >= firstInc {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// rewriteMerge replaces uses of b with a value computed from a:
+//
+//	t = a - initA   (skipped when initA == 0)
+//	t = t << shift  (skipped when shift == 0)
+//	v = t + base(+off) or t + offConst
+//
+// The sequence is materialized once per block, immediately before the
+// block's first use of b (all in-loop uses precede the increments, so a
+// and b hold their iteration-entry values at every use point); later uses
+// in the same block reuse the temporary. b's increment is then deleted
+// (DCE sweeps the preheader init). Materializing once keeps the
+// instruction cost near the one store it replaces — recomputing per use
+// would cancel the win on kernels with several address uses per iteration.
+func rewriteMerge(f *ir.Func, l *ir.Loop, a, b *ir.BasicIV, baseReg ir.VReg, baseOff int64, shift int64) bool {
+	var uses []ir.VReg
+	for blk := range l.Body {
+		first := -1
+		for i := range blk.Instrs {
+			if blk == b.DefBlock && i == b.DefIndex {
+				continue
+			}
+			in := &blk.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				if u == b.Reg {
+					first = i
+					break
+				}
+			}
+			if first >= 0 {
+				break
+			}
+		}
+		if first < 0 {
+			continue
+		}
+		// Build the replacement value once, before the first use.
+		var seq []ir.Instr
+		cur := a.Reg
+		if a.InitConst != 0 {
+			t := f.NewVReg()
+			seq = append(seq, ir.Instr{Op: isa.SUB, Dst: t, Src1: cur, Src2: ir.NoReg, Imm: a.InitConst, HasImm: true})
+			cur = t
+		}
+		if shift != 0 {
+			t := f.NewVReg()
+			seq = append(seq, ir.Instr{Op: isa.SHL, Dst: t, Src1: cur, Src2: ir.NoReg, Imm: shift, HasImm: true})
+			cur = t
+		}
+		v := f.NewVReg()
+		if baseReg != ir.NoReg {
+			seq = append(seq, ir.Instr{Op: isa.ADD, Dst: v, Src1: cur, Src2: baseReg})
+			if baseOff != 0 {
+				v2 := f.NewVReg()
+				seq = append(seq, ir.Instr{Op: isa.ADD, Dst: v2, Src1: v, Src2: ir.NoReg, Imm: baseOff, HasImm: true})
+				v = v2
+			}
+		} else {
+			seq = append(seq, ir.Instr{Op: isa.ADD, Dst: v, Src1: cur, Src2: ir.NoReg, Imm: baseOff, HasImm: true})
+		}
+		// Substitute every use of b in this block with v.
+		for i := range blk.Instrs {
+			if blk == b.DefBlock && i == b.DefIndex {
+				continue
+			}
+			in := &blk.Instrs[i]
+			if in.Src1 == b.Reg {
+				in.Src1 = v
+			}
+			if in.Src2 == b.Reg {
+				in.Src2 = v
+			}
+		}
+		blk.Instrs = append(blk.Instrs[:first:first], append(seq, blk.Instrs[first:]...)...)
+		if blk == b.DefBlock && first <= b.DefIndex {
+			b.DefIndex += len(seq)
+		}
+		if blk == a.DefBlock && first <= a.DefIndex {
+			a.DefIndex += len(seq)
+		}
+	}
+	// Delete b's increment (replace with NOP; DCE cleans up).
+	b.DefBlock.Instrs[b.DefIndex] = ir.Instr{Op: isa.NOP}
+	return true
+}

@@ -1,0 +1,189 @@
+package passes
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// StrengthReduce performs classic loop strength reduction: an in-loop
+// address computation
+//
+//	off  = iv << k          (iv a basic induction variable, step s)
+//	addr = base + off       (base loop-invariant)
+//
+// becomes a new basic induction variable initialized in the preheader and
+// advanced by s<<k each iteration, eliminating the shift+add from the loop
+// body. This is what production -O3 does — and, as the paper's §4.1.2
+// explains, it is exactly what creates the extra loop-carried registers
+// that Turnstile must checkpoint every iteration. Returns the number of
+// derived induction variables created.
+//
+// Only single-latch loops with a unique preheader are transformed; the new
+// increment is placed immediately after the basic IV's increment.
+func StrengthReduce(f *ir.Func) int {
+	dt := ir.ComputeDominators(f)
+	loops := ir.FindLoops(f, dt)
+	created := 0
+	for _, l := range loops.Loops {
+		created += strengthReduceLoop(f, l)
+	}
+	if created > 0 {
+		DeadCodeElim(f)
+	}
+	return created
+}
+
+func strengthReduceLoop(f *ir.Func, l *ir.Loop) int {
+	pre := uniquePreheader(l)
+	if pre == nil || len(l.Latches) != 1 {
+		return 0
+	}
+	ivs := ir.FindBasicIVs(f, l)
+	if len(ivs) == 0 {
+		return 0
+	}
+	ivOf := map[ir.VReg]*ir.BasicIV{}
+	for i := range ivs {
+		ivOf[ivs[i].Reg] = &ivs[i]
+	}
+	// Registers redefined inside the loop are not invariant bases.
+	defined := map[ir.VReg]bool{}
+	for b := range l.Body {
+		for i := range b.Instrs {
+			if d, ok := b.Instrs[i].Def(); ok {
+				defined[d] = true
+			}
+		}
+	}
+
+	created := 0
+	for b := range l.Body {
+		for i := 0; i < len(b.Instrs); i++ {
+			sh := &b.Instrs[i]
+			// Match off = iv << k with iv a basic IV and k immediate.
+			if sh.Op != isa.SHL || !sh.HasImm {
+				continue
+			}
+			iv, ok := ivOf[sh.Src1]
+			if !ok || iv.DefBlock == b && iv.DefIndex < i {
+				// Shift after the increment would need an adjusted init;
+				// keep the pass simple and skip that form.
+				continue
+			}
+			// The shift result must feed exactly one ADD with an invariant
+			// base, and have no other uses in the loop.
+			add, addBlock, addIdx := singleAddUse(l, sh.Dst, b, i)
+			if add == nil {
+				continue
+			}
+			var base ir.VReg
+			switch {
+			case add.Src1 == sh.Dst && !defined[add.Src2]:
+				base = add.Src2
+			case add.Src2 == sh.Dst && !defined[add.Src1]:
+				base = add.Src1
+			default:
+				continue
+			}
+			// The derived pointer must not be redefined elsewhere.
+			if countDefs(f, add.Dst) != 1 {
+				continue
+			}
+			// Rewrite: preheader gets ptr = base + (ivInit << k) when the
+			// IV's init is a known constant, else ptr = base + (iv << k)
+			// computed from the IV's current (entry) value.
+			ptr := add.Dst
+			k := sh.Imm
+			step := iv.Step << uint(k&63)
+			preInstrs := pre.Instrs
+			insertAt := len(preInstrs)
+			if t := pre.Terminator(); t != nil && (t.Op.IsBranch() || t.Op == isa.HALT) {
+				insertAt--
+			}
+			var init []ir.Instr
+			if iv.HasInitConst {
+				if iv.InitConst == 0 {
+					init = []ir.Instr{{Op: isa.MOV, Dst: ptr, Src1: base, Src2: ir.NoReg}}
+				} else {
+					init = []ir.Instr{{Op: isa.ADD, Dst: ptr, Src1: base, Src2: ir.NoReg,
+						Imm: iv.InitConst << uint(k&63), HasImm: true}}
+				}
+			} else {
+				tmp := f.NewVReg()
+				init = []ir.Instr{
+					{Op: isa.SHL, Dst: tmp, Src1: iv.Reg, Src2: ir.NoReg, Imm: k, HasImm: true},
+					{Op: isa.ADD, Dst: ptr, Src1: base, Src2: tmp},
+				}
+			}
+			pre.Instrs = append(preInstrs[:insertAt:insertAt],
+				append(init, preInstrs[insertAt:]...)...)
+
+			// Replace the in-loop add with a no-op (DCE removes the shift)
+			// and bump the pointer right after the IV increment.
+			addBlock.Instrs[addIdx] = ir.Instr{Op: isa.NOP}
+			inc := ir.Instr{Op: isa.ADD, Dst: ptr, Src1: ptr, Src2: ir.NoReg, Imm: step, HasImm: true}
+			db, di := iv.DefBlock, iv.DefIndex
+			db.Instrs = append(db.Instrs[:di+1:di+1], append([]ir.Instr{inc}, db.Instrs[di+1:]...)...)
+			created++
+			// Positions shifted; restart this loop's scan.
+			return created + strengthReduceLoop(f, l)
+		}
+	}
+	return created
+}
+
+// singleAddUse finds the unique in-loop ADD consuming v, requiring v to be
+// used exactly once in the loop and defined at (defBlock, defIdx). Returns
+// nil when the use pattern does not match.
+func singleAddUse(l *ir.Loop, v ir.VReg, defBlock *ir.Block, defIdx int) (*ir.Instr, *ir.Block, int) {
+	var found *ir.Instr
+	var fb *ir.Block
+	fi := -1
+	var uses []ir.VReg
+	for b := range l.Body {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				if u != v {
+					continue
+				}
+				if found != nil || in.Op != isa.ADD || in.HasImm {
+					return nil, nil, -1
+				}
+				found, fb, fi = in, b, i
+			}
+		}
+	}
+	// The add must appear after the shift when in the same block.
+	if found == nil || (fb == defBlock && fi < defIdx) {
+		return nil, nil, -1
+	}
+	return found, fb, fi
+}
+
+func countDefs(f *ir.Func, v ir.VReg) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d, ok := b.Instrs[i].Def(); ok && d == v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func uniquePreheader(l *ir.Loop) *ir.Block {
+	var pre *ir.Block
+	for _, p := range l.Header.Preds {
+		if l.Body[p] {
+			continue
+		}
+		if pre != nil {
+			return nil
+		}
+		pre = p
+	}
+	return pre
+}

@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// TestDebugSDCTrace reproduces one failing injection with tracing to
+// pinpoint the recovery hole; kept as a regression test for that exact
+// scenario once fixed.
+func TestDebugSDCTrace(t *testing.T) {
+	f := buildBench(40)
+	c, err := core.Compile(f, core.TurnpikeAll(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := c.Prog
+	want := goldenRun(t, prog, 40)
+
+	cfg := TurnpikeConfig(4, 10)
+	s, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(s.Mem, 40)
+	injected := false
+	for !s.Halted() {
+		if !injected && s.Stats.Insts >= 83 {
+			t.Logf("inject at inst=%d pc=%d cycle=%d r4=%#x", s.Stats.Insts, s.PC, s.cycle, s.Regs[4])
+			if err := s.InjectBitFlip(4, 48, 7); err != nil {
+				t.Fatal(err)
+			}
+			injected = true
+		}
+		pc := s.PC
+		in := prog.Insts[pc]
+		if in.Op == isa.ST && injected && s.Stats.Recoveries == 0 {
+			addr := s.Regs[in.Rs1] + uint64(in.Imm)
+			t.Logf("pre-recovery store pc=%d %v addr=%#x val=%#x taint1=%v taint2=%v cycle=%d pend=%d",
+				pc, in.String(), addr, s.Regs[in.Rs2], s.Taint[in.Rs1], s.Taint[in.Rs2], s.cycle, s.pendingDetectAt)
+		}
+		wasRec := s.Stats.Recoveries
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats.Recoveries != wasRec {
+			t.Logf("RECOVERY at cycle=%d -> pc=%d", s.cycle, s.PC)
+		}
+	}
+	got := maskPrivate(s.OutputMemory())
+	if !want.Equal(got) {
+		dis := prog.Disassemble()
+		t.Fatalf("SDC persists:\n%s\ndisasm:\n%s", want.Diff(got, 12), dis)
+	}
+}

@@ -1,0 +1,47 @@
+package pipeline
+
+// Region event log: optional per-region observability for tools and
+// tests. When Config.RecordRegions is set, the simulator appends one
+// RegionEvent per dynamic region at the moment its fate is decided
+// (verified or squashed by recovery), carrying its timing and the fate of
+// every store it committed. cmd/trace renders these; tests cross-check
+// them against the aggregate counters.
+
+// RegionEvent describes one dynamic region's life.
+type RegionEvent struct {
+	// Instance is the dynamic region ID; StaticID the compiler region.
+	Instance, StaticID int
+	// BoundPC is the boundary's program counter.
+	BoundPC int
+	// Start/End are the cycles the region opened and closed; VerifyAt is
+	// End + WCDL. End==0 means the region was still open when squashed.
+	Start, End, VerifyAt uint64
+	// Squashed regions were discarded by recovery instead of verifying.
+	Squashed bool
+	// Store fates and instruction count within the region.
+	WARFree, Colored, Quarantined int
+	Insts                         uint64
+}
+
+// RegionLog returns the recorded events (nil unless Config.RecordRegions).
+func (s *Sim) RegionLog() []RegionEvent { return s.regionLog }
+
+// logRegion appends the event for a closed region.
+func (s *Sim) logRegion(r *regionInst, squashed bool) {
+	if !s.Cfg.RecordRegions {
+		return
+	}
+	s.regionLog = append(s.regionLog, RegionEvent{
+		Instance:    r.id,
+		StaticID:    r.staticID,
+		BoundPC:     r.boundPC,
+		Start:       r.start,
+		End:         r.end,
+		VerifyAt:    r.verifyAt,
+		Squashed:    squashed,
+		WARFree:     r.warFree,
+		Colored:     r.colored,
+		Quarantined: r.quarantined,
+		Insts:       r.insts,
+	})
+}

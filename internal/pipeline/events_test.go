@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRegionLogConsistency cross-checks the per-region event log against
+// the aggregate counters and the region timing invariants.
+func TestRegionLogConsistency(t *testing.T) {
+	f := buildBench(80)
+	prog := compileFor(t, f, core.Turnpike, 4)
+	cfg := TurnpikeConfig(4, 10)
+	cfg.RecordRegions = true
+	s, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(s.Mem, 80)
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := s.RegionLog()
+	if len(log) == 0 {
+		t.Fatal("no region events recorded")
+	}
+	var war, col, quar, insts uint64
+	lastInstance := -1
+	for _, ev := range log {
+		if ev.Instance <= lastInstance {
+			t.Fatalf("events out of instance order: %d after %d", ev.Instance, lastInstance)
+		}
+		lastInstance = ev.Instance
+		if ev.Squashed {
+			t.Fatalf("fault-free run squashed region %d", ev.Instance)
+		}
+		if ev.End < ev.Start {
+			t.Fatalf("region %d ends (%d) before it starts (%d)", ev.Instance, ev.End, ev.Start)
+		}
+		if ev.VerifyAt != ev.End+uint64(cfg.WCDL) && ev.VerifyAt != ev.End {
+			// The final region's window is collapsed at halt.
+			t.Fatalf("region %d verify %d != end %d + WCDL %d", ev.Instance, ev.VerifyAt, ev.End, cfg.WCDL)
+		}
+		war += uint64(ev.WARFree)
+		col += uint64(ev.Colored)
+		quar += uint64(ev.Quarantined)
+		insts += ev.Insts
+	}
+	if war != st.WARFreeReleased || col != st.ColoredReleased || quar != st.Quarantined {
+		t.Fatalf("per-region sums (%d/%d/%d) != aggregates (%d/%d/%d)",
+			war, col, quar, st.WARFreeReleased, st.ColoredReleased, st.Quarantined)
+	}
+	if insts != st.Insts {
+		t.Fatalf("per-region insts %d != total %d", insts, st.Insts)
+	}
+	if uint64(len(log)) != st.RegionsExecuted {
+		t.Fatalf("%d events for %d regions", len(log), st.RegionsExecuted)
+	}
+}
+
+// TestRegionLogSquashOnRecovery: squashed regions appear in the log with
+// the flag set when a fault triggers recovery.
+func TestRegionLogSquashOnRecovery(t *testing.T) {
+	f := buildBench(40)
+	prog := compileFor(t, f, core.Turnpike, 4)
+	cfg := TurnpikeConfig(4, 10)
+	cfg.RecordRegions = true
+	s, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(s.Mem, 40)
+	injected := false
+	for !s.Halted() {
+		if !injected && s.Stats.Insts >= 300 {
+			if err := s.InjectBitFlip(4, 9, 5); err != nil {
+				t.Fatal(err)
+			}
+			injected = true
+		}
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats.Recoveries == 0 {
+		t.Skip("fault masked before a region closed")
+	}
+	squashed := 0
+	for _, ev := range s.RegionLog() {
+		if ev.Squashed {
+			squashed++
+		}
+	}
+	if squashed == 0 {
+		t.Fatal("recovery happened but no region logged as squashed")
+	}
+}
+
+// TestRegionLogDisabledByDefault: without the flag, no events accumulate.
+func TestRegionLogDisabledByDefault(t *testing.T) {
+	f := buildBench(20)
+	prog := compileFor(t, f, core.Turnpike, 4)
+	s, err := New(prog, TurnpikeConfig(4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(s.Mem, 20)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RegionLog() != nil {
+		t.Fatal("events recorded without RecordRegions")
+	}
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// TestInvariantsHoldDuringRuns steps real workloads and audits the
+// simulator's internal state periodically — with and without injected
+// faults, across both schemes.
+func TestInvariantsHoldDuringRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for _, name := range []string{"gcc", "lbm", "radix", "mcf"} {
+		p, _ := workload.ByName(name)
+		f := p.Build(3)
+		for _, scheme := range []core.Scheme{core.Turnstile, core.Turnpike} {
+			opt := core.Options{Scheme: core.Turnstile, SBSize: 4}
+			cfg := TurnstileConfig(4, 10)
+			if scheme == core.Turnpike {
+				opt = core.TurnpikeAll(4)
+				cfg = TurnpikeConfig(4, 10)
+			}
+			c, err := core.Compile(f, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(c.Prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.SeedMemory(s.Mem)
+			injectAt := uint64(rng.Intn(2000) + 100)
+			injected := false
+			steps := 0
+			for !s.Halted() {
+				if !injected && s.Stats.Insts >= injectAt {
+					if err := s.InjectBitFlip(isa.Reg(1+rng.Intn(28)), uint(rng.Intn(64)), 1+rng.Intn(10)); err != nil {
+						t.Fatal(err)
+					}
+					injected = true
+				}
+				if err := s.Step(); err != nil {
+					t.Fatalf("%s/%v: %v", name, scheme, err)
+				}
+				steps++
+				if steps%97 == 0 {
+					if err := s.CheckInvariants(); err != nil {
+						t.Fatalf("%s/%v after %d steps: %v", name, scheme, steps, err)
+					}
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("%s/%v at halt: %v", name, scheme, err)
+			}
+		}
+	}
+}
+
+// TestInvariantsOnFuzz extends the audit to random programs.
+func TestInvariantsOnFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 15; trial++ {
+		seed := rng.Int63()
+		f := workload.Fuzz(seed)
+		c, err := core.Compile(f, core.TurnpikeAll(4))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s, err := New(c.Prog, TurnpikeConfig(4, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.FuzzSeedMemory(s.Mem, seed)
+		steps := 0
+		for !s.Halted() {
+			if err := s.Step(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			steps++
+			if steps%53 == 0 {
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d after %d steps: %v", seed, steps, err)
+				}
+			}
+		}
+	}
+}

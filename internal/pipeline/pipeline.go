@@ -1,0 +1,184 @@
+// Package pipeline is the cycle-level timing and functional simulator of
+// the 2-issue in-order core the paper evaluates on (an ARM Cortex-A53-class
+// machine in gem5), extended with the co-design structures:
+//
+//   - a gated store buffer (GSB) that quarantines stores until their region
+//     is verified error-free (WCDL cycles after the region ends),
+//   - a region boundary buffer (RBB) tracking in-flight regions and their
+//     recovery PCs,
+//   - a committed load queue (CLQ) — ideal address-matching or compact
+//     range-based — enabling fast release of WAR-free regular stores
+//     (§4.3.1), with the selective-control FSM of Fig. 13, and
+//   - hardware coloring (AC/UC/VC maps) enabling fast release of
+//     checkpoint stores (§4.3.2).
+//
+// The model is an issue/ready-cycle scoreboard: dual issue, full
+// forwarding, taken-branch bubbles under a bimodal predictor, load latency
+// from a real cache hierarchy, and precise store-buffer occupancy. It is
+// also a complete functional simulator — fault-free runs must produce
+// exactly the reference machine's memory image (integration tests enforce
+// this), and the fault package drives injection/recovery through it.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// CLQKind selects the committed-load-queue design (§4.3.1).
+type CLQKind int
+
+const (
+	// CLQCompact is the paper's 2-entry range-based design.
+	CLQCompact CLQKind = iota
+	// CLQIdeal is the infinite, exact address-matching design used as the
+	// accuracy upper bound in Figs. 14/15.
+	CLQIdeal
+)
+
+func (k CLQKind) String() string {
+	if k == CLQIdeal {
+		return "ideal"
+	}
+	return "compact"
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// SBSize is the store-buffer capacity (4 on Cortex-A53).
+	SBSize int
+	// WCDL is the sensors' worst-case detection latency in cycles.
+	WCDL int
+	// Resilient enables region tracking and store quarantine. False
+	// models the baseline core: stores drain freely.
+	Resilient bool
+	// WARFreeRelease enables CLQ-based fast release of regular stores.
+	WARFreeRelease bool
+	// CLQ selects the CLQ design; CLQSize its entry count (compact only).
+	CLQ     CLQKind
+	CLQSize int
+	// HWColoring enables checkpoint fast release through the color maps.
+	HWColoring bool
+	// IssueWidth is instructions per cycle (2 for the modeled core).
+	IssueWidth int
+	// RBBSize bounds in-flight (unverified) regions.
+	RBBSize int
+	// BranchPenalty is the misprediction bubble in cycles.
+	BranchPenalty int
+	// Hier configures the cache hierarchy; zero value uses the default.
+	Hier cache.HierarchyConfig
+	// MaxInsts aborts runaway simulations (0 = 500M).
+	MaxInsts uint64
+	// RecordRegions enables the per-region event log (RegionLog).
+	RecordRegions bool
+}
+
+// Default returns the paper's §6.1 configuration for the given scheme
+// knobs. Callers flip Resilient/WARFreeRelease/HWColoring per experiment.
+func Default() Config {
+	return Config{
+		SBSize:        4,
+		WCDL:          10,
+		CLQ:           CLQCompact,
+		CLQSize:       2,
+		IssueWidth:    2,
+		RBBSize:       16,
+		BranchPenalty: 3,
+		Hier:          cache.DefaultHierarchyConfig(),
+	}
+}
+
+// TurnstileConfig: quarantine everything, no fast release.
+func TurnstileConfig(sb, wcdl int) Config {
+	c := Default()
+	c.SBSize, c.WCDL, c.Resilient = sb, wcdl, true
+	return c
+}
+
+// TurnpikeConfig: quarantine with both fast-release mechanisms enabled.
+func TurnpikeConfig(sb, wcdl int) Config {
+	c := TurnstileConfig(sb, wcdl)
+	c.WARFreeRelease, c.HWColoring = true, true
+	return c
+}
+
+// BaselineConfig: no resilience support at all.
+func BaselineConfig(sb int) Config {
+	c := Default()
+	c.SBSize = sb
+	return c
+}
+
+func (c *Config) validate() error {
+	if c.SBSize < 1 {
+		return fmt.Errorf("pipeline: SB size %d", c.SBSize)
+	}
+	if c.Resilient && c.WCDL < 1 {
+		return fmt.Errorf("pipeline: WCDL %d", c.WCDL)
+	}
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("pipeline: issue width %d", c.IssueWidth)
+	}
+	if c.WARFreeRelease && c.CLQ == CLQCompact && c.CLQSize < 1 {
+		return fmt.Errorf("pipeline: CLQ size %d", c.CLQSize)
+	}
+	if c.Resilient && c.RBBSize < 2 {
+		return fmt.Errorf("pipeline: RBB size %d", c.RBBSize)
+	}
+	return nil
+}
+
+// Stats aggregates a run's timing and mechanism counters.
+type Stats struct {
+	Cycles uint64
+	Insts  uint64
+
+	// Store classification (dynamic).
+	ProgStores  uint64
+	SpillStores uint64
+	CkptStores  uint64
+
+	// Fast-release outcomes (dynamic stores).
+	WARFreeReleased uint64 // regular stores released via CLQ check
+	ColoredReleased uint64 // checkpoints released via coloring
+	Quarantined     uint64 // stores held for verification
+	WAWBlocked      uint64 // fast release denied by same-address older entry
+
+	// Stall accounting.
+	SBFullStalls  uint64 // cycles stalled on a full store buffer
+	DataStalls    uint64 // cycles stalled on operand readiness
+	BranchBubbles uint64
+	RBBFullStalls uint64
+	ColorStalls   uint64 // cycles stalled waiting for a free color
+	FetchStalls   uint64
+
+	// Region/CLQ behaviour.
+	RegionsExecuted uint64
+	CLQOverflows    uint64
+	CLQOccSamples   uint64
+	CLQOccSum       uint64
+	CLQOccMax       int
+
+	// Recovery behaviour (fault campaigns).
+	Recoveries     uint64
+	ParityTrips    uint64
+	RecoveryCycles uint64
+}
+
+// AvgCLQOccupancy returns the mean populated CLQ entries sampled at region
+// boundaries (Fig. 24).
+func (s *Stats) AvgCLQOccupancy() float64 {
+	if s.CLQOccSamples == 0 {
+		return 0
+	}
+	return float64(s.CLQOccSum) / float64(s.CLQOccSamples)
+}
+
+// IPC returns instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}

@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// flushPenalty is the pipeline-flush cost charged when recovery redirects
+// fetch to a recovery block (drain + refill of the 5-stage pipe).
+const flushPenalty = 5
+
+// InjectBitFlip flips one bit of an architectural register "now" and
+// schedules the acoustic-sensor detection event after latency cycles.
+// latency must not exceed the configured WCDL — the sensors guarantee the
+// bound, and the recovery argument (§2.1) depends on it. The register is
+// tainted for the parity model of §5.
+func (s *Sim) InjectBitFlip(r isa.Reg, bit uint, latency int) error {
+	if !s.Cfg.Resilient {
+		return fmt.Errorf("pipeline: fault injection requires a resilient configuration")
+	}
+	if latency < 1 || latency > s.Cfg.WCDL {
+		return fmt.Errorf("pipeline: detection latency %d outside [1, WCDL=%d]", latency, s.Cfg.WCDL)
+	}
+	if s.pendingDetectAt != infCycle {
+		return fmt.Errorf("pipeline: a fault is already pending")
+	}
+	s.Regs[r] ^= 1 << (bit & 63)
+	s.Taint[r] = true
+	s.pendingDetectAt = s.cycle + uint64(latency)
+	return nil
+}
+
+// InjectMultiBitFlip models a multi-bit upset: one particle strike
+// corrupting several bits, possibly across two adjacent registers (the
+// scenario that defeats parity/ECC-per-word schemes but not acoustic
+// detection — the sensors hear the strike itself). Detection and recovery
+// proceed exactly as for a single flip; the guarantee is unchanged.
+func (s *Sim) InjectMultiBitFlip(r isa.Reg, bits []uint, spillover bool, latency int) error {
+	if !s.Cfg.Resilient {
+		return fmt.Errorf("pipeline: fault injection requires a resilient configuration")
+	}
+	if latency < 1 || latency > s.Cfg.WCDL {
+		return fmt.Errorf("pipeline: detection latency %d outside [1, WCDL=%d]", latency, s.Cfg.WCDL)
+	}
+	if s.pendingDetectAt != infCycle {
+		return fmt.Errorf("pipeline: a fault is already pending")
+	}
+	if len(bits) == 0 {
+		return fmt.Errorf("pipeline: no bits to flip")
+	}
+	for _, b := range bits {
+		s.Regs[r] ^= 1 << (b & 63)
+	}
+	s.Taint[r] = true
+	if spillover {
+		r2 := (r + 1) % isa.NumRegs
+		s.Regs[r2] ^= 1 << (bits[0] & 63)
+		s.Taint[r2] = true
+	}
+	s.pendingDetectAt = s.cycle + uint64(latency)
+	return nil
+}
+
+// recover implements the paper's recovery sequence (§2.2, §4.3.2): discard
+// all unverified store-buffer entries, squash the unverified regions'
+// colors, redirect fetch to the recovery block of the earliest unverified
+// region (whose entry is the most recently verified boundary), and resume.
+// Fast-released stores of squashed regions already reached the cache; the
+// WAR-free and coloring arguments guarantee re-execution overwrites or
+// never reads them.
+func (s *Sim) recover() error {
+	if !s.Cfg.Resilient {
+		return fmt.Errorf("pipeline: recovery without resilience support")
+	}
+	s.processVerifications()
+	if len(s.rbb) == 0 {
+		return fmt.Errorf("pipeline: recovery with no in-flight region")
+	}
+	restart := s.rbb[0]
+
+	for _, r := range s.rbb {
+		if s.colors != nil {
+			for reg, c := range r.colors {
+				s.colors.squash(reg, c)
+			}
+		}
+		s.logRegion(r, true)
+	}
+	s.sb.discardUnverified()
+	if s.clq != nil {
+		s.clq.clearAll()
+		s.clqEnabled = true
+	}
+	s.rbb = s.rbb[:0]
+	s.cur = nil
+
+	rpc := s.Prog.Regions[restart.staticID].RecoveryPC
+	if rpc < 0 {
+		return fmt.Errorf("pipeline: region %d has no recovery block", restart.staticID)
+	}
+	s.PC = rpc
+	s.inRecovery = true
+	s.pendingDetectAt = infCycle
+	for i := range s.Taint {
+		s.Taint[i] = false
+	}
+	startCycle := s.cycle
+	s.advanceTo(s.cycle+flushPenalty, nil)
+	for i := range s.regReady {
+		s.regReady[i] = s.cycle
+	}
+	s.Stats.Recoveries++
+	s.Stats.RecoveryCycles += s.cycle - startCycle
+	return nil
+}
+
+// FaultPending reports whether a detection event is scheduled.
+func (s *Sim) FaultPending() bool { return s.pendingDetectAt != infCycle }

@@ -1,0 +1,188 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// infCycle marks "no event" times.
+const infCycle = ^uint64(0)
+
+// sbEntry is one gated-store-buffer slot.
+type sbEntry struct {
+	addr, val uint64
+	// quarantined entries apply to memory at drain, which requires their
+	// region to be *verified* (not merely for a timestamp to pass — a
+	// pending error detection can abort a verification whose window the
+	// simulated clock has already jumped over). Fast/baseline entries are
+	// applied at commit and model drain bandwidth only.
+	quarantined bool
+	region      *regionInst // nil when not resilient
+	commitAt    uint64
+	isCkpt      bool
+	ckptReg     isa.Reg
+	seq         uint64
+}
+
+// drainableAt returns the earliest cycle this entry may drain, ignoring
+// the 1-per-cycle port: commit time for fast entries, the region's
+// verification time for quarantined ones (infCycle until verified regions
+// are processed — callers advance time, which runs verification).
+func (e *sbEntry) drainableAt() uint64 {
+	if !e.quarantined {
+		return e.commitAt
+	}
+	if e.region == nil || !e.region.verified {
+		return infCycle
+	}
+	return e.region.verifyAt
+}
+
+// pendingVerifyAt returns when the entry *would* become drainable assuming
+// verification proceeds undisturbed; used to size structural-hazard stalls.
+func (e *sbEntry) pendingVerifyAt() uint64 {
+	if !e.quarantined {
+		return e.commitAt
+	}
+	if e.region == nil {
+		return infCycle
+	}
+	return e.region.verifyAt // infCycle while the region is still open
+}
+
+// storeBuffer models the GSB: bounded entries, one drain per cycle to L1,
+// oldest-drainable-first (out-of-order across quarantine classes is safe —
+// the simulator's WAW check refuses fast release when an older same-address
+// entry is pending).
+type storeBuffer struct {
+	entries   []sbEntry
+	cap       int
+	lastDrain uint64
+	seq       uint64
+}
+
+func newStoreBuffer(capacity int) *storeBuffer {
+	return &storeBuffer{cap: capacity}
+}
+
+func (sb *storeBuffer) full() bool { return len(sb.entries) >= sb.cap }
+func (sb *storeBuffer) len() int   { return len(sb.entries) }
+
+// push appends a committed store. Callers must ensure space (drain/stall).
+func (sb *storeBuffer) push(e sbEntry) {
+	sb.seq++
+	e.seq = sb.seq
+	sb.entries = append(sb.entries, e)
+}
+
+// drainUntil retires drainable entries with the 1/cycle port up to cycle
+// now, applying quarantined writes to mem. Verification state must be
+// current (the simulator advances time before calling).
+func (sb *storeBuffer) drainUntil(now uint64, mem *isa.Memory) {
+	for {
+		i := sb.oldestDrainable()
+		if i < 0 {
+			return
+		}
+		t := sb.entries[i].drainableAt()
+		if t < sb.lastDrain+1 {
+			t = sb.lastDrain + 1
+		}
+		if t > now {
+			return
+		}
+		sb.applyAndRemove(i, mem)
+		sb.lastDrain = t
+	}
+}
+
+// nextEventAt returns the earliest cycle at which some entry could drain,
+// assuming pending verifications complete on schedule. infCycle means the
+// buffer is wedged on an open region (a partitioning bug).
+func (sb *storeBuffer) nextEventAt() uint64 {
+	best := infCycle
+	for i := range sb.entries {
+		t := sb.entries[i].pendingVerifyAt()
+		if t == infCycle {
+			continue
+		}
+		if t < sb.lastDrain+1 {
+			t = sb.lastDrain + 1
+		}
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+func (sb *storeBuffer) oldestDrainable() int {
+	best := -1
+	for i := range sb.entries {
+		if sb.entries[i].drainableAt() == infCycle {
+			continue
+		}
+		if best == -1 || sb.entries[i].seq < sb.entries[best].seq {
+			best = i
+		}
+	}
+	return best
+}
+
+func (sb *storeBuffer) applyAndRemove(i int, mem *isa.Memory) {
+	e := sb.entries[i]
+	if e.quarantined {
+		mem.Store(e.addr, e.val)
+	}
+	sb.entries = append(sb.entries[:i], sb.entries[i+1:]...)
+}
+
+// hasOlderSameAddr reports whether any pending entry targets addr — the
+// WAW guard consulted before fast-releasing a store (the forwarding CAM
+// provides this search in hardware).
+func (sb *storeBuffer) hasOlderSameAddr(addr uint64) bool {
+	for i := range sb.entries {
+		if sb.entries[i].addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// forward searches quarantined entries for the youngest value at addr
+// (store-to-load forwarding); fast entries already hit memory.
+func (sb *storeBuffer) forward(addr uint64) (uint64, bool) {
+	bestSeq := uint64(0)
+	var val uint64
+	found := false
+	for i := range sb.entries {
+		e := &sb.entries[i]
+		if e.quarantined && e.addr == addr && e.seq >= bestSeq {
+			bestSeq, val, found = e.seq, e.val, true
+		}
+	}
+	return val, found
+}
+
+// discardUnverified drops quarantined entries of unverified regions;
+// recovery calls this after squashing the RBB. Returns the count dropped.
+func (sb *storeBuffer) discardUnverified() int {
+	n := 0
+	kept := sb.entries[:0]
+	for i := range sb.entries {
+		e := sb.entries[i]
+		if e.quarantined && (e.region == nil || !e.region.verified) {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	sb.entries = kept
+	return n
+}
+
+// wedgedError describes a store buffer that can never drain.
+func (sb *storeBuffer) wedgedError() error {
+	return fmt.Errorf("pipeline: store buffer wedged: %d entries, none can ever drain (region exceeds SB size?)", len(sb.entries))
+}

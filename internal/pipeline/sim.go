@@ -1,0 +1,605 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// regionInst is one dynamic region (an RBB entry): the instance of a
+// static region opened by a committed BOUND.
+type regionInst struct {
+	id       int
+	staticID int
+	boundPC  int
+	start    uint64
+	end      uint64 // 0 while open
+	verifyAt uint64 // end + WCDL; infCycle while open
+	verified bool
+	colors   map[isa.Reg]int // UC: colors used by this region's checkpoints
+
+	// Per-region observability counters (events.go).
+	warFree, colored, quarantined int
+	insts                         uint64
+}
+
+// Sim simulates one program under one configuration. It is both the
+// functional and the timing model; fault-free runs reproduce the reference
+// machine's memory exactly.
+type Sim struct {
+	Prog *isa.Program
+	Cfg  Config
+
+	Regs [isa.NumRegs]uint64
+	Mem  *isa.Memory
+	PC   int
+
+	// Taint marks architecturally corrupted registers during fault
+	// campaigns (the per-register parity bit of §5 plus derived values,
+	// standing in for the hardened AGU). Cleared by recovery.
+	Taint [isa.NumRegs]bool
+
+	cycle     uint64
+	slots     int
+	regReady  [isa.NumRegs]uint64
+	hier      *cache.Hierarchy
+	sb        *storeBuffer
+	predictor map[int]uint8 // bimodal 2-bit counters per branch PC
+
+	// Resilience state.
+	rbb        []*regionInst
+	cur        *regionInst
+	nextRegion int
+	clq        committedLoadQueue
+	clqEnabled bool
+	colors     *colorMaps
+
+	// Fault state (driven by package fault).
+	pendingDetectAt uint64 // infCycle when none
+	inRecovery      bool   // executing a recovery block
+
+	// regionLog records per-region events when Cfg.RecordRegions is set.
+	regionLog []RegionEvent
+
+	Stats  Stats
+	halted bool
+}
+
+// New builds a simulator. The program must validate; resilient configs
+// require region metadata.
+func New(prog *isa.Program, cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Resilient && len(prog.Regions) == 0 {
+		return nil, fmt.Errorf("pipeline: resilient config but program has no regions")
+	}
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = 500_000_000
+	}
+	hcfg := cfg.Hier
+	if hcfg.MemLatency == 0 {
+		hcfg = cache.DefaultHierarchyConfig()
+	}
+	hier, err := cache.NewHierarchy(hcfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		Prog:            prog,
+		Cfg:             cfg,
+		Mem:             isa.NewMemory(),
+		PC:              prog.Entry,
+		hier:            hier,
+		sb:              newStoreBuffer(cfg.SBSize),
+		predictor:       map[int]uint8{},
+		pendingDetectAt: infCycle,
+		cycle:           1,
+	}
+	if cfg.Resilient {
+		if cfg.WARFreeRelease {
+			if cfg.CLQ == CLQIdeal {
+				s.clq = newIdealCLQ()
+			} else {
+				s.clq = newCompactCLQ(cfg.CLQSize)
+			}
+			s.clqEnabled = true
+		}
+		if cfg.HWColoring {
+			s.colors = newColorMaps()
+		}
+	}
+	return s, nil
+}
+
+// Cycle returns the current cycle.
+func (s *Sim) Cycle() uint64 { return s.cycle }
+
+// Halted reports whether the program has finished.
+func (s *Sim) Halted() bool { return s.halted }
+
+// Run executes to completion and returns the statistics.
+func (s *Sim) Run() (Stats, error) {
+	for !s.halted {
+		if err := s.Step(); err != nil {
+			return s.Stats, err
+		}
+	}
+	return s.Stats, nil
+}
+
+// OutputMemory returns the architectural memory with all pending
+// quarantined stores applied (as if the machine drained at halt), masking
+// checkpoint storage.
+func (s *Sim) OutputMemory() *isa.Memory {
+	out := s.Mem.Clone()
+	for _, e := range s.sb.entries {
+		if e.quarantined {
+			out.Store(e.addr, e.val)
+		}
+	}
+	lo := s.Prog.CkptBase
+	hi := s.Prog.CkptBase + isa.NumRegs*isa.NumColors*8
+	res := isa.NewMemory()
+	for _, kv := range out.Snapshot() {
+		if kv.Addr >= lo && kv.Addr < hi {
+			continue
+		}
+		res.Store(kv.Addr, kv.Val)
+	}
+	return res
+}
+
+// advanceTo moves the issue cursor to cycle c (processing verification
+// events), attributing the stall to the given counter.
+func (s *Sim) advanceTo(c uint64, counter *uint64) {
+	if c <= s.cycle {
+		return
+	}
+	if counter != nil {
+		*counter += c - s.cycle
+	}
+	s.cycle = c
+	s.slots = 0
+	s.processVerifications()
+}
+
+// processVerifications retires regions whose WCDL window has elapsed. A
+// pending detection event caps the verification clock: the sensors fired
+// at pendingDetectAt, so a region whose window reaches to or past that
+// instant is aborted, not verified — even when the simulated clock has
+// already jumped further due to a stall.
+func (s *Sim) processVerifications() {
+	limit := s.cycle
+	if s.pendingDetectAt != infCycle && s.pendingDetectAt <= limit {
+		limit = s.pendingDetectAt - 1
+	}
+	for len(s.rbb) > 0 {
+		r := s.rbb[0]
+		if r.verifyAt == infCycle || r.verifyAt > limit {
+			return
+		}
+		r.verified = true
+		s.rbb = s.rbb[1:]
+		s.logRegion(r, false)
+		// Colors: UC -> VC, reclaiming previous VC colors.
+		if s.colors != nil {
+			for reg, c := range r.colors {
+				s.colors.verify(reg, c)
+			}
+		}
+		// CLQ bookkeeping: free the region's entry. Re-enabling after an
+		// overflow happens at a region *start* (commitBound), not here —
+		// fast release is only safe when every unverified region's loads
+		// are recorded, which holds again once all prior regions verify.
+		if s.clq != nil {
+			s.clq.clearRegion(r.id)
+		}
+	}
+}
+
+// Step executes one instruction (or triggers a pending fault detection).
+func (s *Sim) Step() error {
+	if s.halted {
+		return nil
+	}
+	if s.Stats.Insts >= s.Cfg.MaxInsts {
+		return fmt.Errorf("pipeline: instruction limit %d exceeded", s.Cfg.MaxInsts)
+	}
+	s.processVerifications()
+	if s.pendingDetectAt != infCycle && s.cycle >= s.pendingDetectAt {
+		return s.recover()
+	}
+	if s.PC < 0 || s.PC >= len(s.Prog.Insts) {
+		return fmt.Errorf("pipeline: PC %d out of range", s.PC)
+	}
+	in := &s.Prog.Insts[s.PC]
+
+	// Region boundaries are compiler metadata the RBB recognizes by PC —
+	// they occupy no fetch slot, no issue slot, and no instruction count
+	// (the paper's boundaries add no instructions to the binary).
+	if in.Op == isa.BOUND {
+		if err := s.commitBound(in, s.cycle); err != nil {
+			return err
+		}
+		s.PC++
+		s.Stats.Cycles = s.cycle
+		return nil
+	}
+
+	// Fetch: instruction cache.
+	if lat := s.hier.InstAccess(uint64(s.PC) * 4); lat > 0 {
+		s.advanceTo(s.cycle+uint64(lat), &s.Stats.FetchStalls)
+	}
+
+	// Issue: operand readiness (full forwarding — ready cycle is when the
+	// producing instruction's result is available).
+	start := s.cycle
+	var usebuf [3]isa.Reg
+	uses := in.Uses(usebuf[:0])
+	for _, r := range uses {
+		if s.regReady[r] > start {
+			start = s.regReady[r]
+		}
+	}
+	if start > s.cycle {
+		s.advanceTo(start, &s.Stats.DataStalls)
+	}
+	// Dual-issue slot accounting.
+	if s.slots >= s.Cfg.IssueWidth {
+		s.advanceTo(s.cycle+1, nil)
+	}
+	s.slots++
+	start = s.cycle
+
+	s.Stats.Insts++
+	if s.cur != nil && !s.inRecovery {
+		s.cur.insts++
+	}
+	next := s.PC + 1
+
+	switch {
+	case in.Op == isa.HALT:
+		if s.Cfg.Resilient && s.pendingDetectAt != infCycle {
+			// The program cannot retire: its final regions are still
+			// inside their verification windows and the sensors fire
+			// within WCDL — recovery preempts the halt (a corrupted value
+			// may even be what steered execution here).
+			if s.pendingDetectAt > s.cycle {
+				s.advanceTo(s.pendingDetectAt, nil)
+			}
+			return s.recover()
+		}
+		s.halted = true
+		if s.Cfg.Resilient {
+			// The last region's verification tail is real time: the core
+			// cannot retire the program's final stores to cache earlier.
+			s.advanceTo(s.cycle+uint64(s.Cfg.WCDL), nil)
+			if s.cur != nil && s.cur.end == 0 {
+				s.cur.end = s.cycle
+				s.cur.verifyAt = s.cycle // program over; window degenerate
+			}
+			s.processVerifications()
+		}
+		s.sb.drainUntil(infCycle-1, s.Mem)
+		if s.sb.lastDrain > s.cycle {
+			s.cycle = s.sb.lastDrain
+		}
+		s.Stats.Cycles = s.cycle
+		return nil
+
+	case in.Op == isa.NOP:
+
+	case in.Op == isa.MOVI:
+		s.Regs[in.Rd] = uint64(in.Imm)
+		s.Taint[in.Rd] = false
+		s.regReady[in.Rd] = start + 1
+
+	case in.Op == isa.MOV:
+		s.Regs[in.Rd] = s.Regs[in.Rs1]
+		s.Taint[in.Rd] = s.Taint[in.Rs1]
+		s.regReady[in.Rd] = start + 1
+
+	case in.Op.IsALU():
+		b := s.Regs[in.Rs2]
+		taint := s.Taint[in.Rs1]
+		if in.HasImm {
+			b = uint64(in.Imm)
+		} else {
+			taint = taint || s.Taint[in.Rs2]
+		}
+		s.Regs[in.Rd] = isa.ALUOp(in.Op, s.Regs[in.Rs1], b)
+		s.Taint[in.Rd] = taint
+		s.regReady[in.Rd] = start + uint64(in.Op.ExLatency())
+
+	case in.Op == isa.LD:
+		addr := s.Regs[in.Rs1] + uint64(in.Imm)
+		if s.Taint[in.Rs1] {
+			// Parity on the address register trips before the access.
+			s.Stats.ParityTrips++
+			return s.recover()
+		}
+		var lat int
+		if v, ok := s.sb.forward(addr); ok {
+			s.Regs[in.Rd] = v
+			lat = s.hier.L1D.HitLatency() // forwarding at L1-hit time
+			s.hier.L1D.Access(addr)       // keep cache state warm
+		} else {
+			s.Regs[in.Rd] = s.Mem.Load(addr)
+			lat = s.hier.DataAccess(addr)
+		}
+		s.Taint[in.Rd] = false
+		s.regReady[in.Rd] = start + uint64(lat)
+		if s.Cfg.Resilient && s.clq != nil && s.clqEnabled && s.cur != nil && !s.inRecovery {
+			if !s.clq.noteLoad(s.cur.id, addr) {
+				// Overflow: disable fast release and wipe (Fig. 13).
+				s.clqEnabled = false
+				s.clq.clearAll()
+				s.Stats.CLQOverflows++
+			}
+		}
+
+	case in.Op == isa.ST:
+		if s.Taint[in.Rs1] {
+			s.Stats.ParityTrips++
+			return s.recover()
+		}
+		addr := s.Regs[in.Rs1] + uint64(in.Imm)
+		recovered, err := s.commitStore(in, addr, s.Regs[in.Rs2], false, 0)
+		if err != nil {
+			return err
+		}
+		if recovered {
+			return nil // PC already redirected to the recovery block
+		}
+
+	case in.Op == isa.CKPT:
+		recovered, err := s.commitCkpt(in)
+		if err != nil {
+			return err
+		}
+		if recovered {
+			return nil
+		}
+
+	case in.Op == isa.RESTORE:
+		// Recovery-block load from the verified checkpoint slot.
+		color := 0
+		if s.colors != nil {
+			if vc := s.colors.verified(in.Rd); vc >= 0 {
+				color = vc
+			}
+		}
+		addr := s.Prog.CkptSlot(in.Rd, color)
+		if v, ok := s.sb.forward(addr); ok {
+			s.Regs[in.Rd] = v
+		} else {
+			s.Regs[in.Rd] = s.Mem.Load(addr)
+		}
+		lat := s.hier.DataAccess(addr)
+		s.Taint[in.Rd] = false
+		s.regReady[in.Rd] = start + uint64(lat)
+
+	case in.Op == isa.JMP:
+		next = in.Target
+		if s.inRecovery && s.Prog.Insts[next].Op == isa.BOUND {
+			// Jumping back into the program body ends the recovery block.
+			s.inRecovery = false
+		}
+
+	case in.Op.IsCondBranch():
+		b := s.Regs[in.Rs2]
+		if in.HasImm {
+			b = uint64(in.Imm)
+		}
+		taken := isa.BranchTaken(in.Op, s.Regs[in.Rs1], b)
+		if taken {
+			next = in.Target
+		}
+		// Bimodal predictor: 2-bit counter per branch PC.
+		ctr := s.predictor[s.PC]
+		predictTaken := ctr >= 2
+		if predictTaken != taken {
+			s.advanceTo(s.cycle+uint64(s.Cfg.BranchPenalty), &s.Stats.BranchBubbles)
+		}
+		if taken && ctr < 3 {
+			s.predictor[s.PC] = ctr + 1
+		} else if !taken && ctr > 0 {
+			s.predictor[s.PC] = ctr - 1
+		}
+
+	default:
+		return fmt.Errorf("pipeline: unimplemented op %v at %d", in.Op, s.PC)
+	}
+
+	if !s.halted {
+		s.PC = next
+		if s.cycle == start && s.slots > s.Cfg.IssueWidth {
+			// Defensive: slot bookkeeping is handled above; never trips.
+			s.advanceTo(s.cycle+1, nil)
+		}
+	}
+	s.Stats.Cycles = s.cycle
+	return nil
+}
+
+// commitBound closes the current region and opens the next RBB entry.
+func (s *Sim) commitBound(in *isa.Inst, now uint64) error {
+	if !s.Cfg.Resilient {
+		return nil // boundaries are inert without resilience hardware
+	}
+	if s.cur != nil {
+		s.cur.end = now
+		s.cur.verifyAt = now + uint64(s.Cfg.WCDL)
+	}
+	// RBB capacity: stall until the oldest region verifies.
+	for len(s.rbb) >= s.Cfg.RBBSize {
+		oldest := s.rbb[0]
+		if oldest.verifyAt == infCycle {
+			return fmt.Errorf("pipeline: RBB wedged (open region at head)")
+		}
+		s.advanceTo(oldest.verifyAt, &s.Stats.RBBFullStalls)
+		now = s.cycle
+	}
+	r := &regionInst{
+		id:       s.nextRegion,
+		staticID: int(in.Imm),
+		boundPC:  s.PC,
+		start:    now,
+		verifyAt: infCycle,
+	}
+	s.nextRegion++
+	s.rbb = append(s.rbb, r)
+	s.cur = r
+	s.Stats.RegionsExecuted++
+	// Fig. 13's selective control, with the paper's in-order-release
+	// condition: after an overflow, CLQ insertion resumes only at a region
+	// start once every prior region is verified (rbb holds just the new
+	// region) — otherwise older unverified regions would have unrecorded
+	// loads and the WAR check would be unsound.
+	if s.clq != nil && !s.clqEnabled && len(s.rbb) == 1 {
+		s.clqEnabled = true
+	}
+	// Sample CLQ occupancy at boundaries (Fig. 24).
+	if s.clq != nil {
+		occ := s.clq.occupancy()
+		s.Stats.CLQOccSamples++
+		s.Stats.CLQOccSum += uint64(occ)
+		if occ > s.Stats.CLQOccMax {
+			s.Stats.CLQOccMax = occ
+		}
+	}
+	return nil
+}
+
+// reserveSBSlot stalls until the store buffer has a free entry, sizing the
+// stall from pending verification events. When a fault detection fires
+// before the hazard resolves, it triggers recovery and reports
+// recovered=true — the store never commits and will re-execute.
+func (s *Sim) reserveSBSlot() (recovered bool, err error) {
+	s.sb.drainUntil(s.cycle, s.Mem)
+	for s.sb.full() {
+		t := s.sb.nextEventAt()
+		if t == infCycle {
+			return false, s.sb.wedgedError()
+		}
+		if s.pendingDetectAt != infCycle && t >= s.pendingDetectAt {
+			// The sensors fire before the structural hazard resolves.
+			s.advanceTo(s.pendingDetectAt, &s.Stats.SBFullStalls)
+			return true, s.recover()
+		}
+		if t > s.cycle {
+			s.advanceTo(t, &s.Stats.SBFullStalls)
+		} else {
+			s.advanceTo(s.cycle+1, &s.Stats.SBFullStalls)
+		}
+		s.sb.drainUntil(s.cycle, s.Mem)
+	}
+	return false, nil
+}
+
+// commitStore pushes a regular (program/spill) store or a checkpoint that
+// fell back to quarantine. recovered=true means a fault detection fired
+// during the structural stall and the store did not commit.
+func (s *Sim) commitStore(in *isa.Inst, addr, val uint64, isCkpt bool, ckptReg isa.Reg) (recovered bool, err error) {
+	// Structural hazard: wait for a free SB slot.
+	if recovered, err := s.reserveSBSlot(); recovered || err != nil {
+		return recovered, err
+	}
+	switch in.Kind {
+	case isa.StoreProgram:
+		s.Stats.ProgStores++
+	case isa.StoreSpill:
+		s.Stats.SpillStores++
+	case isa.StoreCheckpoint:
+		s.Stats.CkptStores++
+	}
+
+	quarantine := s.Cfg.Resilient
+	if quarantine && !isCkpt && s.clq != nil && s.clqEnabled && s.cur != nil && !s.inRecovery {
+		// Fast release of WAR-free regular stores (§4.3.1), guarded by the
+		// forwarding-CAM WAW check for same-address ordering.
+		if s.clq.warFree(addr) {
+			if s.sb.hasOlderSameAddr(addr) {
+				s.Stats.WAWBlocked++
+			} else {
+				quarantine = false
+				s.Stats.WARFreeReleased++
+				s.cur.warFree++
+			}
+		}
+	}
+	if quarantine {
+		s.Stats.Quarantined++
+		if s.cur != nil {
+			s.cur.quarantined++
+		}
+		s.sb.push(sbEntry{addr: addr, val: val, quarantined: true, region: s.cur,
+			isCkpt: isCkpt, ckptReg: ckptReg, commitAt: s.cycle})
+	} else {
+		// Applied architecturally at commit; the SB entry models drain
+		// bandwidth only.
+		s.Mem.Store(addr, val)
+		s.sb.push(sbEntry{addr: addr, val: val, commitAt: s.cycle})
+	}
+	// Charge the L1 write access for cache-state realism.
+	s.hier.L1D.Access(addr)
+	return false, nil
+}
+
+// commitCkpt handles a checkpoint store: colored fast release when
+// enabled, else quarantine to the register's slot 0.
+func (s *Sim) commitCkpt(in *isa.Inst) (recovered bool, err error) {
+	r := in.Rs2
+	val := s.Regs[r]
+	if s.Cfg.Resilient && s.colors != nil && s.cur != nil && !s.inRecovery {
+		color := s.colors.acquire(r)
+		for color < 0 {
+			// Color pool dry: stall until the next verification event
+			// reclaims one (rare; bounded by in-flight regions).
+			if len(s.rbb) == 0 || s.rbb[0].verifyAt == infCycle {
+				return false, fmt.Errorf("pipeline: color pool wedged for %v", r)
+			}
+			t := s.rbb[0].verifyAt
+			if s.pendingDetectAt != infCycle && t >= s.pendingDetectAt {
+				s.advanceTo(s.pendingDetectAt, &s.Stats.ColorStalls)
+				return true, s.recover()
+			}
+			s.advanceTo(t, &s.Stats.ColorStalls)
+			color = s.colors.acquire(r)
+		}
+		if recovered, err := s.reserveSBSlot(); recovered || err != nil {
+			if recovered {
+				// The store never committed; the color was not recorded in
+				// UC yet, so hand it straight back.
+				s.colors.squash(r, color)
+			}
+			return recovered, err
+		}
+		if prev, used := s.cur.colors[r]; used {
+			// Second checkpoint of r in one region: the earlier color is
+			// superseded; reclaim it immediately.
+			s.colors.squash(r, prev)
+		}
+		if s.cur.colors == nil {
+			s.cur.colors = map[isa.Reg]int{}
+		}
+		s.cur.colors[r] = color
+		addr := s.Prog.CkptSlot(r, color)
+		// Fast release: SB entry for bandwidth, memory applied at commit.
+		s.Mem.Store(addr, val)
+		s.sb.push(sbEntry{addr: addr, val: val, commitAt: s.cycle})
+		s.hier.L1D.Access(addr)
+		s.Stats.CkptStores++
+		s.Stats.ColoredReleased++
+		s.cur.colored++
+		return false, nil
+	}
+	// No coloring: quarantine to slot 0 like any store.
+	addr := s.Prog.CkptSlot(r, 0)
+	return s.commitStore(in, addr, val, true, r)
+}

@@ -1,0 +1,5 @@
+package regalloc
+
+// SetDebugVReg enables allocation tracing for one virtual register; pass
+// -1 to disable. Diagnostic hook used by fuzz-failure reproductions.
+func SetDebugVReg(v int) { debugVReg = v }

@@ -1,0 +1,237 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// buildWide builds a straight-line function with n simultaneously-live
+// values to force spilling when n exceeds the allocatable register count.
+func buildWide(n int) *ir.Func {
+	b := ir.NewBuilder("wide")
+	out := b.MovI(int64(isa.DataBase))
+	vals := make([]ir.VReg, n)
+	for i := range vals {
+		vals[i] = b.MovI(int64(i + 1))
+	}
+	// Use all values after all definitions so they are simultaneously live.
+	sum := b.MovI(0)
+	for _, v := range vals {
+		b.OpTo(isa.ADD, sum, sum, v)
+	}
+	b.Store(out, 0, sum)
+	b.Halt()
+	return b.MustFinish()
+}
+
+func runFunc(t *testing.T, f *ir.Func) *isa.Memory {
+	t.Helper()
+	it, err := ir.RunIR(f)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return it.Mem
+}
+
+// maskPrivate drops spill-slot and checkpoint words so memories can be
+// compared on program output only.
+func maskPrivate(m *isa.Memory) *isa.Memory {
+	out := isa.NewMemory()
+	for _, e := range m.Snapshot() {
+		if e.Addr >= isa.StackBase && e.Addr < isa.StackLimit {
+			continue
+		}
+		if e.Addr >= isa.DefaultCkptBase {
+			continue
+		}
+		out.Store(e.Addr, e.Val)
+	}
+	return out
+}
+
+func TestAllocateNoSpill(t *testing.T) {
+	f := buildWide(10)
+	golden := runFunc(t, f.Clone())
+	res, err := Allocate(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) != 0 {
+		t.Fatalf("spilled %v with only 10 values live", res.Spilled)
+	}
+	if f.NumVRegs != isa.NumRegs {
+		t.Fatalf("NumVRegs = %d, want %d", f.NumVRegs, isa.NumRegs)
+	}
+	got := maskPrivate(runFunc(t, f))
+	want := maskPrivate(golden)
+	if !want.Equal(got) {
+		t.Fatalf("allocation changed semantics:\n%s", want.Diff(got, 10))
+	}
+}
+
+func TestAllocateWithSpills(t *testing.T) {
+	f := buildWide(60)
+	golden := runFunc(t, f.Clone())
+	res, err := Allocate(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spilled) == 0 {
+		t.Fatal("expected spills with 60 simultaneously-live values")
+	}
+	if res.SpillStores == 0 || res.SpillLoads == 0 {
+		t.Fatalf("spill code missing: stores=%d loads=%d", res.SpillStores, res.SpillLoads)
+	}
+	got := maskPrivate(runFunc(t, f))
+	want := maskPrivate(golden)
+	if !want.Equal(got) {
+		t.Fatalf("spilling changed semantics:\n%s", want.Diff(got, 10))
+	}
+	// All remaining vregs must be physical.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			var uses []ir.VReg
+			for _, u := range b.Instrs[i].Uses(uses) {
+				if int(u) >= isa.NumRegs {
+					t.Fatalf("unallocated vreg %v survives", u)
+				}
+			}
+			if d, ok := b.Instrs[i].Def(); ok && int(d) >= isa.NumRegs {
+				t.Fatalf("unallocated def %v survives", d)
+			}
+		}
+	}
+}
+
+// TestStoreAwareWeightReducesSpillStores reproduces the mechanism behind the
+// paper's §4.1.1: raising the write weight keeps frequently-written
+// variables in registers, trading them against read-mostly ones.
+func TestStoreAwareWeightReducesSpillStores(t *testing.T) {
+	build := func() *ir.Func {
+		b := ir.NewBuilder("rw")
+		out := b.MovI(int64(isa.DataBase))
+		// Read-mostly values: defined once, used in the loop.
+		nRead := 30
+		reads := make([]ir.VReg, nRead)
+		for i := range reads {
+			reads[i] = b.MovI(int64(i))
+		}
+		// Write-hot values: redefined every iteration.
+		hot := make([]ir.VReg, 4)
+		for i := range hot {
+			hot[i] = b.MovI(0)
+		}
+		i := b.MovI(0)
+		head, body, exit := b.NewBlock(), b.NewBlock(), b.NewBlock()
+		b.Fallthrough(head)
+		b.SetBlock(head)
+		b.BranchI(isa.BGE, i, 64, exit, body)
+		b.SetBlock(body)
+		for k, h := range hot {
+			b.OpITo(isa.ADD, h, h, int64(k+1)) // write-hot: one write per iter
+		}
+		acc := b.MovI(0)
+		for _, r := range reads {
+			b.OpTo(isa.ADD, acc, acc, r) // read-only uses
+		}
+		b.OpTo(isa.ADD, hot[0], hot[0], acc)
+		b.OpITo(isa.ADD, i, i, 1)
+		b.Jump(head)
+		b.SetBlock(exit)
+		b.Store(out, 0, hot[0])
+		b.Halt()
+		return b.MustFinish()
+	}
+
+	base := build()
+	golden := runFunc(t, base.Clone())
+	_, err := Allocate(base, Config{WriteWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := build()
+	_, err = Allocate(aware, Config{WriteWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	countDynSpillStores := func(f *ir.Func) int {
+		// Static count inside the loop approximates dynamic frequency.
+		n := 0
+		dt := ir.ComputeDominators(f)
+		lf := ir.FindLoops(f, dt)
+		for _, b := range f.Blocks {
+			if lf.Depth(b) == 0 {
+				continue
+			}
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == isa.ST && b.Instrs[i].Kind == isa.StoreSpill {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	nb, na := countDynSpillStores(base), countDynSpillStores(aware)
+	if na > nb {
+		t.Fatalf("store-aware allocation increased in-loop spill stores: %d -> %d", nb, na)
+	}
+	// Semantics preserved either way.
+	got := maskPrivate(runFunc(t, aware))
+	want := maskPrivate(golden)
+	if !want.Equal(got) {
+		t.Fatalf("store-aware allocation changed semantics:\n%s", want.Diff(got, 10))
+	}
+}
+
+// TestAllocateRandomPrograms is a property test: allocation must preserve
+// the program's observable memory for arbitrary straight-line programs.
+func TestAllocateRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ops := []isa.Op{isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR}
+	for trial := 0; trial < 50; trial++ {
+		b := ir.NewBuilder("rand")
+		out := b.MovI(int64(isa.DataBase))
+		var pool []ir.VReg
+		for i := 0; i < 8; i++ {
+			pool = append(pool, b.MovI(int64(rng.Intn(100))))
+		}
+		n := 20 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			a := pool[rng.Intn(len(pool))]
+			c := pool[rng.Intn(len(pool))]
+			pool = append(pool, b.Op(op, a, c))
+		}
+		// Store a handful of results.
+		for i := 0; i < 5; i++ {
+			b.Store(out, int64(i*8), pool[len(pool)-1-i*3])
+		}
+		b.Halt()
+		f := b.MustFinish()
+
+		golden := maskPrivate(runFunc(t, f.Clone()))
+		ww := 1 + rng.Intn(4)
+		if _, err := Allocate(f, Config{WriteWeight: ww}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := maskPrivate(runFunc(t, f))
+		if !golden.Equal(got) {
+			t.Fatalf("trial %d (ww=%d): semantics changed:\n%s", trial, ww, golden.Diff(got, 10))
+		}
+	}
+}
+
+func TestPrologueSetsSP(t *testing.T) {
+	f := buildWide(5)
+	if _, err := Allocate(f, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	first := f.Blocks[0].Instrs[0]
+	if first.Op != isa.MOVI || first.Dst != 0 || uint64(first.Imm) != isa.StackBase {
+		t.Fatalf("prologue = %v, want movi v0,#%d", first.String(), isa.StackBase)
+	}
+}

@@ -1,0 +1,133 @@
+package sensor
+
+import "testing"
+
+func TestPublishedOperatingPoints(t *testing.T) {
+	// The paper's §6.1: 300 sensors -> ~10 cycles WCDL at 2.5GHz, 1mm²;
+	// 30 sensors -> ~30 cycles.
+	w300 := Model{Sensors: 300, DieAreaMM2: 1.0, ClockGHz: 2.5}.WCDL()
+	if w300 < 8 || w300 > 12 {
+		t.Fatalf("300 sensors at 2.5GHz: WCDL=%d, want ~10", w300)
+	}
+	w30 := Model{Sensors: 30, DieAreaMM2: 1.0, ClockGHz: 2.5}.WCDL()
+	if w30 < 25 || w30 > 36 {
+		t.Fatalf("30 sensors at 2.5GHz: WCDL=%d, want ~30", w30)
+	}
+}
+
+func TestWCDLMonotonicity(t *testing.T) {
+	// More sensors -> lower latency; higher clock -> more cycles.
+	prev := 1 << 30
+	for _, n := range []int{10, 30, 100, 300, 1000} {
+		w := Model{Sensors: n, DieAreaMM2: 1.0, ClockGHz: 2.5}.WCDL()
+		if w > prev {
+			t.Fatalf("WCDL grew with sensors: %d sensors -> %d (prev %d)", n, w, prev)
+		}
+		prev = w
+	}
+	w20 := Model{Sensors: 100, DieAreaMM2: 1.0, ClockGHz: 2.0}.WCDL()
+	w30 := Model{Sensors: 100, DieAreaMM2: 1.0, ClockGHz: 3.0}.WCDL()
+	if w30 < w20 {
+		t.Fatalf("higher clock gave lower cycle WCDL: %d vs %d", w30, w20)
+	}
+}
+
+func TestSensorsForWCDLInverts(t *testing.T) {
+	for _, target := range []int{10, 20, 30, 50} {
+		n := SensorsForWCDL(target, 1.0, 2.5)
+		got := Model{Sensors: n, DieAreaMM2: 1.0, ClockGHz: 2.5}.WCDL()
+		if got > target {
+			t.Fatalf("SensorsForWCDL(%d)=%d gives WCDL %d", target, n, got)
+		}
+		if n > 1 {
+			worse := Model{Sensors: n - 1, DieAreaMM2: 1.0, ClockGHz: 2.5}.WCDL()
+			if worse <= target {
+				t.Fatalf("SensorsForWCDL(%d)=%d not minimal (%d sensors suffice)", target, n, n-1)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{Sensors: 0, DieAreaMM2: 1, ClockGHz: 1}).Validate(); err == nil {
+		t.Fatal("accepted zero sensors")
+	}
+	if err := (Model{Sensors: 10, DieAreaMM2: 0, ClockGHz: 1}).Validate(); err == nil {
+		t.Fatal("accepted zero area")
+	}
+	if err := (Model{Sensors: 10, DieAreaMM2: 1, ClockGHz: 2.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectorBounds(t *testing.T) {
+	d := NewDetector(10, 1)
+	for i := 0; i < 1000; i++ {
+		l := d.Latency()
+		if l < 1 || l > 10 {
+			t.Fatalf("latency %d outside [1,10]", l)
+		}
+	}
+	if d.WCDL() != 10 {
+		t.Fatalf("WCDL() = %d", d.WCDL())
+	}
+}
+
+func TestDetectorDeterminism(t *testing.T) {
+	a, b := NewDetector(30, 7), NewDetector(30, 7)
+	for i := 0; i < 100; i++ {
+		if a.Latency() != b.Latency() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPhysicalDetectorBounds(t *testing.T) {
+	m := Model{Sensors: 300, DieAreaMM2: 1.0, ClockGHz: 2.5}
+	d, err := NewPhysicalDetector(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.WCDL()
+	var sum int
+	for i := 0; i < 2000; i++ {
+		l := d.Latency()
+		if l < 1 || l > w {
+			t.Fatalf("latency %d outside [1,%d]", l, w)
+		}
+		sum += l
+	}
+	// Grid placement front-loads the distribution: the mean must fall
+	// well below the worst case.
+	mean := float64(sum) / 2000
+	if mean > 0.8*float64(w) {
+		t.Fatalf("mean latency %.1f too close to WCDL %d for a grid mesh", mean, w)
+	}
+}
+
+func TestPhysicalDetectorFewerSensorsSlower(t *testing.T) {
+	many, err := NewPhysicalDetector(Model{Sensors: 300, DieAreaMM2: 1, ClockGHz: 2.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := NewPhysicalDetector(Model{Sensors: 30, DieAreaMM2: 1, ClockGHz: 2.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(d *PhysicalDetector) float64 {
+		s := 0
+		for i := 0; i < 3000; i++ {
+			s += d.Latency()
+		}
+		return float64(s) / 3000
+	}
+	if avg(few) <= avg(many) {
+		t.Fatal("sparser mesh not slower on average")
+	}
+}
+
+func TestPhysicalDetectorValidation(t *testing.T) {
+	if _, err := NewPhysicalDetector(Model{Sensors: 0, DieAreaMM2: 1, ClockGHz: 1}, 1); err == nil {
+		t.Fatal("accepted invalid model")
+	}
+}

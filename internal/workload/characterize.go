@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Characteristics summarizes a kernel's dynamic behaviour in the
+// quantities the Turnpike mechanisms respond to — the workload-suite table
+// evaluation sections publish next to their benchmark lists.
+type Characteristics struct {
+	Name  string
+	Suite string
+	Tmpl  Template
+
+	// DynamicInsts is the executed instruction count at the measured scale.
+	DynamicInsts uint64
+	// LoadPct/StorePct are the dynamic load/store fractions (percent).
+	LoadPct, StorePct float64
+	// BranchPct is the dynamic conditional-branch fraction (percent).
+	BranchPct float64
+	// WARPct is the fraction of stores whose address was loaded within the
+	// preceding window (percent) — the stores fast release cannot help.
+	WARPct float64
+	// FootprintBytes counts distinct data bytes touched.
+	FootprintBytes uint64
+}
+
+// Characterize interprets the kernel at the given scale and extracts its
+// characteristics. The WAR window is approximated with the most recent 64
+// loaded addresses, roughly the reach of the in-flight unverified regions.
+func Characterize(p Profile, scalePct int) (Characteristics, error) {
+	f := p.Build(scalePct)
+
+	var loads, stores, branches, warStores uint64
+	touched := map[uint64]bool{}
+	const warWindow = 64
+	recent := make([]uint64, 0, warWindow)
+	recentSet := map[uint64]int{}
+	noteLoad := func(addr uint64) {
+		touched[addr] = true
+		if len(recent) == warWindow {
+			old := recent[0]
+			recent = recent[1:]
+			if recentSet[old] > 0 {
+				recentSet[old]--
+			}
+		}
+		recent = append(recent, addr)
+		recentSet[addr]++
+	}
+
+	it := &ir.Interp{
+		Regs: make([]uint64, f.NumVRegs),
+		Mem:  isa.NewMemory(),
+		Trace: func(in *ir.Instr, regs []uint64) {
+			switch {
+			case in.Op == isa.LD:
+				noteLoad(regs[in.Src1] + uint64(in.Imm))
+			case in.Op == isa.ST:
+				stores++
+				addr := regs[in.Src1] + uint64(in.Imm)
+				touched[addr] = true
+				if recentSet[addr] > 0 {
+					warStores++
+				}
+			case in.Op.IsCondBranch():
+				branches++
+			}
+			if in.Op == isa.LD {
+				loads++
+			}
+		},
+	}
+	p.SeedMemory(it.Mem)
+	if err := it.Run(f); err != nil {
+		return Characteristics{}, err
+	}
+
+	c := Characteristics{
+		Name: p.Name, Suite: p.Suite, Tmpl: p.Tmpl,
+		DynamicInsts:   it.Executed,
+		FootprintBytes: uint64(len(touched)) * 8,
+	}
+	if it.Executed > 0 {
+		c.LoadPct = 100 * float64(loads) / float64(it.Executed)
+		c.StorePct = 100 * float64(stores) / float64(it.Executed)
+		c.BranchPct = 100 * float64(branches) / float64(it.Executed)
+	}
+	if stores > 0 {
+		c.WARPct = 100 * float64(warStores) / float64(stores)
+	}
+	return c, nil
+}
+
+// CharacterizeAll characterizes every benchmark at the given scale.
+func CharacterizeAll(scalePct int) ([]Characteristics, error) {
+	var out []Characteristics
+	for _, p := range Benchmarks() {
+		c, err := Characterize(p, scalePct)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

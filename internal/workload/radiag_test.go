@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/passes"
+	"repro/internal/regalloc"
+)
+
+// TestRADiag prints spill decisions per write weight (TURNPIKE_DIAG=1).
+func TestRADiag(t *testing.T) {
+	if os.Getenv("TURNPIKE_DIAG") == "" {
+		t.Skip("diagnostic")
+	}
+	p, _ := ByName("gemsfdtd")
+	for _, ww := range []int{1, 3} {
+		f := p.Build(10)
+		passes.StrengthReduce(f)
+		res, err := regalloc.Allocate(f, regalloc.Config{WriteWeight: ww})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count dynamic spill ops in loop blocks.
+		dt := ir.ComputeDominators(f)
+		lf := ir.FindLoops(f, dt)
+		inLoopStores, inLoopLoads := 0, 0
+		for _, b := range f.Blocks {
+			if lf.Depth(b) == 0 {
+				continue
+			}
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == isa.ST && b.Instrs[i].Kind == isa.StoreSpill {
+					inLoopStores++
+				}
+				if b.Instrs[i].Op == isa.LD && b.Instrs[i].Src1 == 0 {
+					inLoopLoads++
+				}
+			}
+		}
+		t.Logf("ww=%d spilled=%d spillStores=%d spillLoads=%d inLoop(st=%d ld=%d)",
+			ww, len(res.Spilled), res.SpillStores, res.SpillLoads, inLoopStores, inLoopLoads)
+	}
+}

@@ -1,0 +1,691 @@
+// Package workload generates the 36 benchmark kernels used in the
+// evaluation. The paper runs SPEC CPU2006/CPU2017 and SPLASH-3; those
+// suites are proprietary or need an OS substrate, so each benchmark is
+// replaced by a synthetic kernel that reproduces the characteristics the
+// Turnpike mechanisms react to:
+//
+//   - store density (store-buffer pressure, Figs. 3–5),
+//   - live-register pressure across region boundaries (checkpoint count),
+//   - loop-carried induction variables (LIVM targets),
+//   - load-use distances and cache footprint (checkpoint data hazards),
+//   - the WAR fraction of stores (CLQ fast-release rate), and
+//   - branch density (region shapes).
+//
+// Five kernel templates cover the space — streaming, reduction, pointer
+// chase, stencil, and in-place update — and each named benchmark is a
+// parameterization of one template. Parameters were set from the
+// well-known qualitative behaviour of each benchmark (mcf/omnetpp pointer-
+// chasing and cache-hostile, lbm/bwaves store-heavy streaming, exchange2/
+// deepsjeng branchy integer, ...), then nudged so the Turnstile/Turnpike
+// overhead *shapes* track the paper's Figs. 19–21. Absolute cycle counts
+// are not comparable to gem5+SPEC and are not meant to be.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Template is the kernel shape.
+type Template int
+
+const (
+	// Stream: per iteration, load from S input streams, combine, store to
+	// output streams. Stores are mostly WAR-free; address streams are
+	// strength-reduction/LIVM targets.
+	Stream Template = iota
+	// Reduce: many loads into several live accumulators, few stores,
+	// conditional accumulation (branchy).
+	Reduce
+	// Chase: pointer chasing through a ring with occasional stores;
+	// serialized delinquent loads make checkpoint data hazards expensive.
+	Chase
+	// Stencil: neighborhood loads, one store per point, high ALU density.
+	Stencil
+	// InPlace: read-modify-write on one array — every store conflicts
+	// with a same-iteration load (WAR), defeating fast release.
+	InPlace
+	// Nested: a two-level loop nest (rows x columns) with a per-row
+	// reduction and store — the blocked linear-algebra shape. Region
+	// boundaries land at both loop headers, exercising multi-level
+	// partitioning and inner-loop checkpoint pressure.
+	Nested
+)
+
+func (t Template) String() string {
+	switch t {
+	case Stream:
+		return "stream"
+	case Reduce:
+		return "reduce"
+	case Chase:
+		return "chase"
+	case Stencil:
+		return "stencil"
+	case InPlace:
+		return "inplace"
+	case Nested:
+		return "nested"
+	}
+	return fmt.Sprintf("template(%d)", int(t))
+}
+
+// Profile describes one benchmark.
+type Profile struct {
+	Name  string
+	Suite string // "cpu2006", "cpu2017", "splash3"
+	Tmpl  Template
+
+	// Iters is the default main-loop trip count at Scale 1.
+	Iters int
+	// ArrayWords is the working-set size per array in 8-byte words;
+	// larger than the caches means memory-bound behaviour.
+	ArrayWords int
+	// Streams is the number of independent input/output address streams
+	// (Stream/Stencil) or arrays touched (Reduce).
+	Streams int
+	// Accs is the number of live accumulator registers carried around the
+	// loop (checkpoint pressure).
+	Accs int
+	// ALU is extra arithmetic per iteration (compute density).
+	ALU int
+	// Branchy adds a data-dependent branch in the body.
+	Branchy bool
+	// WARStores adds per-iteration read-modify-write stores (InPlace gets
+	// them implicitly).
+	WARStores int
+	// Stride is the index step in words between iterations (odd, so the
+	// wrap covers the array). Values above a cache line (8 words) make
+	// every access touch a fresh line — the cache-hostile, delinquent-load
+	// behaviour of the memory-bound SPEC codes.
+	Stride int
+	// Unroll is the body unroll factor, as -O3 would apply: several
+	// elements per loop iteration, accumulators redefined per element.
+	Unroll int
+	// Pressure adds register-pressure pairs: per pair, one read-only
+	// value (two reads per iteration, zero writes) and one write-hot
+	// value (one read + one write per iteration). At equal read+write
+	// frequency a traditional allocator is indifferent between them, so
+	// it sometimes spills the write-hot one — generating a spill *store*
+	// every iteration; the store-aware allocator (§4.1.1) weighs writes
+	// higher and keeps the write-hot values in registers. This reproduces
+	// the paper's gemsfdtd/lbm behaviour, where the RA trick removes
+	// 17–19% of stores.
+	Pressure int
+	// Seed drives input data generation.
+	Seed int64
+}
+
+// Benchmarks returns the 36 evaluated benchmarks in the paper's order:
+// 16 from SPEC CPU2006, 13 from SPEC CPU2017, 7 from SPLASH-3.
+func Benchmarks() []Profile {
+	mk := func(name, suite string, t Template, iters, words, streams, accs, alu int, branchy bool, war, stride, unroll int) Profile {
+		return Profile{Name: name, Suite: suite, Tmpl: t, Iters: iters,
+			ArrayWords: words, Streams: streams, Accs: accs, ALU: alu,
+			Branchy: branchy, WARStores: war, Stride: stride, Unroll: unroll,
+			Seed: int64(len(name)*2654435761) + int64(t)}
+	}
+	return []Profile{
+		// SPEC CPU2006 (16)
+		mk("astar", "cpu2006", Chase, 1400, 1<<13, 1, 2, 3, true, 0, 1, 1),
+		mk("bwaves", "cpu2006", Stream, 1200, 1<<14, 3, 2, 6, false, 0, 3, 4),
+		mk("bzip2", "cpu2006", Reduce, 1500, 1<<13, 2, 3, 4, true, 1, 3, 2),
+		mk("gcc", "cpu2006", Reduce, 1500, 1<<12, 2, 4, 2, true, 1, 1, 2),
+		withPressure(mk("gemsfdtd", "cpu2006", Stencil, 1000, 1<<14, 3, 2, 8, false, 0, 1, 4), 10),
+		mk("gobmk", "cpu2006", Reduce, 1500, 1<<12, 2, 3, 3, true, 0, 1, 2),
+		mk("hmmer", "cpu2006", Stream, 1400, 1<<11, 2, 3, 5, false, 0, 1, 4),
+		mk("leslie3d", "cpu2006", Stencil, 1000, 1<<14, 3, 2, 7, false, 0, 3, 4),
+		mk("libquan", "cpu2006", Stream, 1600, 1<<15, 1, 1, 2, false, 0, 1, 4),
+		mk("mcf", "cpu2006", Chase, 1200, 1<<16, 1, 2, 2, true, 1, 1, 1),
+		mk("milc", "cpu2006", Stream, 1200, 1<<15, 2, 2, 6, false, 0, 3, 4),
+		mk("omnetpp", "cpu2006", Chase, 1200, 1<<15, 1, 3, 2, true, 1, 1, 1),
+		mk("perlbench", "cpu2006", Reduce, 1500, 1<<12, 2, 4, 2, true, 1, 1, 2),
+		mk("soplex", "cpu2006", Stream, 1300, 1<<14, 2, 3, 4, true, 0, 3, 2),
+		mk("xalan", "cpu2006", Reduce, 1400, 1<<13, 2, 3, 3, true, 1, 3, 2),
+		withPressure(mk("zeusmp", "cpu2006", Stencil, 1000, 1<<14, 3, 2, 7, false, 0, 3, 4), 8),
+		// SPEC CPU2017 (13)
+		mk("bwaves17", "cpu2017", Stream, 1200, 1<<14, 3, 2, 6, false, 0, 3, 4),
+		mk("cactubssn", "cpu2017", Stencil, 900, 1<<15, 4, 2, 9, false, 0, 3, 4),
+		mk("deepsjeng", "cpu2017", Reduce, 1500, 1<<12, 2, 3, 3, true, 0, 1, 2),
+		mk("exchange2", "cpu2017", Reduce, 1600, 1<<11, 1, 4, 4, true, 0, 1, 2),
+		mk("fotonik3d", "cpu2017", Stencil, 1000, 1<<15, 3, 2, 7, false, 0, 3, 4),
+		withPressure(mk("lbm", "cpu2017", Stream, 1000, 1<<16, 4, 1, 5, false, 0, 1, 4), 9),
+		mk("leela", "cpu2017", Reduce, 1500, 1<<12, 2, 3, 3, true, 0, 1, 2),
+		mk("mcf17", "cpu2017", Chase, 1200, 1<<16, 1, 2, 2, true, 1, 1, 1),
+		mk("nab", "cpu2017", Stream, 1300, 1<<13, 2, 3, 6, false, 0, 3, 4),
+		mk("roms", "cpu2017", Stencil, 1000, 1<<14, 3, 2, 7, false, 0, 3, 4),
+		mk("x264", "cpu2017", Stream, 1200, 1<<13, 3, 2, 5, true, 1, 1, 4),
+		mk("xalan17", "cpu2017", Reduce, 1400, 1<<13, 2, 3, 3, true, 1, 3, 2),
+		mk("xz", "cpu2017", Reduce, 1400, 1<<14, 2, 3, 3, true, 1, 3, 2),
+		// SPLASH-3 (7)
+		mk("cholesky", "splash3", Nested, 160, 1<<13, 2, 2, 6, false, 0, 1, 4),
+		mk("fft", "splash3", Stream, 1200, 1<<14, 2, 2, 6, false, 0, 3, 4),
+		mk("lu-cg", "splash3", Nested, 160, 1<<13, 2, 2, 4, false, 0, 1, 4),
+		mk("ocean-ng", "splash3", Stencil, 1000, 1<<15, 3, 2, 7, false, 0, 3, 4),
+		mk("radiosity", "splash3", Reduce, 1400, 1<<13, 2, 3, 3, true, 0, 1, 2),
+		mk("radix", "splash3", InPlace, 1300, 1<<14, 2, 2, 3, false, 2, 1, 2),
+		mk("water-sp", "splash3", Stream, 1200, 1<<13, 2, 3, 5, false, 0, 1, 4),
+	}
+}
+
+// withPressure sets the register-pressure pair count on a profile.
+func withPressure(p Profile, pairs int) Profile {
+	p.Pressure = pairs
+	return p
+}
+
+// ByName finds a benchmark profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists benchmark names in evaluation order.
+func Names() []string {
+	bs := Benchmarks()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// arrayBase returns the base address of array k for this profile.
+func (p Profile) arrayBase(k int) uint64 {
+	return isa.DataBase + uint64(k)*uint64(p.ArrayWords+64)*8
+}
+
+// outputBase is where the kernel writes its results summary.
+func (p Profile) outputBase() uint64 {
+	return p.arrayBase(p.Streams + 4)
+}
+
+// SeedMemory fills the kernel's input arrays deterministically.
+func (p Profile) SeedMemory(mem *isa.Memory) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	switch p.Tmpl {
+	case Chase:
+		// Build a pseudo-random ring over array 0 so the chase visits the
+		// whole working set: next[i] = address of a permuted successor.
+		n := p.ArrayWords
+		perm := rng.Perm(n)
+		base := p.arrayBase(0)
+		for i := 0; i < n; i++ {
+			from := base + uint64(perm[i])*8
+			to := base + uint64(perm[(i+1)%n])*8
+			mem.Store(from, to)
+		}
+		// Payload array for the accumulators.
+		pay := p.arrayBase(1)
+		for i := 0; i < n; i++ {
+			mem.Store(pay+uint64(i)*8, uint64(rng.Intn(1<<20)+1))
+		}
+	default:
+		for k := 0; k < p.Streams+1; k++ {
+			base := p.arrayBase(k)
+			for i := 0; i < p.ArrayWords; i++ {
+				mem.Store(base+uint64(i)*8, uint64(rng.Intn(1<<20)+1))
+			}
+		}
+	}
+}
+
+// Build generates the kernel IR at the given scale (iteration multiplier
+// in percent: 100 = the profile's default trip count; tests use less).
+func (p Profile) Build(scalePct int) *ir.Func {
+	iters := p.Iters * scalePct / 100
+	if iters < 4 {
+		iters = 4
+	}
+	switch p.Tmpl {
+	case Stream:
+		return p.buildStream(iters)
+	case Reduce:
+		return p.buildReduce(iters)
+	case Chase:
+		return p.buildChase(iters)
+	case Stencil:
+		return p.buildStencil(iters)
+	case InPlace:
+		return p.buildInPlace(iters)
+	case Nested:
+		return p.buildNested(iters)
+	}
+	panic("workload: unknown template")
+}
+
+// emitEpilogue stores every accumulator to the output area and halts.
+func emitEpilogue(b *ir.Builder, accs []ir.VReg, out ir.VReg) {
+	for k, a := range accs {
+		b.Store(out, int64(k)*8, a)
+	}
+	b.Halt()
+}
+
+// emitPressurePrologue creates the register-pressure pairs in the entry
+// block and returns (readOnly, writeHot) slices; see Profile.Pressure.
+func (p Profile) emitPressurePrologue(b *ir.Builder) (ro, wh []ir.VReg) {
+	for k := 0; k < p.Pressure; k++ {
+		ro = append(ro, b.MovI(int64(3*k+1)))
+		wh = append(wh, b.MovI(int64(5*k+2)))
+	}
+	return ro, wh
+}
+
+// emitPressureBody touches the pressure pairs once per loop body: each
+// read-only value is read twice, each write-hot value is read once and
+// written once, so their frequency-based spill weights tie under a
+// traditional allocator (writes-as-reads) but separate under the
+// store-aware one.
+func (p Profile) emitPressureBody(b *ir.Builder, ro, wh []ir.VReg, acc ir.VReg) {
+	for k := range ro {
+		b.OpTo(isa.ADD, acc, acc, ro[k])
+		b.OpTo(isa.XOR, acc, acc, ro[k])
+		b.OpTo(isa.XOR, wh[k], wh[k], acc)
+	}
+}
+
+// emitPressureEpilogue keeps every pressure value live to the end.
+func emitPressureEpilogue(b *ir.Builder, ro, wh []ir.VReg, out ir.VReg) {
+	for k := range ro {
+		b.Store(out, int64(1024+16*k), ro[k])
+		b.Store(out, int64(1024+16*k+8), wh[k])
+	}
+}
+
+// unroll returns the body unroll factor (≥1). Unrolled bodies redefine the
+// accumulators several times between boundaries — the redundancy that a
+// large store buffer's long regions can elide but SB-4's short regions
+// must checkpoint (the paper's Fig. 3/4 mechanism) — and give the
+// scheduler independent work to hide checkpoint hazards with.
+func (p Profile) unroll() int {
+	if p.Unroll < 1 {
+		return 1
+	}
+	return p.Unroll
+}
+
+// disp returns the displacement of unrolled copy u under direct (stride-1)
+// indexing, where all copies share one address computation.
+func (p Profile) disp(u int) int64 {
+	if p.Stride <= 1 {
+		return int64(u) * 8
+	}
+	return 0
+}
+
+// wrapIndex emits the array index for unrolled copy u. With stride 1 and a
+// trip count that fits the array, the index is the loop counter itself —
+// the form production compilers strength-reduce into pointer induction
+// variables (and the form LIVM must then merge back, §4.1.2); unrolled
+// copies address through displacements (see disp) so the single pointer IV
+// survives. Strided profiles emit idx = ((i+u)*stride) & (words-1): an odd
+// stride larger than a cache line touches a fresh line every iteration,
+// the miss-dominated pattern of the memory-bound codes.
+func (p Profile) wrapIndex(b *ir.Builder, i ir.VReg, u, iters, words int) ir.VReg {
+	if p.Stride <= 1 {
+		if iters+p.unroll() <= words {
+			return i
+		}
+		// Wrap; unrolled displacements may spill into the 64-word guard
+		// gap between arrays, which is harmless padding.
+		return b.OpI(isa.AND, i, int64(words-1))
+	}
+	iu := i
+	if u > 0 {
+		iu = b.OpI(isa.ADD, i, int64(u))
+	}
+	s := b.OpI(isa.MUL, iu, int64(p.Stride))
+	return b.OpI(isa.AND, s, int64(words-1))
+}
+
+func (p Profile) buildStream(iters int) *ir.Func {
+	b := ir.NewBuilder(p.Name)
+	bases := make([]ir.VReg, p.Streams)
+	outs := make([]ir.VReg, p.Streams)
+	for k := 0; k < p.Streams; k++ {
+		bases[k] = b.MovI(int64(p.arrayBase(k)))
+		outs[k] = b.MovI(int64(p.arrayBase(p.Streams)) + int64(k*8*p.ArrayWords/4))
+	}
+	outp := b.MovI(int64(p.outputBase()))
+	accs := make([]ir.VReg, p.Accs)
+	for k := range accs {
+		accs[k] = b.MovI(int64(k + 1))
+	}
+	ro, wh := p.emitPressurePrologue(b)
+	i := b.MovI(0)
+
+	head, body, exit := b.NewBlock(), b.NewBlock(), b.NewBlock()
+	var oddB, joinB *ir.Block
+	if p.Branchy {
+		oddB, joinB = b.NewBlock(), b.NewBlock()
+	}
+	b.Fallthrough(head)
+	b.SetBlock(head)
+	b.BranchI(isa.BGE, i, int64(iters), exit, body)
+
+	b.SetBlock(body)
+	p.emitPressureBody(b, ro, wh, accs[0])
+	var v ir.VReg
+	for u := 0; u < p.unroll(); u++ {
+		idx := p.wrapIndex(b, i, u, iters, p.ArrayWords)
+		off := b.OpI(isa.SHL, idx, 3)
+		d := p.disp(u)
+		for k := 0; k < p.Streams; k++ {
+			addr := b.Op(isa.ADD, bases[k], off)
+			v = b.Load(addr, d)
+			acc := accs[(k+u)%len(accs)]
+			b.OpTo(isa.ADD, acc, acc, v)
+			// Output stream store: disjoint from the loads => WAR-free.
+			oaddr := b.Op(isa.ADD, outs[k], off)
+			b.Store(oaddr, d, acc)
+		}
+		for a := 0; a < p.ALU; a++ {
+			acc := accs[(a+u)%len(accs)]
+			b.OpITo(isa.XOR, acc, acc, int64(a*37+u*5+1))
+		}
+		for w := 0; w < p.WARStores; w++ {
+			// Read-modify-write on the first input stream (WAR).
+			addr := b.Op(isa.ADD, bases[0], off)
+			old := b.Load(addr, d+int64(w)*8)
+			nv := b.OpI(isa.ADD, old, 1)
+			b.Store(addr, d+int64(w)*8, nv)
+		}
+	}
+	if p.Branchy {
+		bit := b.OpI(isa.AND, v, 1)
+		b.BranchI(isa.BEQ, bit, 1, oddB, joinB)
+		b.SetBlock(oddB)
+		b.OpITo(isa.ADD, accs[0], accs[0], 13)
+		b.Fallthrough(joinB)
+		b.SetBlock(joinB)
+	}
+	b.OpITo(isa.ADD, i, i, int64(p.unroll()))
+	b.Jump(head)
+
+	b.SetBlock(exit)
+	emitPressureEpilogue(b, ro, wh, outp)
+	emitEpilogue(b, accs, outp)
+	return b.MustFinish()
+}
+
+func (p Profile) buildReduce(iters int) *ir.Func {
+	b := ir.NewBuilder(p.Name)
+	bases := make([]ir.VReg, p.Streams)
+	for k := range bases {
+		bases[k] = b.MovI(int64(p.arrayBase(k)))
+	}
+	outp := b.MovI(int64(p.outputBase()))
+	accs := make([]ir.VReg, p.Accs)
+	for k := range accs {
+		accs[k] = b.MovI(int64(2*k + 1))
+	}
+	i := b.MovI(0)
+
+	head, body, t1, f1, join, exit := b.NewBlock(), b.NewBlock(), b.NewBlock(), b.NewBlock(), b.NewBlock(), b.NewBlock()
+	b.Fallthrough(head)
+	b.SetBlock(head)
+	b.BranchI(isa.BGE, i, int64(iters), exit, body)
+
+	b.SetBlock(body)
+	var v ir.VReg
+	for u := 0; u < p.unroll(); u++ {
+		idx := p.wrapIndex(b, i, u, iters, p.ArrayWords)
+		off := b.OpI(isa.SHL, idx, 3)
+		d := p.disp(u)
+		for k := 0; k < p.Streams; k++ {
+			addr := b.Op(isa.ADD, bases[k], off)
+			v = b.Load(addr, d)
+			acc := accs[(k+u)%len(accs)]
+			b.OpTo(isa.ADD, acc, acc, v)
+		}
+		for a := 0; a < p.ALU; a++ {
+			x, y := accs[(a+u)%len(accs)], accs[(a+u+1)%len(accs)]
+			b.OpTo(isa.XOR, x, x, y)
+		}
+		for w := 0; w < p.WARStores; w++ {
+			addr := b.Op(isa.ADD, bases[0], off)
+			old := b.Load(addr, d+int64(w+1)*16)
+			nv := b.OpI(isa.ADD, old, 3)
+			b.Store(addr, d+int64(w+1)*16, nv)
+		}
+	}
+	if p.Branchy {
+		bit := b.OpI(isa.AND, v, 3)
+		b.BranchI(isa.BEQ, bit, 0, t1, f1)
+		b.SetBlock(t1)
+		b.OpITo(isa.MUL, accs[0], accs[0], 3)
+		b.Jump(join)
+		b.SetBlock(f1)
+		b.OpITo(isa.ADD, accs[len(accs)-1], accs[len(accs)-1], 7)
+		b.Fallthrough(join)
+		b.SetBlock(join)
+	} else {
+		b.Fallthrough(t1)
+		b.SetBlock(t1)
+		b.Fallthrough(f1)
+		b.SetBlock(f1)
+		b.Fallthrough(join)
+		b.SetBlock(join)
+	}
+	// One live result store per iteration keeps region live-outs real.
+	b.Store(outp, 64, accs[0])
+	b.OpITo(isa.ADD, i, i, int64(p.unroll()))
+	b.Jump(head)
+
+	b.SetBlock(exit)
+	emitEpilogue(b, accs, outp)
+	return b.MustFinish()
+}
+
+func (p Profile) buildChase(iters int) *ir.Func {
+	b := ir.NewBuilder(p.Name)
+	ptr := b.MovI(int64(p.arrayBase(0))) // chase starts at ring head
+	pay := b.MovI(int64(p.arrayBase(1)))
+	base0 := b.MovI(int64(p.arrayBase(0)))
+	outp := b.MovI(int64(p.outputBase()))
+	accs := make([]ir.VReg, p.Accs)
+	for k := range accs {
+		accs[k] = b.MovI(int64(k + 3))
+	}
+	i := b.MovI(0)
+
+	head, body, t1, join, exit := b.NewBlock(), b.NewBlock(), b.NewBlock(), b.NewBlock(), b.NewBlock()
+	b.Fallthrough(head)
+	b.SetBlock(head)
+	b.BranchI(isa.BGE, i, int64(iters), exit, body)
+
+	b.SetBlock(body)
+	// The delinquent load: the next pointer.
+	b.LoadTo(ptr, ptr, 0)
+	// Payload indexed by the pointer's ring position.
+	delta := b.Op(isa.SUB, ptr, base0)
+	v := b.Op(isa.ADD, pay, delta)
+	pv := b.Load(v, 0)
+	b.OpTo(isa.ADD, accs[0], accs[0], pv)
+	for a := 0; a < p.ALU; a++ {
+		b.OpITo(isa.XOR, accs[a%len(accs)], accs[a%len(accs)], int64(a*11+5))
+	}
+	for w := 0; w < p.WARStores; w++ {
+		old := b.Load(v, 8)
+		nv := b.Op(isa.ADD, old, accs[0])
+		b.Store(v, 8, nv)
+	}
+	if p.Branchy {
+		bit := b.OpI(isa.AND, pv, 1)
+		b.BranchI(isa.BEQ, bit, 1, t1, join)
+		b.SetBlock(t1)
+		b.OpITo(isa.ADD, accs[len(accs)-1], accs[len(accs)-1], 9)
+		b.Fallthrough(join)
+		b.SetBlock(join)
+	} else {
+		b.Fallthrough(t1)
+		b.SetBlock(t1)
+		b.Fallthrough(join)
+		b.SetBlock(join)
+	}
+	b.Store(outp, 64, accs[0])
+	b.OpITo(isa.ADD, i, i, 1)
+	b.Jump(head)
+
+	b.SetBlock(exit)
+	emitEpilogue(b, accs, outp)
+	return b.MustFinish()
+}
+
+func (p Profile) buildStencil(iters int) *ir.Func {
+	b := ir.NewBuilder(p.Name)
+	in := b.MovI(int64(p.arrayBase(0)))
+	out := b.MovI(int64(p.arrayBase(1)))
+	outp := b.MovI(int64(p.outputBase()))
+	accs := make([]ir.VReg, p.Accs)
+	for k := range accs {
+		accs[k] = b.MovI(int64(k + 1))
+	}
+	ro, wh := p.emitPressurePrologue(b)
+	i := b.MovI(0)
+
+	head, body, exit := b.NewBlock(), b.NewBlock(), b.NewBlock()
+	b.Fallthrough(head)
+	b.SetBlock(head)
+	b.BranchI(isa.BGE, i, int64(iters), exit, body)
+
+	b.SetBlock(body)
+	p.emitPressureBody(b, ro, wh, accs[0])
+	for u := 0; u < p.unroll(); u++ {
+		idx := p.wrapIndex(b, i, u, iters, p.ArrayWords-2-p.unroll())
+		off := b.OpI(isa.SHL, idx, 3)
+		d := p.disp(u)
+		a0 := b.Op(isa.ADD, in, off)
+		// Neighborhood loads.
+		sum := b.Load(a0, d)
+		for k := 1; k <= p.Streams; k++ {
+			nv := b.Load(a0, d+int64(k)*8)
+			sum = b.Op(isa.ADD, sum, nv)
+		}
+		for a := 0; a < p.ALU; a++ {
+			sum = b.OpI(isa.XOR, sum, int64(a*29+u*7+3))
+		}
+		b.OpTo(isa.ADD, accs[u%len(accs)], accs[u%len(accs)], sum)
+		oaddr := b.Op(isa.ADD, out, off)
+		b.Store(oaddr, d, sum) // disjoint output array: WAR-free
+	}
+	b.OpITo(isa.ADD, i, i, int64(p.unroll()))
+	b.Jump(head)
+
+	b.SetBlock(exit)
+	emitPressureEpilogue(b, ro, wh, outp)
+	emitEpilogue(b, accs, outp)
+	return b.MustFinish()
+}
+
+func (p Profile) buildInPlace(iters int) *ir.Func {
+	b := ir.NewBuilder(p.Name)
+	arr := b.MovI(int64(p.arrayBase(0)))
+	outp := b.MovI(int64(p.outputBase()))
+	accs := make([]ir.VReg, p.Accs)
+	for k := range accs {
+		accs[k] = b.MovI(int64(k + 1))
+	}
+	i := b.MovI(0)
+
+	head, body, exit := b.NewBlock(), b.NewBlock(), b.NewBlock()
+	b.Fallthrough(head)
+	b.SetBlock(head)
+	b.BranchI(isa.BGE, i, int64(iters), exit, body)
+
+	b.SetBlock(body)
+	for u := 0; u < p.unroll(); u++ {
+		idx := p.wrapIndex(b, i, u, iters, p.ArrayWords)
+		off := b.OpI(isa.SHL, idx, 3)
+		d := p.disp(u) * int64(p.WARStores+1)
+		addr := b.Op(isa.ADD, arr, off)
+		for w := 0; w <= p.WARStores; w++ {
+			old := b.Load(addr, d+int64(w)*8)
+			nv := b.Op(isa.ADD, old, accs[(w+u)%len(accs)])
+			b.Store(addr, d+int64(w)*8, nv) // same address as the load: WAR
+			b.OpTo(isa.XOR, accs[(w+u)%len(accs)], accs[(w+u)%len(accs)], nv)
+		}
+		for a := 0; a < p.ALU; a++ {
+			b.OpITo(isa.ADD, accs[(a+u)%len(accs)], accs[(a+u)%len(accs)], int64(a+u+1))
+		}
+	}
+	b.OpITo(isa.ADD, i, i, int64(p.unroll()))
+	b.Jump(head)
+
+	b.SetBlock(exit)
+	emitEpilogue(b, accs, outp)
+	return b.MustFinish()
+}
+
+// buildNested emits the two-level nest: for each of iters rows, reduce
+// Streams*8 columns into an accumulator and store the row result. The
+// inner-loop header gets a region boundary every iteration, so inner
+// live-outs (the row accumulator, indices, addresses) feel maximum
+// checkpoint pressure.
+func (p Profile) buildNested(iters int) *ir.Func {
+	cols := int64(8 * p.Streams)
+	b := ir.NewBuilder(p.Name)
+	in := b.MovI(int64(p.arrayBase(0)))
+	out := b.MovI(int64(p.arrayBase(1)))
+	outp := b.MovI(int64(p.outputBase()))
+	accs := make([]ir.VReg, p.Accs)
+	for k := range accs {
+		accs[k] = b.MovI(int64(k + 1))
+	}
+	i := b.MovI(0)
+
+	oHead, oBody, iHead, iBody, oLatch, exit :=
+		b.NewBlock(), b.NewBlock(), b.NewBlock(), b.NewBlock(), b.NewBlock(), b.NewBlock()
+	b.Fallthrough(oHead)
+
+	b.SetBlock(oHead)
+	b.BranchI(isa.BGE, i, int64(iters), exit, oBody)
+
+	b.SetBlock(oBody)
+	rowAcc := accs[0]
+	b.MovITo(rowAcc, 0)
+	j := b.MovI(0)
+	// Row base address: wrap rows over the working set.
+	ri := p.wrapIndex(b, i, 0, iters*int(cols), p.ArrayWords/int(cols))
+	roff := b.OpI(isa.MUL, ri, cols*8)
+	rbase := b.Op(isa.ADD, in, roff)
+	b.Fallthrough(iHead)
+
+	b.SetBlock(iHead)
+	b.BranchI(isa.BGE, j, cols, oLatch, iBody)
+
+	b.SetBlock(iBody)
+	joff := b.OpI(isa.SHL, j, 3)
+	addr := b.Op(isa.ADD, rbase, joff)
+	for u := 0; u < p.unroll(); u++ {
+		v := b.Load(addr, int64(u)*8)
+		b.OpTo(isa.ADD, rowAcc, rowAcc, v)
+		for a := 0; a < p.ALU; a++ {
+			b.OpITo(isa.XOR, rowAcc, rowAcc, int64(a*13+u*7+1))
+		}
+	}
+	b.OpITo(isa.ADD, j, j, int64(p.unroll()))
+	b.Jump(iHead)
+
+	b.SetBlock(oLatch)
+	ooff := b.OpI(isa.SHL, ri, 3)
+	oaddr := b.Op(isa.ADD, out, ooff)
+	b.Store(oaddr, 0, rowAcc) // one row-result store per outer iteration
+	if len(accs) > 1 {
+		b.OpTo(isa.ADD, accs[1], accs[1], rowAcc)
+	}
+	b.OpITo(isa.ADD, i, i, 1)
+	b.Jump(oHead)
+
+	b.SetBlock(exit)
+	emitEpilogue(b, accs, outp)
+	return b.MustFinish()
+}

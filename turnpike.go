@@ -1,0 +1,284 @@
+// Package turnpike reproduces "Turnpike: Lightweight Soft Error Resilience
+// for In-Order Cores" (Zeng, Kim, Lee, Jung — MICRO '21): a compiler/
+// architecture co-design that makes acoustic-sensor-based soft error
+// verification practical on small in-order cores.
+//
+// The package is a façade over the internal substrates:
+//
+//   - the compiler (region partitioning, eager checkpointing, checkpoint
+//     pruning, LICM sinking, induction-variable merging, store-aware
+//     register allocation, checkpoint-aware scheduling),
+//   - a cycle-level 2-issue in-order pipeline simulator with the gated
+//     store buffer, region boundary buffer, committed load queue, and
+//     hardware coloring,
+//   - the 36 synthetic benchmark kernels standing in for SPEC CPU2006/
+//     2017 and SPLASH-3,
+//   - fault-injection campaigns with recovery verification, and
+//   - the experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	res, err := turnpike.Evaluate("gcc", turnpike.Turnpike, turnpike.EvalConfig{})
+//	fmt.Printf("overhead: %.1f%%\n", 100*(res.Overhead-1))
+//
+// See examples/ for runnable scenarios and cmd/experiments for the full
+// evaluation.
+package turnpike
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/sensor"
+	"repro/internal/workload"
+)
+
+// Scheme selects the resilience strategy.
+type Scheme = core.Scheme
+
+// Schemes.
+const (
+	// Baseline has no resilience support; its cycle count is the
+	// denominator of every overhead number.
+	Baseline = core.Baseline
+	// Turnstile is the prior state of the art (MICRO'16): full store
+	// quarantine, eager checkpointing, no fast release.
+	Turnstile = core.Turnstile
+	// Turnpike is the paper's co-design with all optimizations.
+	Turnpike = core.Turnpike
+)
+
+// CompileOptions re-exports the compiler configuration.
+type CompileOptions = core.Options
+
+// SimConfig re-exports the simulator configuration.
+type SimConfig = pipeline.Config
+
+// SimStats re-exports the simulator statistics.
+type SimStats = pipeline.Stats
+
+// Program re-exports the executable program image.
+type Program = isa.Program
+
+// Func re-exports the compiler IR function type.
+type Func = ir.Func
+
+// Profile re-exports a benchmark description.
+type Profile = workload.Profile
+
+// Benchmarks lists the 36 evaluated workloads in the paper's order.
+func Benchmarks() []Profile { return workload.Benchmarks() }
+
+// BenchmarkNames lists workload names in the paper's order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// Compile lowers an IR function under the given options.
+func Compile(f *Func, opt CompileOptions) (*core.Compiled, error) {
+	return core.Compile(f, opt)
+}
+
+// Simulate runs a compiled program on the in-order core model with the
+// given memory seeder (may be nil).
+func Simulate(p *Program, cfg SimConfig, seed func(*isa.Memory)) (SimStats, error) {
+	s, err := pipeline.New(p, cfg)
+	if err != nil {
+		return SimStats{}, err
+	}
+	if seed != nil {
+		seed(s.Mem)
+	}
+	return s.Run()
+}
+
+// EvalConfig parameterizes Evaluate.
+type EvalConfig struct {
+	// SBSize is the store buffer capacity (default 4, the Cortex-A53).
+	SBSize int
+	// WCDL is the sensor worst-case detection latency in cycles
+	// (default 10, i.e. ~300 sensors at 2.5GHz per Fig. 18).
+	WCDL int
+	// ScalePct scales the benchmark trip counts (default 25).
+	ScalePct int
+	// CLQIdeal selects the infinite address-matching CLQ instead of the
+	// paper's compact 2-entry design.
+	CLQIdeal bool
+}
+
+func (c *EvalConfig) defaults() {
+	if c.SBSize == 0 {
+		c.SBSize = 4
+	}
+	if c.WCDL == 0 {
+		c.WCDL = 10
+	}
+	if c.ScalePct == 0 {
+		c.ScalePct = 25
+	}
+}
+
+// EvalResult reports one benchmark/scheme evaluation.
+type EvalResult struct {
+	Benchmark      string
+	Scheme         Scheme
+	Cycles         uint64
+	BaselineCycles uint64
+	// Overhead is normalized execution time (cycles / baseline cycles).
+	Overhead float64
+	Stats    SimStats
+	Compile  core.Stats
+}
+
+// Evaluate compiles and simulates one benchmark under a scheme and returns
+// its overhead against the no-resilience baseline.
+func Evaluate(bench string, scheme Scheme, cfg EvalConfig) (*EvalResult, error) {
+	cfg.defaults()
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("turnpike: unknown benchmark %q (see BenchmarkNames)", bench)
+	}
+	f := p.Build(cfg.ScalePct)
+
+	var opt core.Options
+	var sim pipeline.Config
+	switch scheme {
+	case Baseline:
+		opt = core.Options{Scheme: core.Baseline, SBSize: cfg.SBSize}
+		sim = pipeline.BaselineConfig(cfg.SBSize)
+	case Turnstile:
+		opt = core.Options{Scheme: core.Turnstile, SBSize: cfg.SBSize}
+		sim = pipeline.TurnstileConfig(cfg.SBSize, cfg.WCDL)
+	case Turnpike:
+		opt = core.TurnpikeAll(cfg.SBSize)
+		sim = pipeline.TurnpikeConfig(cfg.SBSize, cfg.WCDL)
+	default:
+		return nil, fmt.Errorf("turnpike: unknown scheme %v", scheme)
+	}
+	if cfg.CLQIdeal {
+		sim.CLQ = pipeline.CLQIdeal
+	}
+
+	compiled, err := core.Compile(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	st, err := Simulate(compiled.Prog, sim, p.SeedMemory)
+	if err != nil {
+		return nil, err
+	}
+
+	baseOpt := core.Options{Scheme: core.Baseline, SBSize: cfg.SBSize}
+	baseProg, err := core.Compile(f, baseOpt)
+	if err != nil {
+		return nil, err
+	}
+	baseStats, err := Simulate(baseProg.Prog, pipeline.BaselineConfig(cfg.SBSize), p.SeedMemory)
+	if err != nil {
+		return nil, err
+	}
+
+	return &EvalResult{
+		Benchmark:      bench,
+		Scheme:         scheme,
+		Cycles:         st.Cycles,
+		BaselineCycles: baseStats.Cycles,
+		Overhead:       float64(st.Cycles) / float64(baseStats.Cycles),
+		Stats:          st,
+		Compile:        compiled.Stats,
+	}, nil
+}
+
+// FaultCampaignConfig parameterizes InjectFaults.
+type FaultCampaignConfig struct {
+	Trials   int // default 100
+	Seed     int64
+	SBSize   int // default 4
+	WCDL     int // default 10
+	ScalePct int // default 10
+}
+
+// FaultResult re-exports the campaign outcome.
+type FaultResult = fault.Result
+
+// InjectFaults runs a single-bit-flip campaign against a benchmark under
+// the given scheme (Turnstile or Turnpike) and verifies that every outcome
+// is SDC-free — the paper's core guarantee.
+func InjectFaults(bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultResult, error) {
+	if scheme == Baseline {
+		return nil, fmt.Errorf("turnpike: the baseline has no detection or recovery to campaign against")
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 100
+	}
+	if cfg.SBSize == 0 {
+		cfg.SBSize = 4
+	}
+	if cfg.WCDL == 0 {
+		cfg.WCDL = 10
+	}
+	if cfg.ScalePct == 0 {
+		cfg.ScalePct = 10
+	}
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("turnpike: unknown benchmark %q", bench)
+	}
+	f := p.Build(cfg.ScalePct)
+	opt := core.Options{Scheme: core.Turnstile, SBSize: cfg.SBSize}
+	sim := pipeline.TurnstileConfig(cfg.SBSize, cfg.WCDL)
+	if scheme == Turnpike {
+		opt = core.TurnpikeAll(cfg.SBSize)
+		sim = pipeline.TurnpikeConfig(cfg.SBSize, cfg.WCDL)
+	}
+	compiled, err := core.Compile(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	return fault.Campaign(compiled.Prog, fault.Config{
+		Trials: cfg.Trials,
+		Seed:   cfg.Seed,
+		Sim:    sim,
+	}, p.SeedMemory)
+}
+
+// WCDLForSensors returns the worst-case detection latency of a sensor mesh
+// (Fig. 18's model).
+func WCDLForSensors(sensors int, dieAreaMM2, clockGHz float64) (int, error) {
+	m := sensor.Model{Sensors: sensors, DieAreaMM2: dieAreaMM2, ClockGHz: clockGHz}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return m.WCDL(), nil
+}
+
+// NewExperimentRunner returns the harness used to regenerate the paper's
+// tables and figures; see the internal/experiment package's FigNN
+// functions via cmd/experiments for the full set.
+func NewExperimentRunner(scalePct int) *experiment.Runner {
+	return experiment.NewRunner(scalePct)
+}
+
+// SaveProgram serializes a compiled program to w in the versioned binary
+// artifact format (see isa.ReadProgram / Program.WriteTo).
+func SaveProgram(p *Program, w io.Writer) error {
+	_, err := p.WriteTo(w)
+	return err
+}
+
+// LoadProgram deserializes a compiled program and validates it.
+func LoadProgram(r io.Reader) (*Program, error) { return isa.ReadProgram(r) }
+
+// VerifyArtifact audits a compiled resilient binary with the independent
+// static checker: recovery-block coverage and self-containment, region
+// numbering, and the store budget (counting checkpoints unless the target
+// core has hardware coloring). Use it before trusting recovery metadata
+// from a cached or third-party artifact.
+func VerifyArtifact(p *Program, storeBudget int, coloredCkpts bool) error {
+	return core.VerifyResilience(p, storeBudget, !coloredCkpts)
+}

@@ -1,0 +1,120 @@
+package turnpike
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// ByNameForTest re-exports the workload lookup for the façade tests.
+func ByNameForTest(name string) (Profile, bool) { return workload.ByName(name) }
+
+func TestEvaluateSchemes(t *testing.T) {
+	cfg := EvalConfig{ScalePct: 4}
+	base, err := Evaluate("gcc", Baseline, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Evaluate("gcc", Turnstile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := Evaluate("gcc", Turnpike, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Overhead != 1.0 {
+		t.Fatalf("baseline overhead = %v", base.Overhead)
+	}
+	if !(tp.Overhead < ts.Overhead) {
+		t.Fatalf("turnpike (%.3f) not faster than turnstile (%.3f)", tp.Overhead, ts.Overhead)
+	}
+	if tp.Compile.Checkpoints == 0 || tp.Compile.Regions == 0 {
+		t.Fatalf("turnpike compile stats empty: %+v", tp.Compile)
+	}
+}
+
+func TestEvaluateUnknownBenchmark(t *testing.T) {
+	if _, err := Evaluate("nonesuch", Turnpike, EvalConfig{}); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 36 {
+		t.Fatalf("%d benchmarks, want 36", len(names))
+	}
+	if len(Benchmarks()) != 36 {
+		t.Fatal("Benchmarks() mismatch")
+	}
+}
+
+func TestInjectFaultsNoSDC(t *testing.T) {
+	res, err := InjectFaults("fft", Turnpike, FaultCampaignConfig{Trials: 25, ScalePct: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes == nil {
+		t.Fatal("no outcomes")
+	}
+	if _, err := InjectFaults("fft", Baseline, FaultCampaignConfig{}); err == nil {
+		t.Fatal("baseline campaign accepted")
+	}
+}
+
+func TestWCDLForSensors(t *testing.T) {
+	w, err := WCDLForSensors(300, 1.0, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 8 || w > 12 {
+		t.Fatalf("WCDL = %d, want ~10", w)
+	}
+	if _, err := WCDLForSensors(0, 1, 1); err == nil {
+		t.Fatal("accepted zero sensors")
+	}
+}
+
+func TestNewExperimentRunner(t *testing.T) {
+	r := NewExperimentRunner(3)
+	if r == nil || r.Scale != 3 {
+		t.Fatal("runner misconfigured")
+	}
+}
+
+func TestArtifactRoundTripAndAudit(t *testing.T) {
+	res, err := Evaluate("fft", Turnpike, EvalConfig{ScalePct: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	p, _ := ByNameForTest("fft")
+	compiled, err := Compile(p.Build(3), CompileOptions{
+		Scheme: Turnpike, SBSize: 4, Prune: true, ColoredCkpts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveProgram(compiled.Prog, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyArtifact(loaded, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Insts) != len(compiled.Prog.Insts) {
+		t.Fatal("artifact size changed")
+	}
+	// Tamper: the audit must catch it.
+	loaded.Insts[loaded.Regions[0].RecoveryPC] = isa.Inst{Op: isa.ST, Rs1: 1, Rs2: 2, Kind: isa.StoreProgram}
+	if err := VerifyArtifact(loaded, 2, true); err == nil {
+		t.Fatal("audit accepted a tampered artifact")
+	}
+}
