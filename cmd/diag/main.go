@@ -1,22 +1,45 @@
 // Command diag prints per-benchmark stall breakdowns and the marginal cost
 // of checkpoint instructions — the calibration instrument used while
 // matching the paper's overhead shapes (not part of the evaluated tooling).
+// Output goes through the shared obs table renderer; -markdown switches to
+// GitHub-flavored markdown and -metrics writes the merged metric snapshot
+// of every simulated run as JSON.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
 func main() {
+	var (
+		markdown  = flag.Bool("markdown", false, "render the table as markdown")
+		metricOut = flag.String("metrics", "", "write the merged metric snapshot JSON to this file")
+		scale     = flag.Int("scale", 10, "workload scale percent")
+	)
+	flag.Parse()
+
 	names := []string{"lbm", "gcc", "mcf", "gemsfdtd", "exchange2", "radix", "libquan"}
+	tab := obs.Table{
+		Title: "stall breakdown and marginal checkpoint cost",
+		Header: []string{"bench", "scheme", "cycles", "overhead", "insts", "sbStall",
+			"dataStall", "branch", "ckpts", "quar", "warfree", "colored", "regions", "ckpt-cost"},
+		Notes: []string{
+			"overhead = cycles / baseline cycles at the same SB size",
+			"ckpt-cost = marginal cycles per remaining checkpoint (Turnpike binary with CKPTs stripped)",
+		},
+	}
+	var agg pipeline.Stats
 	for _, name := range names {
 		p, _ := workload.ByName(name)
-		f := p.Build(10)
+		f := p.Build(*scale)
 		base, err := core.Compile(f, core.Options{Scheme: core.Baseline, SBSize: 4})
 		check(err)
 		ts, err := core.Compile(f, core.Options{Scheme: core.Turnstile, SBSize: 4})
@@ -26,17 +49,60 @@ func main() {
 		b := run(p, base.Prog, pipeline.BaselineConfig(4))
 		t := run(p, ts.Prog, pipeline.TurnstileConfig(4, 10))
 		q := run(p, tp.Prog, pipeline.TurnpikeConfig(4, 10))
-		fmt.Printf("%-10s base cyc=%d insts=%d ipc=%.2f\n", name, b.Cycles, b.Insts, b.IPC())
-		fmt.Printf("  TS  ov=%.3f insts=%d sbStall=%d dataStall=%d branch=%d ckpts=%d quar=%d regions=%d\n",
-			float64(t.Cycles)/float64(b.Cycles), t.Insts, t.SBFullStalls, t.DataStalls, t.BranchBubbles, t.CkptStores, t.Quarantined, t.RegionsExecuted)
-		fmt.Printf("  TP  ov=%.3f insts=%d sbStall=%d dataStall=%d branch=%d ckpts=%d quar=%d warfree=%d colored=%d regions=%d prune=%d livm=%d\n",
-			float64(q.Cycles)/float64(b.Cycles), q.Insts, q.SBFullStalls, q.DataStalls, q.BranchBubbles, q.CkptStores, q.Quarantined, q.WARFreeReleased, q.ColoredReleased, q.RegionsExecuted, tp.Stats.PrunedCkpts, tp.Stats.LIVMMerged)
 
 		// Marginal cost of the remaining checkpoints: same binary with
 		// CKPTs deleted (unsound for recovery, fine for timing).
 		s := run(p, stripCkpts(tp.Prog), pipeline.TurnpikeConfig(4, 10))
-		fmt.Printf("  TP-ckpts cyc=%d -> marginal ckpt cost %.2f cycles each (%d ckpts)\n",
-			s.Cycles, float64(int64(q.Cycles)-int64(s.Cycles))/float64(q.CkptStores), q.CkptStores)
+		ckptCost := 0.0
+		if q.CkptStores > 0 {
+			ckptCost = float64(int64(q.Cycles)-int64(s.Cycles)) / float64(q.CkptStores)
+		}
+
+		tab.Rows = append(tab.Rows,
+			statsRow(name, "baseline", b, b, -1),
+			statsRow(name, "turnstile", t, b, -1),
+			statsRow(name, "turnpike", q, b, ckptCost))
+		for _, st := range []pipeline.Stats{b, t, q} {
+			st := st
+			agg.Merge(&st)
+		}
+	}
+	if *markdown {
+		fmt.Print(tab.RenderMarkdown())
+	} else {
+		fmt.Print(tab.Render())
+	}
+
+	if *metricOut != "" {
+		reg := obs.NewRegistry()
+		pipeline.FillStats(reg, &agg)
+		f, err := os.Create(*metricOut)
+		check(err)
+		check(reg.Snapshot().WriteJSON(f))
+		check(f.Close())
+		fmt.Printf("wrote metrics to %s\n", *metricOut)
+	}
+}
+
+func statsRow(bench, scheme string, st, base pipeline.Stats, ckptCost float64) []string {
+	cost := ""
+	if ckptCost >= 0 {
+		cost = fmt.Sprintf("%.2f", ckptCost)
+	}
+	return []string{
+		bench, scheme,
+		fmt.Sprintf("%d", st.Cycles),
+		fmt.Sprintf("%.3f", float64(st.Cycles)/float64(base.Cycles)),
+		fmt.Sprintf("%d", st.Insts),
+		fmt.Sprintf("%d", st.SBFullStalls),
+		fmt.Sprintf("%d", st.DataStalls),
+		fmt.Sprintf("%d", st.BranchBubbles),
+		fmt.Sprintf("%d", st.CkptStores),
+		fmt.Sprintf("%d", st.Quarantined),
+		fmt.Sprintf("%d", st.WARFreeReleased),
+		fmt.Sprintf("%d", st.ColoredReleased),
+		fmt.Sprintf("%d", st.RegionsExecuted),
+		cost,
 	}
 }
 

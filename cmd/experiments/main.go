@@ -6,6 +6,7 @@
 //
 //	experiments                # run everything at the default scale
 //	experiments -scale 50 fig19 fig20
+//	experiments -manifest run.json fig19   # also write a machine-diffable run manifest
 //	experiments -list
 package main
 
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 type runner func(r *experiment.Runner) (fmt.Stringer, error)
@@ -36,10 +38,12 @@ var markdownOut bool
 
 func main() {
 	var (
-		scale = flag.Int("scale", 25, "workload scale (percent of full trip count)")
-		list  = flag.Bool("list", false, "list experiment names and exit")
-		wcdl  = flag.Int("wcdl", 10, "default WCDL for the single-WCDL figures")
-		md    = flag.Bool("markdown", false, "render tables as markdown")
+		scale     = flag.Int("scale", 25, "workload scale (percent of full trip count)")
+		list      = flag.Bool("list", false, "list experiment names and exit")
+		wcdl      = flag.Int("wcdl", 10, "default WCDL for the single-WCDL figures")
+		md        = flag.Bool("markdown", false, "render tables as markdown")
+		manifest  = flag.String("manifest", "", "write a per-run JSON manifest (config, wall times, metric snapshot) to this file")
+		metricOut = flag.String("metrics", "", "write the run's metric snapshot JSON to this file")
 	)
 	flag.Parse()
 	markdownOut = *md
@@ -159,6 +163,12 @@ func main() {
 	if len(want) == 0 {
 		want = names
 	}
+	man := obs.NewManifest("experiments")
+	man.Config["scale_pct"] = *scale
+	man.Config["wcdl"] = *wcdl
+	man.Workloads = want
+	wallSecs := map[string]float64{}
+
 	r := experiment.NewRunner(*scale)
 	for _, n := range want {
 		run, ok := exps[n]
@@ -172,7 +182,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
 			os.Exit(1)
 		}
+		wallSecs[n] = time.Since(start).Seconds()
 		fmt.Println(out.String())
-		fmt.Printf("[%s in %.1fs]\n\n", n, time.Since(start).Seconds())
+		fmt.Printf("[%s in %.1fs]\n\n", n, wallSecs[n])
+	}
+
+	if *manifest != "" || *metricOut != "" {
+		snap := r.MetricsSnapshot()
+		if *metricOut != "" {
+			f, err := os.Create(*metricOut)
+			if err == nil {
+				err = snap.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote metrics to %s\n", *metricOut)
+		}
+		if *manifest != "" {
+			man.Extra["experiment_wall_seconds"] = wallSecs
+			man.Finish(snap)
+			if err := man.WriteFile(*manifest); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote run manifest to %s\n", *manifest)
+		}
 	}
 }

@@ -9,6 +9,7 @@
 //	faultcampaign                      # quick campaign on a sample set
 //	faultcampaign -trials 500 gcc lbm
 //	faultcampaign -scheme turnstile -wcdl 30 -all
+//	faultcampaign -manifest run.json gcc   # write a JSON run manifest
 package main
 
 import (
@@ -19,17 +20,19 @@ import (
 
 	turnpike "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		scheme = flag.String("scheme", "turnpike", "resilience scheme: turnstile | turnpike")
-		trials = flag.Int("trials", 100, "injections per benchmark")
-		wcdl   = flag.Int("wcdl", 10, "worst-case sensor detection latency (cycles)")
-		sb     = flag.Int("sb", 4, "store buffer entries")
-		scale  = flag.Int("scale", 8, "workload scale (percent)")
-		seed   = flag.Int64("seed", 1, "campaign seed")
-		all    = flag.Bool("all", false, "run every benchmark")
+		scheme   = flag.String("scheme", "turnpike", "resilience scheme: turnstile | turnpike")
+		trials   = flag.Int("trials", 100, "injections per benchmark")
+		wcdl     = flag.Int("wcdl", 10, "worst-case sensor detection latency (cycles)")
+		sb       = flag.Int("sb", 4, "store buffer entries")
+		scale    = flag.Int("scale", 8, "workload scale (percent)")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		all      = flag.Bool("all", false, "run every benchmark")
+		manifest = flag.String("manifest", "", "write a per-run JSON manifest (config, outcomes, metric snapshot) to this file")
 	)
 	flag.Parse()
 
@@ -51,12 +54,24 @@ func main() {
 		benches = []string{"gcc", "lbm", "mcf", "exchange2", "radix"}
 	}
 
+	man := obs.NewManifest("faultcampaign")
+	man.Config["scheme"] = *scheme
+	man.Config["trials"] = *trials
+	man.Config["wcdl"] = *wcdl
+	man.Config["sb_size"] = *sb
+	man.Config["scale_pct"] = *scale
+	man.Seed = *seed
+	man.Workloads = benches
+	reg := obs.NewRegistry()
+	outcomes := map[string]map[string]int{}
+
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "BENCHMARK\tMASKED\tRECOVERED\tSDC\tCRASH\tAVG RECOVERY (cyc)\tP50 SLOWDOWN\tP99 SLOWDOWN")
 	totalSDC := 0
 	for _, b := range benches {
 		res, err := turnpike.InjectFaults(b, sc, turnpike.FaultCampaignConfig{
 			Trials: *trials, Seed: *seed, SBSize: *sb, WCDL: *wcdl, ScalePct: *scale,
+			Metrics: reg,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b, err)
@@ -68,6 +83,11 @@ func main() {
 			res.AvgRecoveryCycles,
 			res.SlowdownPercentile(50), res.SlowdownPercentile(99))
 		totalSDC += res.Outcomes[fault.SDC]
+		per := map[string]int{}
+		for o, n := range res.Outcomes {
+			per[o.String()] = n
+		}
+		outcomes[b] = per
 	}
 	w.Flush()
 	if totalSDC > 0 {
@@ -76,4 +96,14 @@ func main() {
 	}
 	fmt.Printf("\n%v: no silent data corruption across %d benchmarks x %d trials\n",
 		sc, len(benches), *trials)
+
+	if *manifest != "" {
+		man.Extra["outcomes_by_benchmark"] = outcomes
+		man.Finish(reg.Snapshot())
+		if err := man.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote run manifest to %s\n", *manifest)
+	}
 }

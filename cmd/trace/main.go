@@ -5,9 +5,18 @@
 // (start/end/verify cycles and store-release classes for the first N
 // regions).
 //
+// With -trace it additionally runs a full simulation with the cycle-domain
+// tracer attached and writes the trace to a file: .json is Chrome
+// trace-event JSON (open in https://ui.perfetto.dev or chrome://tracing),
+// .jsonl is line-delimited JSON, .txt is human-readable. The traced run
+// injects one soft error mid-run so recovery episodes appear in the trace;
+// disable with -inject 0. With -metrics it writes the run's metric
+// snapshot (counters + histograms) as JSON.
+//
 // Usage:
 //
 //	trace [-scheme turnpike] [-timeline 20] gcc
+//	trace -trace out.json -metrics metrics.json gcc
 package main
 
 import (
@@ -17,18 +26,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		scheme   = flag.String("scheme", "turnpike", "baseline | turnstile | turnpike")
-		sb       = flag.Int("sb", 4, "store buffer entries")
-		wcdl     = flag.Int("wcdl", 10, "worst-case detection latency")
-		scale    = flag.Int("scale", 5, "workload scale percent")
-		timeline = flag.Int("timeline", 0, "print a dynamic timeline of the first N regions")
-		noDisasm = flag.Bool("q", false, "suppress the disassembly listing")
+		scheme    = flag.String("scheme", "turnpike", "baseline | turnstile | turnpike")
+		sb        = flag.Int("sb", 4, "store buffer entries")
+		wcdl      = flag.Int("wcdl", 10, "worst-case detection latency")
+		scale     = flag.Int("scale", 5, "workload scale percent")
+		timeline  = flag.Int("timeline", 0, "print a dynamic timeline of the first N regions")
+		noDisasm  = flag.Bool("q", false, "suppress the disassembly listing")
+		traceOut  = flag.String("trace", "", "write a cycle-domain trace to this file (.json=Perfetto, .jsonl, .txt)")
+		metricOut = flag.String("metrics", "", "write the run's metric snapshot JSON to this file")
+		inject    = flag.Int64("inject", -1, "inject one bit flip at this instruction during the traced run (-1 = auto, 0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -125,6 +138,118 @@ func main() {
 	if *timeline > 0 {
 		printTimeline(p, prog, opt, *sb, *wcdl, *timeline)
 	}
+
+	if *traceOut != "" || *metricOut != "" {
+		if err := runObserved(p, prog, opt, *sb, *wcdl, *traceOut, *metricOut, *inject); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// simConfig maps the compile options to a pipeline configuration.
+func simConfig(opt core.Options, sb, wcdl int) pipeline.Config {
+	switch opt.Scheme {
+	case core.Baseline:
+		return pipeline.BaselineConfig(sb)
+	case core.Turnstile:
+		return pipeline.TurnstileConfig(sb, wcdl)
+	default:
+		return pipeline.TurnpikeConfig(sb, wcdl)
+	}
+}
+
+// runObserved executes the full workload with observability attached,
+// writing the requested trace and metric files. Under a resilient scheme
+// it injects one soft error (auto-placed at one third of the dynamic
+// instruction count unless -inject pins or disables it) so the trace shows
+// a complete strike → detect → recover → re-execute episode.
+func runObserved(p workload.Profile, prog *isa.Program, opt core.Options, sb, wcdl int, traceOut, metricOut string, inject int64) error {
+	cfg := simConfig(opt, sb, wcdl)
+
+	injectAt := uint64(0)
+	if cfg.Resilient && inject != 0 {
+		if inject > 0 {
+			injectAt = uint64(inject)
+		} else {
+			// Auto placement: a quick unobserved run sizes the program.
+			pre, err := pipeline.New(prog, cfg)
+			if err != nil {
+				return err
+			}
+			p.SeedMemory(pre.Mem)
+			st, err := pre.Run()
+			if err != nil {
+				return err
+			}
+			injectAt = st.Insts / 3
+			if injectAt == 0 {
+				injectAt = 1
+			}
+		}
+	}
+
+	s, err := pipeline.New(prog, cfg)
+	if err != nil {
+		return err
+	}
+	p.SeedMemory(s.Mem)
+
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if traceOut != "" {
+		traceFile, err = os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		tracer = obs.NewTracer(obs.SinkForPath(traceFile, traceOut))
+	}
+	reg := obs.NewRegistry()
+	s.AttachObs(pipeline.NewObs(tracer, reg))
+
+	injected := false
+	for !s.Halted() {
+		if injectAt > 0 && !injected && s.Stats.Insts >= injectAt {
+			lat := wcdl
+			if lat < 1 {
+				lat = 1
+			}
+			if err := s.InjectBitFlip(4, 17, lat); err != nil {
+				return err
+			}
+			injected = true
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote trace to %s (%d cycles, %d insts, %d regions, %d recoveries)\n",
+			traceOut, s.Stats.Cycles, s.Stats.Insts, s.Stats.RegionsExecuted, s.Stats.Recoveries)
+	}
+	if metricOut != "" {
+		s.FillMetrics(reg)
+		f, err := os.Create(metricOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", metricOut)
+	}
+	return nil
 }
 
 // printTimeline simulates and reports the first n dynamic regions.

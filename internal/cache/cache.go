@@ -6,7 +6,11 @@
 // memory); the hierarchy returns access latencies and records statistics.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // LineSize is the cache line size in bytes.
 const LineSize = 64
@@ -200,4 +204,23 @@ func (h *Hierarchy) Reset() {
 	h.L1I.Reset()
 	h.L1D.Reset()
 	h.L2.Reset()
+}
+
+// FillRegistry exports per-level hit/miss counters and hit rates into reg
+// under "cache.<level>.*". Values add on repeat calls; use a fresh
+// registry per run.
+func (h *Hierarchy) FillRegistry(reg *obs.Registry) {
+	for _, c := range []*Cache{h.L1I, h.L1D, h.L2} {
+		c.FillRegistry(reg)
+	}
+}
+
+// FillRegistry exports this level's hit/miss counters into reg.
+func (c *Cache) FillRegistry(reg *obs.Registry) {
+	name := c.cfg.Name
+	if name == "" {
+		name = "cache"
+	}
+	reg.Counter("cache." + name + ".hits").Add(c.Hits)
+	reg.Counter("cache." + name + ".misses").Add(c.Misses)
 }

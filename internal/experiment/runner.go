@@ -11,11 +11,11 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -109,6 +109,26 @@ func (r *Runner) Run(bench string, opt core.Options, cfg pipeline.Config) (pipel
 	return st, nil
 }
 
+// MetricsSnapshot merges every cached simulation's statistics (via
+// Stats.Merge) into one registry snapshot — the metrics payload of the
+// run manifest cmd/experiments emits.
+func (r *Runner) MetricsSnapshot() obs.Snapshot {
+	var agg pipeline.Stats
+	n := 0
+	r.mu.Lock()
+	for _, st := range r.simmed {
+		st := st
+		agg.Merge(&st)
+		n++
+	}
+	r.mu.Unlock()
+	reg := obs.NewRegistry()
+	pipeline.FillStats(reg, &agg)
+	reg.Gauge("runner.simulations").Set(int64(n))
+	reg.Gauge("runner.scale_pct").Set(int64(r.Scale))
+	return reg.Snapshot()
+}
+
 // BaselineCycles returns the cycle count of the no-resilience compilation
 // on the no-resilience core with the given SB size.
 func (r *Runner) BaselineCycles(bench string, sb int) (uint64, error) {
@@ -160,84 +180,10 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// Table is a render-ready result table.
-type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
-}
-
-// Render formats the table as aligned text.
-func (t *Table) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s ==\n", t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	line(t.Header)
-	line(dashes(widths))
-	for _, row := range t.Rows {
-		line(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
-}
-
-// RenderMarkdown formats the table as GitHub-flavored markdown.
-func (t *Table) RenderMarkdown() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "### %s\n\n", t.Title)
-	row := func(cells []string) {
-		b.WriteString("|")
-		for _, c := range cells {
-			b.WriteString(" ")
-			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
-			b.WriteString(" |")
-		}
-		b.WriteByte('\n')
-	}
-	row(t.Header)
-	sep := make([]string, len(t.Header))
-	for i := range sep {
-		sep[i] = "---"
-	}
-	row(sep)
-	for _, r := range t.Rows {
-		row(r)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "\n*%s*\n", n)
-	}
-	return b.String()
-}
-
-func dashes(widths []int) []string {
-	out := make([]string, len(widths))
-	for i, w := range widths {
-		out[i] = strings.Repeat("-", w)
-	}
-	return out
-}
+// Table is a render-ready result table — an alias of the shared obs
+// renderer so cmd/experiments, cmd/diag, and metric snapshots all print
+// through one implementation.
+type Table = obs.Table
 
 // suiteOrder renders per-suite geomeans in the paper's order.
 var suiteOrder = []string{"cpu2006", "cpu2017", "splash3"}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sensor"
 )
@@ -62,6 +63,10 @@ type Config struct {
 	// uniform-in-[1,WCDL] Detector. Sampled latencies are clamped to the
 	// configured WCDL, preserving the recovery argument.
 	Sampler LatencySampler
+	// Metrics, when set, receives per-campaign observability: outcome
+	// counters, a detection-latency histogram, a recovery-cycles
+	// histogram, and the merged simulator statistics of every trial.
+	Metrics *obs.Registry
 }
 
 // LatencySampler produces per-strike detection latencies in cycles.
@@ -80,6 +85,9 @@ type Result struct {
 	// SlowdownSamples holds, per recovered trial, the run's cycle count
 	// relative to the golden run — the end-to-end cost of one strike.
 	SlowdownSamples []float64
+	// Agg is the Stats.Merge aggregation of every injected trial's
+	// simulator statistics (the golden run is excluded).
+	Agg pipeline.Stats
 }
 
 // SlowdownPercentile returns the p-th percentile (0..100) of the recovered
@@ -134,6 +142,13 @@ func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result
 	if cfg.Sampler != nil {
 		det = cfg.Sampler
 	}
+	var detLat, recLen *obs.Histogram
+	if cfg.Metrics != nil {
+		detLat = cfg.Metrics.Histogram("fault.detect_latency_cycles",
+			obs.LinearBuckets(1, 1, 32))
+		recLen = cfg.Metrics.Histogram("fault.recovery_cycles",
+			obs.ExpBuckets(1, 2, 14))
+	}
 	res := &Result{Outcomes: map[Outcome]int{}}
 	var recCycles, recRuns uint64
 	for trial := 0; trial < cfg.Trials; trial++ {
@@ -144,6 +159,9 @@ func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result
 		if lat > cfg.Sim.WCDL {
 			lat = cfg.Sim.WCDL
 		}
+		if detLat != nil {
+			detLat.Observe(uint64(lat))
+		}
 		inj := Injection{
 			Reg:     isa.Reg(1 + rng.Intn(isa.NumRegs-1)),
 			Bit:     uint(rng.Intn(64)),
@@ -151,30 +169,45 @@ func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result
 			Latency: lat,
 		}
 		mem, st, err := run(prog, cfg.Sim, seedMem, &inj)
+		res.Agg.Merge(&st)
+		outcome := Masked
+		switch {
+		case err != nil:
+			outcome = Crash
+		case !golden.Equal(mem):
+			outcome = SDC
+		case st.Recoveries > 0:
+			outcome = Recovered
+		}
+		res.Outcomes[outcome]++
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter("fault.outcome." + outcome.String()).Inc()
+		}
 		if err != nil {
-			res.Outcomes[Crash]++
 			return res, fmt.Errorf("fault: trial %d crashed (%+v): %w", trial, inj, err)
 		}
-		switch {
-		case !golden.Equal(mem):
-			res.Outcomes[SDC]++
+		if outcome == SDC {
 			return res, fmt.Errorf("fault: trial %d produced SDC (%+v)", trial, inj)
-		case st.Recoveries > 0:
-			res.Outcomes[Recovered]++
+		}
+		if outcome == Recovered {
 			recCycles += st.RecoveryCycles
 			recRuns++
+			if recLen != nil {
+				recLen.Observe(st.RecoveryCycles)
+			}
 			if goldenStats.Cycles > 0 {
 				res.SlowdownSamples = append(res.SlowdownSamples,
 					float64(st.Cycles)/float64(goldenStats.Cycles))
 			}
-		default:
-			res.Outcomes[Masked]++
 		}
 		res.Recoveries += st.Recoveries
 		res.Parity += st.ParityTrips
 	}
 	if recRuns > 0 {
 		res.AvgRecoveryCycles = float64(recCycles) / float64(recRuns)
+	}
+	if cfg.Metrics != nil {
+		pipeline.FillStats(cfg.Metrics, &res.Agg)
 	}
 	return res, nil
 }

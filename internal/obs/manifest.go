@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Manifest is the per-run record the experiment tools emit alongside their
+// human-readable output: what ran, with which knobs, for how long, and the
+// final metric snapshot. Two manifests from different commits diff cleanly
+// with ordinary JSON tooling, which is what makes benchmark trajectories
+// machine-comparable.
+type Manifest struct {
+	// Tool names the producing command (e.g. "experiments").
+	Tool string `json:"tool"`
+	// StartedAt is the run's wall-clock start.
+	StartedAt time.Time `json:"started_at"`
+	// WallSeconds is the run's total wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// GoVersion and Host capture the producing environment.
+	GoVersion string `json:"go_version"`
+	Host      string `json:"host,omitempty"`
+	// Config holds the tool's knobs (scheme, scale, WCDL, SB size, ...).
+	Config map[string]any `json:"config,omitempty"`
+	// Workloads lists the benchmarks or experiments covered.
+	Workloads []string `json:"workloads,omitempty"`
+	// Seed is the campaign/workload seed when the run is randomized.
+	Seed int64 `json:"seed,omitempty"`
+	// Metrics is the final registry snapshot.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+	// Extra carries tool-specific results (per-experiment wall times,
+	// per-benchmark outcome counts, ...).
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// NewManifest starts a manifest for tool, stamping start time and
+// environment. Call Finish before writing.
+func NewManifest(tool string) *Manifest {
+	host, _ := os.Hostname()
+	return &Manifest{
+		Tool:      tool,
+		StartedAt: time.Now(),
+		GoVersion: runtime.Version(),
+		Host:      host,
+		Config:    map[string]any{},
+		Extra:     map[string]any{},
+	}
+}
+
+// Finish stamps the total wall time and attaches the metric snapshot.
+func (m *Manifest) Finish(s Snapshot) {
+	m.WallSeconds = time.Since(m.StartedAt).Seconds()
+	m.Metrics = &s
+}
+
+// WriteFile writes the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

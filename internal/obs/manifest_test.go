@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest("test-tool")
+	if m.Tool != "test-tool" || m.GoVersion == "" || m.StartedAt.IsZero() {
+		t.Fatalf("NewManifest missing stamps: %+v", m)
+	}
+	m.Config["scale_pct"] = 10
+	m.Config["wcdl"] = 10
+	m.Workloads = []string{"gcc", "lbm"}
+	m.Seed = 42
+	m.Extra["note"] = "hello"
+
+	r := NewRegistry()
+	r.Counter("sim.insts").Add(99)
+	m.Finish(r.Snapshot())
+	if m.Metrics == nil || m.Metrics.Counters["sim.insts"] != 99 {
+		t.Fatalf("Finish did not attach metrics: %+v", m.Metrics)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "test-tool" || got.Seed != 42 || len(got.Workloads) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Metrics.Counters["sim.insts"] != 99 {
+		t.Fatalf("metrics lost in round trip: %+v", got.Metrics)
+	}
+	if got.Config["scale_pct"].(float64) != 10 {
+		t.Fatalf("config lost: %+v", got.Config)
+	}
+	if got.Extra["note"].(string) != "hello" {
+		t.Fatalf("extra lost: %+v", got.Extra)
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// JSONLSink writes one JSON object per event per line — the streaming
+// format for programmatic consumers (round-trips through encoding/json).
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSON line.
+func (s *JSONLSink) Emit(ev Event) error { return s.enc.Encode(ev) }
+
+// Close is a no-op (the caller owns the writer).
+func (s *JSONLSink) Close() error { return nil }
+
+// TextSink writes human-readable lines, for quick eyeballing and tests.
+type TextSink struct {
+	w io.Writer
+}
+
+// NewTextSink wraps w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit writes one aligned text line.
+func (s *TextSink) Emit(ev Event) error {
+	var args string
+	if len(ev.Args) > 0 {
+		parts := make([]string, 0, len(ev.Args))
+		for _, k := range sortedKeys(ev.Args) {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, ev.Args[k]))
+		}
+		args = " {" + strings.Join(parts, " ") + "}"
+	}
+	if ev.Kind == KindSpan {
+		_, err := fmt.Fprintf(s.w, "@%-10d +%-8d %-10s %-12s %s%s\n",
+			ev.Start, ev.Dur, ev.Track, ev.Cat, ev.Name, args)
+		return err
+	}
+	_, err := fmt.Fprintf(s.w, "@%-10d %-9s %-10s %-12s %s%s\n",
+		ev.Start, "·", ev.Track, ev.Cat, ev.Name, args)
+	return err
+}
+
+// Close is a no-op.
+func (s *TextSink) Close() error { return nil }
+
+// ChromeSink buffers events and, on Close, writes Chrome trace-event JSON
+// ({"traceEvents": [...]}) that loads in Perfetto and chrome://tracing.
+// Simulated cycles map 1:1 to trace microseconds; tracks map to threads of
+// a single process, named via thread_name metadata.
+type ChromeSink struct {
+	w      io.Writer
+	events []chromeEvent
+	tids   map[string]int
+	order  []string
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeSink wraps w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: w, tids: map[string]int{}}
+}
+
+func (s *ChromeSink) tid(track string) int {
+	if id, ok := s.tids[track]; ok {
+		return id
+	}
+	id := len(s.tids)
+	s.tids[track] = id
+	s.order = append(s.order, track)
+	return id
+}
+
+// Emit buffers one event.
+func (s *ChromeSink) Emit(ev Event) error {
+	name := ev.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	ce := chromeEvent{
+		Name: name,
+		Cat:  ev.Cat,
+		TS:   ev.Start,
+		PID:  1,
+		TID:  s.tid(ev.Track),
+		Args: ev.Args,
+	}
+	if ev.Kind == KindSpan {
+		ce.Ph = "X"
+		dur := ev.Dur
+		if dur == 0 {
+			dur = 1 // Perfetto hides true zero-width slices
+		}
+		ce.Dur = &dur
+	} else {
+		ce.Ph = "i"
+		ce.S = "t"
+	}
+	s.events = append(s.events, ce)
+	return nil
+}
+
+// Close writes the buffered trace as one JSON document.
+func (s *ChromeSink) Close() error {
+	all := make([]chromeEvent, 0, len(s.events)+len(s.order))
+	// thread_name metadata gives each track a labeled lane; sort_index
+	// keeps lane order stable across loads.
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	for _, track := range names {
+		label := track
+		if label == "" {
+			label = "(unnamed)"
+		}
+		all = append(all, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: s.tids[track],
+			Args: map[string]any{"name": label},
+		})
+	}
+	all = append(all, s.events...)
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		Comment         string        `json:"otherData,omitempty"`
+	}{TraceEvents: all, DisplayTimeUnit: "ns", Comment: "timestamps are simulated cycles"}
+	enc := json.NewEncoder(s.w)
+	return enc.Encode(doc)
+}
+
+// SinkForPath picks a sink format from the file extension: .jsonl is
+// line-delimited JSON, .txt/.text is human-readable, anything else
+// (typically .json) is Chrome trace-event JSON for Perfetto.
+func SinkForPath(w io.Writer, path string) Sink {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl":
+		return NewJSONLSink(w)
+	case ".txt", ".text":
+		return NewTextSink(w)
+	default:
+		return NewChromeSink(w)
+	}
+}

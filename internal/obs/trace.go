@@ -1,0 +1,98 @@
+package obs
+
+// Cycle-domain tracer. Events carry simulated-cycle timestamps, not wall
+// time: the simulator emits spans (region lifetimes, verification windows,
+// recovery episodes, store-buffer residency) and instants (cache misses,
+// strikes, detections) onto named tracks, and a Sink serializes them. The
+// ChromeSink output loads directly in Perfetto / chrome://tracing with one
+// thread lane per track.
+
+// Event kinds.
+const (
+	KindSpan    = "span"
+	KindInstant = "instant"
+)
+
+// Event is one trace record. Start and Dur are in simulated cycles.
+type Event struct {
+	Kind  string         `json:"kind"`
+	Track string         `json:"track"`
+	Cat   string         `json:"cat"`
+	Name  string         `json:"name"`
+	Start uint64         `json:"start"`
+	Dur   uint64         `json:"dur,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Sink consumes events. Implementations must tolerate pathological input
+// (empty names, zero-length spans, out-of-order timestamps) without
+// panicking; Close flushes buffered state.
+type Sink interface {
+	Emit(ev Event) error
+	Close() error
+}
+
+// Tracer fans events into one sink, latching the first error. A nil
+// *Tracer is a valid no-op: every method nil-checks the receiver, so
+// holders need exactly one branch to skip disabled tracing.
+type Tracer struct {
+	sink Sink
+	err  error
+}
+
+// NewTracer wraps a sink. A nil sink yields a disabled tracer.
+func NewTracer(s Sink) *Tracer {
+	if s == nil {
+		return nil
+	}
+	return &Tracer{sink: s}
+}
+
+// Enabled reports whether events will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil && t.err == nil }
+
+// Span records a [start, end] interval on a track. end < start is clamped
+// to a zero-length span at start (pathological runs must not panic).
+func (t *Tracer) Span(track, cat, name string, start, end uint64, args map[string]any) {
+	if !t.Enabled() {
+		return
+	}
+	dur := uint64(0)
+	if end > start {
+		dur = end - start
+	}
+	t.emit(Event{Kind: KindSpan, Track: track, Cat: cat, Name: name, Start: start, Dur: dur, Args: args})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(track, cat, name string, at uint64, args map[string]any) {
+	if !t.Enabled() {
+		return
+	}
+	t.emit(Event{Kind: KindInstant, Track: track, Cat: cat, Name: name, Start: at, Args: args})
+}
+
+func (t *Tracer) emit(ev Event) {
+	if err := t.sink.Emit(ev); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Err returns the first sink error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Close flushes the sink and returns the first error seen.
+func (t *Tracer) Close() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	if err := t.sink.Close(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.Span("a", "b", "c", 1, 2, nil) // must not panic
+	tr.Instant("a", "b", "c", 1, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if NewTracer(nil) != nil {
+		t.Fatal("NewTracer(nil) should return nil")
+	}
+}
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewJSONLSink(&buf))
+	tr.Span("regions", "region", "R0", 10, 25, map[string]any{"insts": 7})
+	tr.Instant("sensor", "strike", "strike", 12, nil)
+	tr.Span("regions", "region", "R1", 30, 30, nil)  // zero-length
+	tr.Span("regions", "region", "bad", 50, 40, nil) // end before start: clamped
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	var first Event
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != KindSpan || first.Track != "regions" || first.Start != 10 || first.Dur != 15 {
+		t.Fatalf("round trip = %+v", first)
+	}
+	if v, ok := first.Args["insts"].(float64); !ok || v != 7 {
+		t.Fatalf("args lost: %+v", first.Args)
+	}
+	var clamped Event
+	if err := json.Unmarshal([]byte(lines[3]), &clamped); err != nil {
+		t.Fatal(err)
+	}
+	if clamped.Dur != 0 {
+		t.Fatalf("end<start span should clamp to zero dur, got %d", clamped.Dur)
+	}
+}
+
+func TestChromeSinkDocument(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewChromeSink(&buf))
+	tr.Span("regions", "region", "R0", 0, 10, map[string]any{"x": 1})
+	tr.Span("store-buffer", "sb-quarantined", "store", 4, 9, nil)
+	tr.Instant("sensor", "strike", "strike", 5, nil)
+	tr.Span("regions", "region", "", 11, 11, nil) // empty name, zero dur
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome doc not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, instants, meta int
+	tids := map[string]map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph := ev["ph"].(string)
+		switch ph {
+		case "X":
+			spans++
+			if ev["dur"].(float64) < 1 {
+				t.Fatalf("zero-duration span not widened: %+v", ev)
+			}
+			if ev["name"].(string) == "" {
+				t.Fatalf("empty span name survived: %+v", ev)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+			name := ev["args"].(map[string]any)["name"].(string)
+			if tids[name] == nil {
+				tids[name] = map[float64]bool{}
+			}
+			tids[name][ev["tid"].(float64)] = true
+		}
+	}
+	if spans != 3 || instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 3/1", spans, instants)
+	}
+	if meta != 3 { // regions, store-buffer, sensor
+		t.Fatalf("thread metadata = %d tracks, want 3", meta)
+	}
+	for name, set := range tids {
+		if len(set) != 1 {
+			t.Fatalf("track %q mapped to %d tids", name, len(set))
+		}
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewTextSink(&buf))
+	tr.Span("regions", "region", "R0", 3, 8, map[string]any{"b": 2, "a": 1})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "R0") || !strings.Contains(out, "regions") {
+		t.Fatalf("text sink output:\n%s", out)
+	}
+	// Args render in sorted key order for deterministic output.
+	if strings.Index(out, "a=1") > strings.Index(out, "b=2") {
+		t.Fatalf("args not sorted:\n%s", out)
+	}
+}
+
+func TestSinkForPath(t *testing.T) {
+	var buf bytes.Buffer
+	if _, ok := SinkForPath(&buf, "out.jsonl").(*JSONLSink); !ok {
+		t.Fatal(".jsonl should pick JSONLSink")
+	}
+	if _, ok := SinkForPath(&buf, "out.txt").(*TextSink); !ok {
+		t.Fatal(".txt should pick TextSink")
+	}
+	if _, ok := SinkForPath(&buf, "out.json").(*ChromeSink); !ok {
+		t.Fatal(".json should pick ChromeSink")
+	}
+	if _, ok := SinkForPath(&buf, "out").(*ChromeSink); !ok {
+		t.Fatal("default should pick ChromeSink")
+	}
+}
+
+// errSink fails on the nth emit, to exercise error latching.
+type errSink struct{ n, seen int }
+
+func (e *errSink) Emit(Event) error {
+	e.seen++
+	if e.seen > e.n {
+		return errors.New("sink full")
+	}
+	return nil
+}
+func (e *errSink) Close() error { return nil }
+
+func TestTracerLatchesFirstError(t *testing.T) {
+	sink := &errSink{n: 1}
+	tr := NewTracer(sink)
+	tr.Instant("t", "c", "ok", 1, nil)
+	tr.Instant("t", "c", "fails", 2, nil)
+	tr.Instant("t", "c", "dropped", 3, nil)
+	if tr.Enabled() {
+		t.Fatal("tracer still enabled after sink error")
+	}
+	if sink.seen != 2 {
+		t.Fatalf("sink saw %d emits after error, want 2", sink.seen)
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close should report the latched error")
+	}
+}
+
+// FuzzSinkEvents feeds pathological events (empty names, huge timestamps,
+// end-before-start spans, weird tracks) through every sink: none may
+// panic, JSONL output must round-trip through encoding/json, and the
+// Chrome document must stay valid JSON.
+func FuzzSinkEvents(f *testing.F) {
+	f.Add("", "", "", uint64(0), uint64(0), true)
+	f.Add("regions", "region", "R0", uint64(10), uint64(5), false)
+	f.Add("a\nb", "c\x00d", "名前", uint64(1<<63), uint64(1), true)
+	f.Add("t", "c", `quote"back\slash`, uint64(42), uint64(42), false)
+	f.Fuzz(func(t *testing.T, track, cat, name string, start, end uint64, instant bool) {
+		var jbuf, cbuf, tbuf bytes.Buffer
+		jt := NewTracer(NewJSONLSink(&jbuf))
+		ct := NewTracer(NewChromeSink(&cbuf))
+		tt := NewTracer(NewTextSink(&tbuf))
+		for _, tr := range []*Tracer{jt, ct, tt} {
+			if instant {
+				tr.Instant(track, cat, name, start, nil)
+			} else {
+				tr.Span(track, cat, name, start, end, map[string]any{"k": start})
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatalf("sink error on pathological input: %v", err)
+			}
+		}
+		for _, line := range strings.Split(strings.TrimSpace(jbuf.String()), "\n") {
+			var ev Event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("JSONL line does not round-trip: %v\n%s", err, line)
+			}
+			// encoding/json replaces invalid UTF-8 with U+FFFD, so exact
+			// equality only holds for valid strings.
+			if utf8.ValidString(track) && utf8.ValidString(name) &&
+				(ev.Track != track || ev.Name != name) {
+				t.Fatalf("JSONL round trip mangled fields: %+v", ev)
+			}
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(cbuf.Bytes(), &doc); err != nil {
+			t.Fatalf("chrome doc invalid: %v", err)
+		}
+		if _, ok := doc["traceEvents"]; !ok {
+			t.Fatal("chrome doc missing traceEvents")
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// benchProg compiles the standard test kernel once per benchmark.
+func benchProg(b *testing.B) *isa.Program {
+	b.Helper()
+	c, err := core.Compile(buildBench(200), core.TurnpikeAll(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.Prog
+}
+
+func runSim(b *testing.B, prog *isa.Program, o *Obs) Stats {
+	b.Helper()
+	s, err := New(prog, TurnpikeConfig(4, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed(s.Mem, 200)
+	if o != nil {
+		s.AttachObs(o)
+	}
+	st, err := s.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkSimObsDisabled measures the simulator with no observability
+// attached — the nil-guard fast path. The acceptance budget for this PR
+// is ≤2% regression against the uninstrumented simulator; compare against
+// BenchmarkSimObsEnabled to see the cost of full instrumentation.
+func BenchmarkSimObsDisabled(b *testing.B) {
+	prog := benchProg(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		st := runSim(b, prog, nil)
+		cycles += st.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}
+
+// BenchmarkSimObsEnabled attaches the registry (histograms live on the
+// hot path) plus a discarding tracer, measuring the fully-instrumented
+// cost.
+func BenchmarkSimObsEnabled(b *testing.B) {
+	prog := benchProg(b)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(discardSink{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSim(b, prog, NewObs(tr, reg))
+	}
+}
+
+type discardSink struct{}
+
+func (discardSink) Emit(obs.Event) error { return nil }
+func (discardSink) Close() error         { return nil }

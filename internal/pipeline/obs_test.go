@@ -1,0 +1,187 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// observedRun attaches a tracer (JSONL + registry) to a fresh simulator
+// and returns the raw JSONL buffer and the registry after the run.
+func observedRun(t *testing.T, prog *isa.Program, cfg Config, n int,
+	drive func(s *Sim)) (*bytes.Buffer, *obs.Registry, Stats) {
+	t.Helper()
+	s, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 {
+		seed(s.Mem, n)
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTracer(obs.NewJSONLSink(&buf))
+	reg := obs.NewRegistry()
+	s.AttachObs(NewObs(tr, reg))
+	if drive != nil {
+		drive(s)
+	}
+	for !s.Halted() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	return &buf, reg, s.Stats
+}
+
+// decodeJSONL asserts every line round-trips through encoding/json.
+func decodeJSONL(t *testing.T, buf *bytes.Buffer) []obs.Event {
+	t.Helper()
+	var evs []obs.Event
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("JSONL line does not parse: %v\n%s", err, line)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestObsZeroInstructionProgram: a program that halts immediately produces
+// a valid (possibly empty) trace without panicking.
+func TestObsZeroInstructionProgram(t *testing.T) {
+	prog := &isa.Program{Insts: []isa.Inst{{Op: isa.HALT}}}
+	buf, _, st := observedRun(t, prog, BaselineConfig(4), 0, nil)
+	if st.Insts != 1 {
+		t.Fatalf("insts = %d", st.Insts)
+	}
+	decodeJSONL(t, buf)
+}
+
+// TestObsImmediateRecovery: a strike at the very first instruction with
+// the minimum detection latency exercises recovery before any region has
+// verified; the tracer must survive and record the episode.
+func TestObsImmediateRecovery(t *testing.T) {
+	f := buildBench(30)
+	prog := compileFor(t, f, core.Turnpike, 4)
+	cfg := TurnpikeConfig(4, 10)
+	buf, reg, st := observedRun(t, prog, cfg, 30, func(s *Sim) {
+		if err := s.InjectBitFlip(4, 3, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if st.Recoveries == 0 {
+		t.Fatal("no recovery recorded")
+	}
+	evs := decodeJSONL(t, buf)
+	var sawRecovery, sawStrike bool
+	for _, ev := range evs {
+		switch ev.Track {
+		case "recovery":
+			if ev.Kind == obs.KindSpan {
+				sawRecovery = true
+			}
+		case "sensor":
+			if ev.Name == "strike" {
+				sawStrike = true
+			}
+		}
+	}
+	if !sawStrike || !sawRecovery {
+		t.Fatalf("trace missing strike (%v) or recovery span (%v)", sawStrike, sawRecovery)
+	}
+	if reg.Snapshot().Histograms["sim.recovery_cycles"].Count == 0 {
+		t.Fatal("recovery histogram empty")
+	}
+}
+
+// TestObsRBBFullStalls: a tiny region boundary buffer under a long
+// verification window forces RBB-full stalls; the tracer must handle the
+// resulting span pile-up.
+func TestObsRBBFullStalls(t *testing.T) {
+	f := buildBench(40)
+	prog := compileFor(t, f, core.Turnpike, 4)
+	cfg := TurnpikeConfig(4, 200)
+	cfg.RBBSize = 2
+	buf, reg, st := observedRun(t, prog, cfg, 40, nil)
+	if st.RBBFullStalls == 0 {
+		t.Fatal("expected RBB-full stalls; test is vacuous")
+	}
+	evs := decodeJSONL(t, buf)
+	regions := 0
+	for _, ev := range evs {
+		if ev.Track == "regions" && ev.Kind == obs.KindSpan {
+			regions++
+		}
+	}
+	if uint64(regions) != st.RegionsExecuted {
+		t.Fatalf("%d region spans for %d regions executed", regions, st.RegionsExecuted)
+	}
+	if reg.Snapshot().Histograms["sim.region_lifetime_cycles"].Count != st.RegionsExecuted {
+		t.Fatal("region lifetime histogram does not match regions executed")
+	}
+}
+
+// TestObsMetricsMatchStats: the registry export agrees with the plain
+// Stats struct and the histograms carry the run's occupancy samples.
+func TestObsMetricsMatchStats(t *testing.T) {
+	f := buildBench(60)
+	prog := compileFor(t, f, core.Turnpike, 4)
+	cfg := TurnpikeConfig(4, 10)
+	s, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(s.Mem, 60)
+	reg := obs.NewRegistry()
+	s.AttachObs(NewObs(nil, reg))
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FillMetrics(reg)
+	snap := reg.Snapshot()
+	if snap.Counters["sim.insts"] != st.Insts {
+		t.Fatalf("sim.insts = %d, want %d", snap.Counters["sim.insts"], st.Insts)
+	}
+	if snap.Counters["sim.regions_executed"] != st.RegionsExecuted {
+		t.Fatalf("sim.regions_executed = %d, want %d",
+			snap.Counters["sim.regions_executed"], st.RegionsExecuted)
+	}
+	if snap.Counters["sim.sb_full_stalls"] != st.SBFullStalls {
+		t.Fatalf("sim.sb_full_stalls = %d, want %d",
+			snap.Counters["sim.sb_full_stalls"], st.SBFullStalls)
+	}
+	if uint64(snap.Gauges["sim.clq_occ_max"]) != st.CLQOccMax {
+		t.Fatalf("sim.clq_occ_max = %d, want %d", snap.Gauges["sim.clq_occ_max"], st.CLQOccMax)
+	}
+	if snap.Histograms["sim.region_lifetime_cycles"].Count != st.RegionsExecuted {
+		t.Fatal("region lifetime histogram count mismatch")
+	}
+	if snap.Histograms["sim.sb_occupancy"].Count == 0 {
+		t.Fatal("SB occupancy histogram empty")
+	}
+	// Cache counters come along via FillMetrics.
+	if _, ok := snap.Counters["cache.l1i.hits"]; !ok {
+		t.Fatalf("cache counters missing from snapshot: %v", sortedCounterNames(snap))
+	}
+}
+
+func sortedCounterNames(s obs.Snapshot) []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	return names
+}

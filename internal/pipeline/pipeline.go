@@ -158,12 +158,54 @@ type Stats struct {
 	CLQOverflows    uint64
 	CLQOccSamples   uint64
 	CLQOccSum       uint64
-	CLQOccMax       int
+	CLQOccMax       uint64
 
 	// Recovery behaviour (fault campaigns).
 	Recoveries     uint64
 	ParityTrips    uint64
 	RecoveryCycles uint64
+
+	// Region-attribution remainders (resilient configs only): work done
+	// while no region is open — recovery blocks and code before the first
+	// boundary. With these, the per-region event log sums exactly to the
+	// aggregates: sum(RegionEvent.Insts) + OutsideRegionInsts == Insts and
+	// sum(RegionEvent.Quarantined) + OutsideRegionStores == Quarantined.
+	OutsideRegionInsts  uint64
+	OutsideRegionStores uint64
+}
+
+// Merge accumulates o into s: counters add, CLQOccMax takes the maximum.
+// Fault campaigns use it to aggregate per-trial statistics; the experiment
+// runner uses it to snapshot a whole session. A reflection-driven unit
+// test keeps this list in sync with the struct.
+func (s *Stats) Merge(o *Stats) {
+	s.Cycles += o.Cycles
+	s.Insts += o.Insts
+	s.ProgStores += o.ProgStores
+	s.SpillStores += o.SpillStores
+	s.CkptStores += o.CkptStores
+	s.WARFreeReleased += o.WARFreeReleased
+	s.ColoredReleased += o.ColoredReleased
+	s.Quarantined += o.Quarantined
+	s.WAWBlocked += o.WAWBlocked
+	s.SBFullStalls += o.SBFullStalls
+	s.DataStalls += o.DataStalls
+	s.BranchBubbles += o.BranchBubbles
+	s.RBBFullStalls += o.RBBFullStalls
+	s.ColorStalls += o.ColorStalls
+	s.FetchStalls += o.FetchStalls
+	s.RegionsExecuted += o.RegionsExecuted
+	s.CLQOverflows += o.CLQOverflows
+	s.CLQOccSamples += o.CLQOccSamples
+	s.CLQOccSum += o.CLQOccSum
+	if o.CLQOccMax > s.CLQOccMax {
+		s.CLQOccMax = o.CLQOccMax
+	}
+	s.Recoveries += o.Recoveries
+	s.ParityTrips += o.ParityTrips
+	s.RecoveryCycles += o.RecoveryCycles
+	s.OutsideRegionInsts += o.OutsideRegionInsts
+	s.OutsideRegionStores += o.OutsideRegionStores
 }
 
 // AvgCLQOccupancy returns the mean populated CLQ entries sampled at region

@@ -28,6 +28,12 @@ func (s *Sim) InjectBitFlip(r isa.Reg, bit uint, latency int) error {
 	s.Regs[r] ^= 1 << (bit & 63)
 	s.Taint[r] = true
 	s.pendingDetectAt = s.cycle + uint64(latency)
+	if s.obs != nil {
+		s.obs.Tracer.Instant(trackSensor, "fault", "strike", s.cycle,
+			map[string]any{"reg": int(r), "bit": bit})
+		s.obs.Tracer.Span(trackSensor, "sensor", "detection-window", s.cycle, s.pendingDetectAt,
+			map[string]any{"latency": latency})
+	}
 	return nil
 }
 
@@ -59,6 +65,12 @@ func (s *Sim) InjectMultiBitFlip(r isa.Reg, bits []uint, spillover bool, latency
 		s.Taint[r2] = true
 	}
 	s.pendingDetectAt = s.cycle + uint64(latency)
+	if s.obs != nil {
+		s.obs.Tracer.Instant(trackSensor, "fault", "multi-bit-strike", s.cycle,
+			map[string]any{"reg": int(r), "bits": len(bits), "spillover": spillover})
+		s.obs.Tracer.Span(trackSensor, "sensor", "detection-window", s.cycle, s.pendingDetectAt,
+			map[string]any{"latency": latency})
+	}
 	return nil
 }
 
@@ -85,9 +97,10 @@ func (s *Sim) recover() error {
 				s.colors.squash(reg, c)
 			}
 		}
-		s.logRegion(r, true)
+		s.regionClosed(r, true)
 	}
-	s.sb.discardUnverified()
+	squashed := len(s.rbb)
+	discarded := s.sb.discardUnverified()
 	if s.clq != nil {
 		s.clq.clearAll()
 		s.clqEnabled = true
@@ -112,6 +125,16 @@ func (s *Sim) recover() error {
 	}
 	s.Stats.Recoveries++
 	s.Stats.RecoveryCycles += s.cycle - startCycle
+	if s.obs != nil {
+		if s.obs.recoveryLen != nil {
+			s.obs.recoveryLen.Observe(s.cycle - startCycle)
+		}
+		s.obs.Tracer.Instant(trackSensor, "sensor", "detect", startCycle, nil)
+		s.obs.Tracer.Span(trackRecovery, "recovery", fmt.Sprintf("recovery R%d", restart.staticID),
+			startCycle, s.cycle, map[string]any{
+				"squashed_regions": squashed, "discarded_stores": discarded, "recovery_pc": rpc,
+			})
+	}
 	return nil
 }
 

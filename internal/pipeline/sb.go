@@ -60,6 +60,10 @@ type storeBuffer struct {
 	cap       int
 	lastDrain uint64
 	seq       uint64
+
+	// obs mirrors the simulator's attachment (AttachObs); nil when
+	// observability is disabled.
+	obs *Obs
 }
 
 func newStoreBuffer(capacity int) *storeBuffer {
@@ -74,6 +78,9 @@ func (sb *storeBuffer) push(e sbEntry) {
 	sb.seq++
 	e.seq = sb.seq
 	sb.entries = append(sb.entries, e)
+	if sb.obs != nil && sb.obs.sbOcc != nil {
+		sb.obs.sbOcc.Observe(uint64(len(sb.entries)))
+	}
 }
 
 // drainUntil retires drainable entries with the 1/cycle port up to cycle
@@ -92,7 +99,7 @@ func (sb *storeBuffer) drainUntil(now uint64, mem *isa.Memory) {
 		if t > now {
 			return
 		}
-		sb.applyAndRemove(i, mem)
+		sb.applyAndRemove(i, t, mem)
 		sb.lastDrain = t
 	}
 }
@@ -130,10 +137,13 @@ func (sb *storeBuffer) oldestDrainable() int {
 	return best
 }
 
-func (sb *storeBuffer) applyAndRemove(i int, mem *isa.Memory) {
+func (sb *storeBuffer) applyAndRemove(i int, drainAt uint64, mem *isa.Memory) {
 	e := sb.entries[i]
 	if e.quarantined {
 		mem.Store(e.addr, e.val)
+	}
+	if sb.obs != nil {
+		sb.obs.obsDrained(&e, drainAt)
 	}
 	sb.entries = append(sb.entries[:i], sb.entries[i+1:]...)
 }

@@ -62,6 +62,10 @@ type Sim struct {
 	// regionLog records per-region events when Cfg.RecordRegions is set.
 	regionLog []RegionEvent
 
+	// obs is the optional observability attachment (AttachObs). Nil means
+	// disabled; every instrumentation site is guarded by one nil check.
+	obs *Obs
+
 	Stats  Stats
 	halted bool
 }
@@ -185,7 +189,7 @@ func (s *Sim) processVerifications() {
 		}
 		r.verified = true
 		s.rbb = s.rbb[1:]
-		s.logRegion(r, false)
+		s.regionClosed(r, false)
 		// Colors: UC -> VC, reclaiming previous VC colors.
 		if s.colors != nil {
 			for reg, c := range r.colors {
@@ -233,6 +237,9 @@ func (s *Sim) Step() error {
 
 	// Fetch: instruction cache.
 	if lat := s.hier.InstAccess(uint64(s.PC) * 4); lat > 0 {
+		if s.obs != nil {
+			s.obsFetchMiss(lat)
+		}
 		s.advanceTo(s.cycle+uint64(lat), &s.Stats.FetchStalls)
 	}
 
@@ -247,6 +254,9 @@ func (s *Sim) Step() error {
 		}
 	}
 	if start > s.cycle {
+		if s.obs != nil {
+			s.obsDataStall(start)
+		}
 		s.advanceTo(start, &s.Stats.DataStalls)
 	}
 	// Dual-issue slot accounting.
@@ -259,6 +269,8 @@ func (s *Sim) Step() error {
 	s.Stats.Insts++
 	if s.cur != nil && !s.inRecovery {
 		s.cur.insts++
+	} else if s.Cfg.Resilient {
+		s.Stats.OutsideRegionInsts++
 	}
 	next := s.PC + 1
 
@@ -331,6 +343,9 @@ func (s *Sim) Step() error {
 		} else {
 			s.Regs[in.Rd] = s.Mem.Load(addr)
 			lat = s.hier.DataAccess(addr)
+			if s.obs != nil {
+				s.obsLoadAccess(addr, lat)
+			}
 		}
 		s.Taint[in.Rd] = false
 		s.regReady[in.Rd] = start + uint64(lat)
@@ -404,6 +419,9 @@ func (s *Sim) Step() error {
 		ctr := s.predictor[s.PC]
 		predictTaken := ctr >= 2
 		if predictTaken != taken {
+			if s.obs != nil {
+				s.obsMispredict()
+			}
 			s.advanceTo(s.cycle+uint64(s.Cfg.BranchPenalty), &s.Stats.BranchBubbles)
 		}
 		if taken && ctr < 3 {
@@ -469,8 +487,11 @@ func (s *Sim) commitBound(in *isa.Inst, now uint64) error {
 		occ := s.clq.occupancy()
 		s.Stats.CLQOccSamples++
 		s.Stats.CLQOccSum += uint64(occ)
-		if occ > s.Stats.CLQOccMax {
-			s.Stats.CLQOccMax = occ
+		if uint64(occ) > s.Stats.CLQOccMax {
+			s.Stats.CLQOccMax = uint64(occ)
+		}
+		if s.obs != nil && s.obs.clqOcc != nil {
+			s.obs.clqOcc.Observe(uint64(occ))
 		}
 	}
 	return nil
@@ -537,6 +558,8 @@ func (s *Sim) commitStore(in *isa.Inst, addr, val uint64, isCkpt bool, ckptReg i
 		s.Stats.Quarantined++
 		if s.cur != nil {
 			s.cur.quarantined++
+		} else {
+			s.Stats.OutsideRegionStores++
 		}
 		s.sb.push(sbEntry{addr: addr, val: val, quarantined: true, region: s.cur,
 			isCkpt: isCkpt, ckptReg: ckptReg, commitAt: s.cycle})
@@ -545,6 +568,9 @@ func (s *Sim) commitStore(in *isa.Inst, addr, val uint64, isCkpt bool, ckptReg i
 		// bandwidth only.
 		s.Mem.Store(addr, val)
 		s.sb.push(sbEntry{addr: addr, val: val, commitAt: s.cycle})
+	}
+	if s.obs != nil {
+		s.obsCommitStore(addr, quarantine, isCkpt)
 	}
 	// Charge the L1 write access for cache-state realism.
 	s.hier.L1D.Access(addr)
@@ -597,6 +623,9 @@ func (s *Sim) commitCkpt(in *isa.Inst) (recovered bool, err error) {
 		s.Stats.CkptStores++
 		s.Stats.ColoredReleased++
 		s.cur.colored++
+		if s.obs != nil {
+			s.obsCommitCkptColored(addr, color)
+		}
 		return false, nil
 	}
 	// No coloring: quarantine to slot 0 like any store.

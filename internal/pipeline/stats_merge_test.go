@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsMergeCoversEveryField drives Stats.Merge through reflection:
+// every uint64 field must either sum (counters) or take the maximum
+// (CLQOccMax). Adding a field to Stats without extending Merge fails
+// here.
+func TestStatsMergeCoversEveryField(t *testing.T) {
+	var a, b Stats
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	tt := av.Type()
+	for i := 0; i < tt.NumField(); i++ {
+		if tt.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats.%s is %v; Merge and FillStats only handle uint64 — extend them and this test",
+				tt.Field(i).Name, tt.Field(i).Type)
+		}
+		av.Field(i).SetUint(uint64(i + 1))
+		bv.Field(i).SetUint(uint64(1000 + i))
+	}
+
+	got := a // copy
+	got.Merge(&b)
+	gv := reflect.ValueOf(got)
+	for i := 0; i < tt.NumField(); i++ {
+		name := tt.Field(i).Name
+		x, y := uint64(i+1), uint64(1000+i)
+		want := x + y
+		if name == "CLQOccMax" {
+			want = y // max, not sum
+		}
+		if gv.Field(i).Uint() != want {
+			t.Errorf("Merge %s = %d, want %d", name, gv.Field(i).Uint(), want)
+		}
+	}
+
+	// Merging a zero value is the identity.
+	before := got
+	var zero Stats
+	got.Merge(&zero)
+	if got != before {
+		t.Fatalf("merging a zero Stats changed the value:\n%+v\n%+v", before, got)
+	}
+}

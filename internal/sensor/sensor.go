@@ -99,9 +99,14 @@ func SensorsForWCDL(target int, dieAreaMM2, clockGHz float64) int {
 // [1, WCDL] cycles — the mesh guarantees the upper bound, and the lower
 // spread models strike position relative to the nearest sensor.
 type Detector struct {
-	wcdl int
-	rng  *rand.Rand
+	wcdl     int
+	rng      *rand.Rand
+	onSample func(int)
 }
+
+// SetObserver registers fn to receive every sampled latency (nil
+// disables). Fault campaigns use it to feed detection-latency histograms.
+func (d *Detector) SetObserver(fn func(int)) { d.onSample = fn }
 
 // NewDetector builds a detector for a fixed WCDL and seed.
 func NewDetector(wcdl int, seed int64) *Detector {
@@ -115,7 +120,13 @@ func NewDetector(wcdl int, seed int64) *Detector {
 func (d *Detector) WCDL() int { return d.wcdl }
 
 // Latency samples one detection latency in [1, WCDL].
-func (d *Detector) Latency() int { return 1 + d.rng.Intn(d.wcdl) }
+func (d *Detector) Latency() int {
+	lat := 1 + d.rng.Intn(d.wcdl)
+	if d.onSample != nil {
+		d.onSample(lat)
+	}
+	return lat
+}
 
 // PhysicalDetector refines Detector with the mesh geometry: sensors sit on
 // a √N×√N grid over the die; a strike lands uniformly at random and is
@@ -124,11 +135,15 @@ func (d *Detector) Latency() int { return 1 + d.rng.Intn(d.wcdl) }
 // some sensor) with a hard tail at the WCDL — unlike the uniform Detector,
 // which over-weights late detections.
 type PhysicalDetector struct {
-	model Model
-	side  int // sensors per grid side
-	pitch float64
-	rng   *rand.Rand
+	model    Model
+	side     int // sensors per grid side
+	pitch    float64
+	rng      *rand.Rand
+	onSample func(int)
 }
+
+// SetObserver registers fn to receive every sampled latency (nil disables).
+func (d *PhysicalDetector) SetObserver(fn func(int)) { d.onSample = fn }
 
 // NewPhysicalDetector builds a grid-placed detector for the model.
 func NewPhysicalDetector(m Model, seed int64) (*PhysicalDetector, error) {
@@ -163,6 +178,9 @@ func (d *PhysicalDetector) Latency() int {
 	}
 	if w := d.model.WCDL(); cycles > w {
 		cycles = w // the mesh guarantees the bound
+	}
+	if d.onSample != nil {
+		d.onSample(cycles)
 	}
 	return cycles
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sensor"
 	"repro/internal/workload"
@@ -201,6 +202,10 @@ type FaultCampaignConfig struct {
 	SBSize   int // default 4
 	WCDL     int // default 10
 	ScalePct int // default 10
+	// Metrics, when non-nil, receives the campaign's observability:
+	// outcome counters, detection-latency and recovery-cycle histograms,
+	// and the merged per-trial simulator statistics.
+	Metrics *obs.Registry
 }
 
 // FaultResult re-exports the campaign outcome.
@@ -241,9 +246,10 @@ func InjectFaults(bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultR
 		return nil, err
 	}
 	return fault.Campaign(compiled.Prog, fault.Config{
-		Trials: cfg.Trials,
-		Seed:   cfg.Seed,
-		Sim:    sim,
+		Trials:  cfg.Trials,
+		Seed:    cfg.Seed,
+		Sim:     sim,
+		Metrics: cfg.Metrics,
 	}, p.SeedMemory)
 }
 
