@@ -1,0 +1,292 @@
+// Command bench runs the workload x scheme performance matrix and tracks
+// its trajectory across commits. Every run writes a numbered manifest
+// (BENCH_1.json, BENCH_2.json, ...) into -dir and, when a prior manifest
+// exists, diffs the new results against the most recent one with
+// per-metric relative thresholds: cycle-count or overhead growth and IPC
+// loss beyond tolerance are regressions and make the command exit nonzero.
+// The simulator is deterministic (integer cycle counts, no wall-clock
+// dependence), so the tolerances can be tight and the gate runs anywhere.
+//
+// Usage:
+//
+//	bench                              # default matrix, diff vs latest BENCH_*.json
+//	bench -scale 10 gcc lbm            # subset at a larger scale
+//	bench -schemes turnpike -dir runs  # keep the trajectory elsewhere
+//	bench -tol-cycles 0.5              # tighten the cycle tolerance (percent)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	turnpike "repro"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchResult is one cell of the matrix, stored under
+// Extra["results"]["<bench>/<scheme>"] in the manifest.
+type benchResult struct {
+	Cycles   uint64  `json:"cycles"`
+	Insts    uint64  `json:"insts"`
+	IPC      float64 `json:"ipc"`
+	Overhead float64 `json:"overhead"` // cycles / baseline cycles
+}
+
+// schemeByName maps the CLI spelling to the library scheme.
+var schemeByName = map[string]turnpike.Scheme{
+	"baseline":  turnpike.Baseline,
+	"turnstile": turnpike.Turnstile,
+	"turnpike":  turnpike.Turnpike,
+}
+
+// benchPattern matches trajectory manifests and captures their sequence
+// number.
+var benchPattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// run is the testable entry point; it returns the process exit code
+// (0 = ok, 1 = regression or run failure, 2 = usage).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale       = fs.Int("scale", 5, "workload scale (percent of full trip count)")
+		sb          = fs.Int("sb", 4, "store buffer entries")
+		wcdl        = fs.Int("wcdl", 10, "worst-case sensor detection latency (cycles)")
+		dir         = fs.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+		schemes     = fs.String("schemes", "baseline,turnstile,turnpike", "comma-separated schemes to run")
+		tolCycles   = fs.Float64("tol-cycles", 1.0, "max cycle-count growth before regression (percent)")
+		tolIPC      = fs.Float64("tol-ipc", 1.0, "max IPC loss before regression (percent)")
+		tolOverhead = fs.Float64("tol-overhead", 1.0, "max overhead growth before regression (percent)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	benches := fs.Args()
+	if len(benches) == 0 {
+		benches = []string{"gcc", "lbm", "mcf", "exchange2", "radix"}
+	}
+	var schemeNames []string
+	for _, s := range strings.Split(*schemes, ",") {
+		s = strings.TrimSpace(s)
+		if _, ok := schemeByName[s]; !ok {
+			fmt.Fprintf(stderr, "bench: unknown scheme %q\n", s)
+			return 2
+		}
+		schemeNames = append(schemeNames, s)
+	}
+
+	// Run the matrix.
+	man := obs.NewManifest("bench")
+	man.Config["scale_pct"] = *scale
+	man.Config["sb_size"] = *sb
+	man.Config["wcdl"] = *wcdl
+	man.Config["schemes"] = schemeNames
+	man.Workloads = benches
+	results := map[string]benchResult{}
+	for _, b := range benches {
+		for _, sn := range schemeNames {
+			res, err := turnpike.Evaluate(b, schemeByName[sn], turnpike.EvalConfig{
+				SBSize: *sb, WCDL: *wcdl, ScalePct: *scale,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "bench: %s/%s: %v\n", b, sn, err)
+				return 1
+			}
+			ipc := float64(res.Stats.Insts) / float64(res.Cycles)
+			results[b+"/"+sn] = benchResult{
+				Cycles:   res.Cycles,
+				Insts:    res.Stats.Insts,
+				IPC:      ipc,
+				Overhead: res.Overhead,
+			}
+		}
+	}
+	man.Extra["results"] = results
+
+	// Locate the most recent prior manifest before claiming the next
+	// sequence number.
+	priorPath, nextSeq, err := latestManifest(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+
+	man.Finish(obs.Snapshot{})
+	man.Metrics = nil // the matrix is the payload; no registry ran
+	outPath := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", nextSeq))
+	if err := man.WriteFile(outPath); err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d configurations)\n", outPath, len(results))
+
+	if priorPath == "" {
+		fmt.Fprintln(stdout, "no prior BENCH_*.json manifest; baseline recorded, nothing to diff")
+		return 0
+	}
+
+	prior, priorResults, err := readResults(priorPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+	if !comparableConfigs(prior.Config, man.Config) {
+		fmt.Fprintf(stdout, "prior %s ran with different knobs (%v); trajectory restarted, no diff\n",
+			filepath.Base(priorPath), prior.Config)
+		return 0
+	}
+
+	tols := tolerances{cycles: *tolCycles, ipc: *tolIPC, overhead: *tolOverhead}
+	table, regressions := diffResults(filepath.Base(priorPath), priorResults, results, tols)
+	fmt.Fprint(stdout, table.Render())
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "\nFAIL: %d metric(s) regressed beyond tolerance "+
+			"(cycles +%.2f%%, ipc -%.2f%%, overhead +%.2f%%)\n",
+			regressions, tols.cycles, tols.ipc, tols.overhead)
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nOK: no regression vs %s\n", filepath.Base(priorPath))
+	return 0
+}
+
+// tolerances are per-metric relative thresholds in percent.
+type tolerances struct {
+	cycles, ipc, overhead float64
+}
+
+// latestManifest scans dir for BENCH_<n>.json files and returns the path
+// of the highest-numbered one ("" when none exist) plus the next free
+// sequence number.
+func latestManifest(dir string) (string, int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	best := 0
+	bestPath := ""
+	for _, e := range ents {
+		m := benchPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= best {
+			continue
+		}
+		best = n
+		bestPath = filepath.Join(dir, e.Name())
+	}
+	return bestPath, best + 1, nil
+}
+
+// readResults loads a prior manifest and decodes its results matrix.
+func readResults(path string) (*obs.Manifest, map[string]benchResult, error) {
+	m, err := obs.ReadManifest(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, ok := m.Extra["results"]
+	if !ok {
+		return nil, nil, fmt.Errorf("%s: manifest has no results matrix", path)
+	}
+	// Extra round-trips through map[string]any; re-marshal to get typed
+	// results back.
+	b, err := json.Marshal(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out map[string]benchResult
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, nil, fmt.Errorf("%s: bad results matrix: %w", path, err)
+	}
+	return m, out, nil
+}
+
+// comparableConfigs reports whether two runs used the same simulation
+// knobs, i.e. whether diffing their cycle counts is meaningful.
+func comparableConfigs(prior, cur map[string]any) bool {
+	for _, k := range []string{"scale_pct", "sb_size", "wcdl"} {
+		if fmt.Sprint(prior[k]) != fmt.Sprint(cur[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// diffResults compares the current matrix against the prior one and
+// renders a regression table. A configuration regresses when cycles or
+// overhead grow, or IPC shrinks, beyond its tolerance; improvements and
+// in-tolerance drift pass. Configurations present on only one side are
+// noted but never regressions.
+func diffResults(priorName string, prior, cur map[string]benchResult, tol tolerances) (*obs.Table, int) {
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	t := &obs.Table{
+		Title:  "benchmark trajectory vs " + priorName,
+		Header: []string{"CONFIG", "CYCLES", "ΔCYCLES", "ΔIPC", "ΔOVERHEAD", "STATUS"},
+	}
+	regressions := 0
+	pct := func(old, new float64) float64 {
+		if old == 0 {
+			return 0
+		}
+		return (new - old) / old * 100
+	}
+	for _, k := range keys {
+		c := cur[k]
+		p, ok := prior[k]
+		if !ok {
+			t.Rows = append(t.Rows, []string{k, fmt.Sprint(c.Cycles), "-", "-", "-", "new"})
+			continue
+		}
+		dc := pct(float64(p.Cycles), float64(c.Cycles))
+		di := pct(p.IPC, c.IPC)
+		do := pct(p.Overhead, c.Overhead)
+		status := "ok"
+		switch {
+		case dc > tol.cycles || do > tol.overhead || di < -tol.ipc:
+			status = "REGRESSED"
+			regressions++
+		case dc < -tol.cycles || di > tol.ipc || do < -tol.overhead:
+			status = "improved"
+		}
+		t.Rows = append(t.Rows, []string{
+			k,
+			fmt.Sprintf("%d → %d", p.Cycles, c.Cycles),
+			fmt.Sprintf("%+.2f%%", dc),
+			fmt.Sprintf("%+.2f%%", di),
+			fmt.Sprintf("%+.2f%%", do),
+			status,
+		})
+	}
+	var dropped []string
+	for k := range prior {
+		if _, ok := cur[k]; !ok {
+			dropped = append(dropped, k)
+		}
+	}
+	sort.Strings(dropped)
+	for _, k := range dropped {
+		t.Rows = append(t.Rows, []string{k, "-", "-", "-", "-", "dropped"})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("tolerances: cycles +%.2f%%, ipc -%.2f%%, overhead +%.2f%%; simulation is deterministic",
+			tol.cycles, tol.ipc, tol.overhead))
+	return t, regressions
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runBench invokes run with a small, fast matrix rooted at dir.
+func runBench(t *testing.T, dir string, extra ...string) (int, string, string) {
+	t.Helper()
+	args := []string{"-dir", dir, "-scale", "3", "-schemes", "baseline,turnpike"}
+	args = append(args, extra...) // flags must precede the positional benchmark
+	args = append(args, "gcc")
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFirstRunRecordsBaseline(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runBench(t, dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "no prior BENCH_*.json manifest") {
+		t.Errorf("first run should report missing prior; got:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_1.json")); err != nil {
+		t.Fatalf("BENCH_1.json not written: %v", err)
+	}
+	man, res, err := readResults(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "bench" {
+		t.Errorf("tool = %q", man.Tool)
+	}
+	for _, k := range []string{"gcc/baseline", "gcc/turnpike"} {
+		r, ok := res[k]
+		if !ok {
+			t.Fatalf("matrix missing %s", k)
+		}
+		if r.Cycles == 0 || r.Insts == 0 || r.IPC <= 0 {
+			t.Errorf("%s: implausible result %+v", k, r)
+		}
+	}
+	if res["gcc/baseline"].Overhead != 1.0 {
+		t.Errorf("baseline overhead = %v, want exactly 1", res["gcc/baseline"].Overhead)
+	}
+	if res["gcc/turnpike"].Overhead < 1.0 {
+		t.Errorf("turnpike overhead = %v, want >= 1", res["gcc/turnpike"].Overhead)
+	}
+}
+
+func TestIdenticalRerunPasses(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, errOut := runBench(t, dir); code != 0 {
+		t.Fatalf("seed run failed: exit %d, %s", code, errOut)
+	}
+	// The simulator is deterministic, so a rerun must diff clean.
+	code, out, errOut := runBench(t, dir)
+	if code != 0 {
+		t.Fatalf("rerun regressed: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "OK: no regression vs BENCH_1.json") {
+		t.Errorf("rerun should diff clean; got:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Fatalf("BENCH_2.json not written: %v", err)
+	}
+	if !strings.Contains(out, "+0.00%") {
+		t.Errorf("deterministic rerun should show zero deltas; got:\n%s", out)
+	}
+}
+
+// doctorPrior rewrites one result cell in a manifest through fn.
+func doctorPrior(t *testing.T, path, key string, fn func(*benchResult)) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man map[string]any
+	if err := json.Unmarshal(b, &man); err != nil {
+		t.Fatal(err)
+	}
+	results := man["extra"].(map[string]any)["results"].(map[string]any)
+	cell, err := json.Marshal(results[key])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r benchResult
+	if err := json.Unmarshal(cell, &r); err != nil {
+		t.Fatal(err)
+	}
+	fn(&r)
+	results[key] = r
+	out, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, errOut := runBench(t, dir); code != 0 {
+		t.Fatalf("seed run failed: exit %d, %s", code, errOut)
+	}
+	// Make the prior look much better than the present: fewer cycles and
+	// higher IPC mean the (unchanged) current run reads as a regression.
+	doctorPrior(t, filepath.Join(dir, "BENCH_1.json"), "gcc/turnpike", func(r *benchResult) {
+		r.Cycles = r.Cycles / 2
+		r.IPC = r.IPC * 2
+		r.Overhead = r.Overhead / 2
+	})
+	code, out, _ := runBench(t, dir)
+	if code == 0 {
+		t.Fatalf("doctored prior must trip the gate; got exit 0:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "FAIL:") {
+		t.Errorf("regression table/verdict missing; got:\n%s", out)
+	}
+	// The untouched configuration still passes.
+	if !strings.Contains(out, "gcc/baseline") {
+		t.Errorf("baseline row missing; got:\n%s", out)
+	}
+}
+
+func TestIncomparableKnobsSkipDiff(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, errOut := runBench(t, dir); code != 0 {
+		t.Fatalf("seed run failed: exit %d, %s", code, errOut)
+	}
+	// A different scale changes every cycle count; the gate must restart
+	// the trajectory instead of reporting phantom regressions.
+	code, out, errOut := runBench(t, dir, "-scale", "4")
+	if code != 0 {
+		t.Fatalf("knob change must not fail the gate: exit %d, %s", code, errOut)
+	}
+	if !strings.Contains(out, "different knobs") {
+		t.Errorf("expected trajectory restart notice; got:\n%s", out)
+	}
+}
+
+func TestLatestManifestNumbering(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, next, err := latestManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_10.json" || next != 11 {
+		t.Errorf("latest = %s next = %d, want BENCH_10.json / 11", path, next)
+	}
+}

@@ -7,6 +7,7 @@
 //	experiments                # run everything at the default scale
 //	experiments -scale 50 fig19 fig20
 //	experiments -manifest run.json fig19   # also write a machine-diffable run manifest
+//	experiments -serve :9090 fig19         # live /metrics, /live SSE, pprof while running
 //	experiments -list
 package main
 
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 type runner func(r *experiment.Runner) (fmt.Stringer, error)
@@ -38,13 +40,12 @@ var markdownOut bool
 
 func main() {
 	var (
-		scale     = flag.Int("scale", 25, "workload scale (percent of full trip count)")
-		list      = flag.Bool("list", false, "list experiment names and exit")
-		wcdl      = flag.Int("wcdl", 10, "default WCDL for the single-WCDL figures")
-		md        = flag.Bool("markdown", false, "render tables as markdown")
-		manifest  = flag.String("manifest", "", "write a per-run JSON manifest (config, wall times, metric snapshot) to this file")
-		metricOut = flag.String("metrics", "", "write the run's metric snapshot JSON to this file")
+		scale = flag.Int("scale", 25, "workload scale (percent of full trip count)")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+		wcdl  = flag.Int("wcdl", 10, "default WCDL for the single-WCDL figures")
+		md    = flag.Bool("markdown", false, "render tables as markdown")
 	)
+	cli := obs.RegisterCLI(flag.CommandLine, "experiments")
 	flag.Parse()
 	markdownOut = *md
 
@@ -163,13 +164,37 @@ func main() {
 	if len(want) == 0 {
 		want = names
 	}
-	man := obs.NewManifest("experiments")
+	man := cli.NewManifest()
 	man.Config["scale_pct"] = *scale
 	man.Config["wcdl"] = *wcdl
 	man.Workloads = want
 	wallSecs := map[string]float64{}
 
 	r := experiment.NewRunner(*scale)
+
+	// -serve: live registry (runner aggregate + live.* gauges) plus a
+	// progress sampler streaming to /live while figures run.
+	if cli.Serving() {
+		liveReg := obs.NewRegistry()
+		progress := &pipeline.Progress{}
+		r.Progress = progress
+		srv, err := cli.StartServer(func() obs.Snapshot {
+			return r.MetricsSnapshot().Merge(liveReg.Snapshot())
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sampler := pipeline.NewSampler(progress, liveReg, 0, func(ps pipeline.ProgressSample) {
+			srv.Publish("progress", ps)
+		})
+		sampler.Start()
+		defer func() {
+			sampler.Stop()
+			cli.CloseServer()
+		}()
+	}
+
 	for _, n := range want {
 		run, ok := exps[n]
 		if !ok {
@@ -187,30 +212,11 @@ func main() {
 		fmt.Printf("[%s in %.1fs]\n\n", n, wallSecs[n])
 	}
 
-	if *manifest != "" || *metricOut != "" {
-		snap := r.MetricsSnapshot()
-		if *metricOut != "" {
-			f, err := os.Create(*metricOut)
-			if err == nil {
-				err = snap.WriteJSON(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote metrics to %s\n", *metricOut)
-		}
-		if *manifest != "" {
-			man.Extra["experiment_wall_seconds"] = wallSecs
-			man.Finish(snap)
-			if err := man.WriteFile(*manifest); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote run manifest to %s\n", *manifest)
+	if cli.WantsOutput() {
+		man.Extra["experiment_wall_seconds"] = wallSecs
+		if err := cli.WriteOutputs(man, r.MetricsSnapshot(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

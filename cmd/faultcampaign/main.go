@@ -10,6 +10,7 @@
 //	faultcampaign -trials 500 gcc lbm
 //	faultcampaign -scheme turnstile -wcdl 30 -all
 //	faultcampaign -manifest run.json gcc   # write a JSON run manifest
+//	faultcampaign -serve :9090 -all        # live /metrics + /live SSE mid-campaign
 package main
 
 import (
@@ -21,19 +22,20 @@ import (
 	turnpike "repro"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 func main() {
 	var (
-		scheme   = flag.String("scheme", "turnpike", "resilience scheme: turnstile | turnpike")
-		trials   = flag.Int("trials", 100, "injections per benchmark")
-		wcdl     = flag.Int("wcdl", 10, "worst-case sensor detection latency (cycles)")
-		sb       = flag.Int("sb", 4, "store buffer entries")
-		scale    = flag.Int("scale", 8, "workload scale (percent)")
-		seed     = flag.Int64("seed", 1, "campaign seed")
-		all      = flag.Bool("all", false, "run every benchmark")
-		manifest = flag.String("manifest", "", "write a per-run JSON manifest (config, outcomes, metric snapshot) to this file")
+		scheme = flag.String("scheme", "turnpike", "resilience scheme: turnstile | turnpike")
+		trials = flag.Int("trials", 100, "injections per benchmark")
+		wcdl   = flag.Int("wcdl", 10, "worst-case sensor detection latency (cycles)")
+		sb     = flag.Int("sb", 4, "store buffer entries")
+		scale  = flag.Int("scale", 8, "workload scale (percent)")
+		seed   = flag.Int64("seed", 1, "campaign seed")
+		all    = flag.Bool("all", false, "run every benchmark")
 	)
+	cli := obs.RegisterCLI(flag.CommandLine, "faultcampaign")
 	flag.Parse()
 
 	var sc turnpike.Scheme
@@ -54,7 +56,7 @@ func main() {
 		benches = []string{"gcc", "lbm", "mcf", "exchange2", "radix"}
 	}
 
-	man := obs.NewManifest("faultcampaign")
+	man := cli.NewManifest()
 	man.Config["scheme"] = *scheme
 	man.Config["trials"] = *trials
 	man.Config["wcdl"] = *wcdl
@@ -65,13 +67,34 @@ func main() {
 	reg := obs.NewRegistry()
 	outcomes := map[string]map[string]int{}
 
+	// -serve: the campaign registry is scraped live (its counters and
+	// histograms are goroutine-safe) while a sampler streams per-trial
+	// simulator progress to /live.
+	var progress *pipeline.Progress
+	if cli.Serving() {
+		progress = &pipeline.Progress{}
+		srv, err := cli.StartServer(reg.Snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sampler := pipeline.NewSampler(progress, reg, 0, func(ps pipeline.ProgressSample) {
+			srv.Publish("progress", ps)
+		})
+		sampler.Start()
+		defer func() {
+			sampler.Stop()
+			cli.CloseServer()
+		}()
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "BENCHMARK\tMASKED\tRECOVERED\tSDC\tCRASH\tAVG RECOVERY (cyc)\tP50 SLOWDOWN\tP99 SLOWDOWN")
 	totalSDC := 0
 	for _, b := range benches {
 		res, err := turnpike.InjectFaults(b, sc, turnpike.FaultCampaignConfig{
 			Trials: *trials, Seed: *seed, SBSize: *sb, WCDL: *wcdl, ScalePct: *scale,
-			Metrics: reg,
+			Metrics: reg, Progress: progress,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b, err)
@@ -97,13 +120,11 @@ func main() {
 	fmt.Printf("\n%v: no silent data corruption across %d benchmarks x %d trials\n",
 		sc, len(benches), *trials)
 
-	if *manifest != "" {
+	if cli.WantsOutput() {
 		man.Extra["outcomes_by_benchmark"] = outcomes
-		man.Finish(reg.Snapshot())
-		if err := man.WriteFile(*manifest); err != nil {
+		if err := cli.WriteOutputs(man, reg.Snapshot(), os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote run manifest to %s\n", *manifest)
 	}
 }

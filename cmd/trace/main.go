@@ -33,16 +33,16 @@ import (
 
 func main() {
 	var (
-		scheme    = flag.String("scheme", "turnpike", "baseline | turnstile | turnpike")
-		sb        = flag.Int("sb", 4, "store buffer entries")
-		wcdl      = flag.Int("wcdl", 10, "worst-case detection latency")
-		scale     = flag.Int("scale", 5, "workload scale percent")
-		timeline  = flag.Int("timeline", 0, "print a dynamic timeline of the first N regions")
-		noDisasm  = flag.Bool("q", false, "suppress the disassembly listing")
-		traceOut  = flag.String("trace", "", "write a cycle-domain trace to this file (.json=Perfetto, .jsonl, .txt)")
-		metricOut = flag.String("metrics", "", "write the run's metric snapshot JSON to this file")
-		inject    = flag.Int64("inject", -1, "inject one bit flip at this instruction during the traced run (-1 = auto, 0 = none)")
+		scheme   = flag.String("scheme", "turnpike", "baseline | turnstile | turnpike")
+		sb       = flag.Int("sb", 4, "store buffer entries")
+		wcdl     = flag.Int("wcdl", 10, "worst-case detection latency")
+		scale    = flag.Int("scale", 5, "workload scale percent")
+		timeline = flag.Int("timeline", 0, "print a dynamic timeline of the first N regions")
+		noDisasm = flag.Bool("q", false, "suppress the disassembly listing")
+		traceOut = flag.String("trace", "", "write a cycle-domain trace to this file (.json=Perfetto, .jsonl, .txt)")
+		inject   = flag.Int64("inject", -1, "inject one bit flip at this instruction during the traced run (-1 = auto, 0 = none)")
 	)
+	cli := obs.RegisterCLI(flag.CommandLine, "trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: trace [flags] <benchmark>")
@@ -139,8 +139,8 @@ func main() {
 		printTimeline(p, prog, opt, *sb, *wcdl, *timeline)
 	}
 
-	if *traceOut != "" || *metricOut != "" {
-		if err := runObserved(p, prog, opt, *sb, *wcdl, *traceOut, *metricOut, *inject); err != nil {
+	if *traceOut != "" || cli.WantsOutput() || cli.Serving() {
+		if err := runObserved(p, prog, opt, *sb, *wcdl, *traceOut, *inject, cli); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -160,11 +160,12 @@ func simConfig(opt core.Options, sb, wcdl int) pipeline.Config {
 }
 
 // runObserved executes the full workload with observability attached,
-// writing the requested trace and metric files. Under a resilient scheme
-// it injects one soft error (auto-placed at one third of the dynamic
+// writing the requested trace/metric/manifest files and, with -serve,
+// streaming live progress while it runs. Under a resilient scheme it
+// injects one soft error (auto-placed at one third of the dynamic
 // instruction count unless -inject pins or disables it) so the trace shows
 // a complete strike → detect → recover → re-execute episode.
-func runObserved(p workload.Profile, prog *isa.Program, opt core.Options, sb, wcdl int, traceOut, metricOut string, inject int64) error {
+func runObserved(p workload.Profile, prog *isa.Program, opt core.Options, sb, wcdl int, traceOut string, inject int64, cli *obs.CLI) error {
 	cfg := simConfig(opt, sb, wcdl)
 
 	injectAt := uint64(0)
@@ -207,6 +208,23 @@ func runObserved(p workload.Profile, prog *isa.Program, opt core.Options, sb, wc
 	reg := obs.NewRegistry()
 	s.AttachObs(pipeline.NewObs(tracer, reg))
 
+	if cli.Serving() {
+		progress := &pipeline.Progress{}
+		s.AttachProgress(progress)
+		srv, err := cli.StartServer(reg.Snapshot)
+		if err != nil {
+			return err
+		}
+		sampler := pipeline.NewSampler(progress, reg, 0, func(ps pipeline.ProgressSample) {
+			srv.Publish("progress", ps)
+		})
+		sampler.Start()
+		defer func() {
+			sampler.Stop()
+			cli.CloseServer()
+		}()
+	}
+
 	injected := false
 	for !s.Halted() {
 		if injectAt > 0 && !injected && s.Stats.Insts >= injectAt {
@@ -234,20 +252,16 @@ func runObserved(p workload.Profile, prog *isa.Program, opt core.Options, sb, wc
 		fmt.Printf("\nwrote trace to %s (%d cycles, %d insts, %d regions, %d recoveries)\n",
 			traceOut, s.Stats.Cycles, s.Stats.Insts, s.Stats.RegionsExecuted, s.Stats.Recoveries)
 	}
-	if metricOut != "" {
+	if cli.WantsOutput() {
 		s.FillMetrics(reg)
-		f, err := os.Create(metricOut)
-		if err != nil {
+		man := cli.NewManifest()
+		man.Config["scheme"] = opt.Scheme
+		man.Config["sb_size"] = sb
+		man.Config["wcdl"] = wcdl
+		man.Workloads = []string{p.Name}
+		if err := cli.WriteOutputs(man, reg.Snapshot(), os.Stdout); err != nil {
 			return err
 		}
-		if err := reg.Snapshot().WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote metrics to %s\n", metricOut)
 	}
 	return nil
 }

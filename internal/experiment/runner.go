@@ -28,6 +28,11 @@ type Runner struct {
 	// and the benchmarks use larger ones.
 	Scale int
 
+	// Progress, when non-nil, is attached to every simulation the runner
+	// starts, so a Sampler can publish live figures while a sweep is in
+	// flight (cmd/experiments -serve). Cache hits do not re-publish.
+	Progress *pipeline.Progress
+
 	mu       sync.Mutex
 	compiled map[string]*core.Compiled
 	simmed   map[string]pipeline.Stats
@@ -98,10 +103,16 @@ func (r *Runner) Run(bench string, opt core.Options, cfg pipeline.Config) (pipel
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
+	if r.Progress != nil {
+		s.AttachProgress(r.Progress)
+	}
 	p.SeedMemory(s.Mem)
 	st, err = s.Run()
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("experiment: simulate %s: %w", bench, err)
+	}
+	if r.Progress != nil {
+		r.Progress.Runs.Add(1)
 	}
 	r.mu.Lock()
 	r.simmed[key] = st

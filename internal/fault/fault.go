@@ -67,6 +67,10 @@ type Config struct {
 	// counters, a detection-latency histogram, a recovery-cycles
 	// histogram, and the merged simulator statistics of every trial.
 	Metrics *obs.Registry
+	// Progress, when set, is attached to every trial's simulator so a
+	// pipeline.Sampler can publish live campaign figures (cycles, IPC,
+	// recoveries, trial count) while the campaign is in flight.
+	Progress *pipeline.Progress
 }
 
 // LatencySampler produces per-strike detection latencies in cycles.
@@ -125,7 +129,7 @@ func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result
 		cfg.Trials = 100
 	}
 	// Golden run.
-	golden, goldenStats, err := run(prog, cfg.Sim, seedMem, nil)
+	golden, goldenStats, err := run(prog, cfg, seedMem, nil)
 	if err != nil {
 		return nil, fmt.Errorf("fault: golden run failed: %w", err)
 	}
@@ -168,7 +172,7 @@ func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result
 			AtInst:  uint64(rng.Int63n(int64(maxAt))) + 1,
 			Latency: lat,
 		}
-		mem, st, err := run(prog, cfg.Sim, seedMem, &inj)
+		mem, st, err := run(prog, cfg, seedMem, &inj)
 		res.Agg.Merge(&st)
 		outcome := Masked
 		switch {
@@ -213,11 +217,16 @@ func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result
 }
 
 // run executes prog once, optionally injecting inj, and returns the output
-// memory (with private regions masked) and the run's statistics.
-func run(prog *isa.Program, cfg pipeline.Config, seedMem func(*isa.Memory), inj *Injection) (*isa.Memory, pipeline.Stats, error) {
-	s, err := pipeline.New(prog, cfg)
+// memory (with private regions masked) and the run's statistics. Each
+// completed run counts toward cfg.Progress.Runs, so a live campaign's
+// trial count ticks on the /live stream.
+func run(prog *isa.Program, cfg Config, seedMem func(*isa.Memory), inj *Injection) (*isa.Memory, pipeline.Stats, error) {
+	s, err := pipeline.New(prog, cfg.Sim)
 	if err != nil {
 		return nil, pipeline.Stats{}, err
+	}
+	if cfg.Progress != nil {
+		s.AttachProgress(cfg.Progress)
 	}
 	if seedMem != nil {
 		seedMem(s.Mem)
@@ -233,6 +242,9 @@ func run(prog *isa.Program, cfg pipeline.Config, seedMem func(*isa.Memory), inj 
 		if err := s.Step(); err != nil {
 			return nil, s.Stats, err
 		}
+	}
+	if cfg.Progress != nil {
+		cfg.Progress.Runs.Add(1)
 	}
 	return mask(s.OutputMemory()), s.Stats, nil
 }

@@ -3,7 +3,9 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 )
@@ -56,19 +58,45 @@ func (m *Manifest) Finish(s Snapshot) {
 	m.Metrics = &s
 }
 
-// WriteFile writes the manifest as indented JSON to path.
+// WriteFile writes the manifest as indented JSON to path. The write is
+// atomic — the JSON lands in a temp file in the same directory which is
+// then renamed over path — so concurrent readers (the /runs index,
+// cmd/bench diffing the latest manifest) never observe a torn manifest.
 func (m *Manifest) WriteFile(path string) error {
-	f, err := os.Create(path)
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
 	if err != nil {
 		return fmt.Errorf("obs: manifest: %w", err)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(m); err != nil {
-		f.Close()
-		return fmt.Errorf("obs: manifest: %w", err)
+	return nil
+}
+
+// writeFileAtomic writes via a temp file in path's directory plus rename.
+// On error the temp file is removed and path is untouched.
+func writeFileAtomic(path string, fill func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
 	}
-	return f.Close()
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // ReadManifest loads a manifest written by WriteFile.

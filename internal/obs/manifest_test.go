@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"errors"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -42,5 +45,53 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if got.Extra["note"].(string) != "hello" {
 		t.Fatalf("extra lost: %+v", got.Extra)
+	}
+}
+
+// TestWriteFileAtomic pins the atomicity contract: a failed write leaves
+// the destination untouched and no temp files behind, a successful write
+// replaces it in one rename, and temp names never match the *.json glob
+// the /runs index and cmd/bench scan.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	if err := os.WriteFile(path, []byte(`{"tool":"old"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wantErr := errors.New("boom")
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != `{"tool":"old"}` {
+		t.Fatalf("failed write clobbered destination: %q, %v", b, err)
+	}
+
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"tool":"new"}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != `{"tool":"new"}` {
+		t.Fatalf("successful write not visible: %q", b)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "run.json" {
+			t.Errorf("leftover temp file %q", e.Name())
+		}
+		if matched, _ := filepath.Match("*.json", e.Name()); matched && e.Name() != "run.json" {
+			t.Errorf("temp file %q matches the manifest glob", e.Name())
+		}
 	}
 }

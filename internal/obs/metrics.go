@@ -311,8 +311,12 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 }
 
 // Diff returns s minus prev: counters and histogram counts subtract
-// (clamped at zero), gauges keep s's value. Use it to isolate one phase of
-// a longer run.
+// (clamped at zero). Gauges are NOT subtracted — a gauge is a level, not a
+// flow, so the difference of two occupancy readings is meaningless; each
+// gauge keeps its last value from s. A histogram whose bucket layout
+// changed between the snapshots (different Counts length) cannot be
+// subtracted either and is passed through from s whole. Use Diff to
+// isolate one phase of a longer run.
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	sub := func(a, b uint64) uint64 {
 		if b > a {

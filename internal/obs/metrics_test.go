@@ -107,6 +107,54 @@ func TestSnapshotMergeDiff(t *testing.T) {
 	}
 }
 
+// TestDiffGaugeKeepsLastValue pins the documented gauge semantics of Diff:
+// a gauge is a level, not a flow, so the current reading survives the
+// subtraction untouched — even when the previous reading was higher.
+func TestDiffGaugeKeepsLastValue(t *testing.T) {
+	prev := NewRegistry()
+	prev.Gauge("occ").Set(7)
+	cur := NewRegistry()
+	cur.Gauge("occ").Set(3)
+	cur.Gauge("fresh").Set(-2)
+
+	d := cur.Snapshot().Diff(prev.Snapshot())
+	if d.Gauges["occ"] != 3 {
+		t.Errorf("gauge occ = %d after Diff, want last value 3 (not 3-7)", d.Gauges["occ"])
+	}
+	if d.Gauges["fresh"] != -2 {
+		t.Errorf("gauge fresh = %d, want -2 carried through", d.Gauges["fresh"])
+	}
+	if _, ok := d.Gauges["missing"]; ok {
+		t.Error("Diff invented a gauge absent from the current snapshot")
+	}
+}
+
+// TestDiffHistogramShapeMismatch pins the fallback for histograms whose
+// bucket layout changed between snapshots: bucket-wise subtraction is
+// impossible, so the current histogram passes through whole.
+func TestDiffHistogramShapeMismatch(t *testing.T) {
+	prev := NewRegistry()
+	ph := prev.Histogram("h", LinearBuckets(0, 1, 4))
+	ph.Observe(1)
+	ph.Observe(2)
+	cur := NewRegistry()
+	ch := cur.Histogram("h", LinearBuckets(0, 1, 8)) // different layout
+	ch.Observe(3)
+	cur.Histogram("only_cur", LinearBuckets(0, 1, 4)).Observe(5)
+
+	d := cur.Snapshot().Diff(prev.Snapshot())
+	got := d.Histograms["h"]
+	want := cur.Snapshot().Histograms["h"]
+	if got.Count != want.Count || got.Sum != want.Sum || len(got.Counts) != len(want.Counts) {
+		t.Errorf("mismatched-shape diff = %+v, want current passed through %+v", got, want)
+	}
+	// A histogram with no prior also passes through whole.
+	oc := d.Histograms["only_cur"]
+	if oc.Count != 1 || oc.Sum != 5 {
+		t.Errorf("no-prior histogram = %+v, want count 1 sum 5", oc)
+	}
+}
+
 func TestSnapshotMergeShapeMismatch(t *testing.T) {
 	a := NewRegistry()
 	a.Histogram("h", LinearBuckets(0, 1, 4)).Observe(1)

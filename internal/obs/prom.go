@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a Snapshot.
+//
+// The mapping is mechanical: counters become Prometheus counters with the
+// conventional `_total` suffix, gauges become gauges, and the fixed-bucket
+// histograms become Prometheus histograms — per-bucket counts are
+// cumulated, the overflow bucket becomes `le="+Inf"`, and `_sum`/`_count`
+// come straight from the snapshot. Metric names are sanitized to the
+// Prometheus charset ([a-zA-Z_:][a-zA-Z0-9_:]*), so "sim.region_lifetime_cycles"
+// exports as "sim_region_lifetime_cycles". Two distinct snapshot names that
+// sanitize to the same exposition name would collide; the repo's metric
+// namespace (dot-separated snake_case) never does.
+
+// PromContentType is the Content-Type the /metrics endpoint serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitizes a snapshot metric name to the Prometheus charset:
+// every run of invalid characters becomes one underscore, and a leading
+// digit is prefixed with one.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	prevUnderscore := false
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !valid {
+			if i == 0 && r >= '0' && r <= '9' {
+				b.WriteByte('_')
+				b.WriteRune(r)
+				prevUnderscore = false
+				continue
+			}
+			if !prevUnderscore {
+				b.WriteByte('_')
+			}
+			prevUnderscore = true
+			continue
+		}
+		b.WriteRune(r)
+		prevUnderscore = r == '_'
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Output is sorted by metric name, so identical snapshots render
+// byte-identically.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, n := range sortedKeys(s.Counters) {
+		pn := PromName(n) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		pn := PromName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n])
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		h := s.Histograms[n]
+		pn := PromName(n)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", pn, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

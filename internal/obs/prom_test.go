@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promFamily is one parsed metric family from the text exposition.
+type promFamily struct {
+	typ     string            // counter | gauge | histogram
+	samples map[string]uint64 // sample suffix (or le bound) -> value
+	sum     uint64
+	count   uint64
+}
+
+// parsePrometheus is a strict parser for the subset of the text
+// exposition format WritePrometheus emits. It fails the test on any line
+// it does not recognize, so format drift cannot pass silently.
+func parsePrometheus(t *testing.T, r string) map[string]promFamily {
+	t.Helper()
+	fams := map[string]promFamily{}
+	sc := bufio.NewScanner(strings.NewReader(r))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if !validPromName(parts[0]) {
+				t.Fatalf("invalid metric name %q", parts[0])
+			}
+			fams[parts[0]] = promFamily{typ: parts[1], samples: map[string]uint64{}}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line %q", line)
+		}
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("bad sample line %q", line)
+		}
+		var le string
+		if base, rest, found := strings.Cut(name, "{"); found {
+			name = base
+			if !strings.HasPrefix(rest, `le="`) || !strings.HasSuffix(rest, `"}`) {
+				t.Fatalf("bad label set in %q", line)
+			}
+			le = strings.TrimSuffix(strings.TrimPrefix(rest, `le="`), `"}`)
+		}
+		v, err := strconv.ParseUint(valStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		switch {
+		case le != "":
+			base := strings.TrimSuffix(name, "_bucket")
+			f, seen := fams[base]
+			if !seen || f.typ != "histogram" {
+				t.Fatalf("bucket sample %q without histogram TYPE", line)
+			}
+			f.samples[le] = v
+			fams[base] = f
+		case strings.HasSuffix(name, "_sum") && fams[strings.TrimSuffix(name, "_sum")].typ == "histogram":
+			base := strings.TrimSuffix(name, "_sum")
+			f := fams[base]
+			f.sum = v
+			fams[base] = f
+		case strings.HasSuffix(name, "_count") && fams[strings.TrimSuffix(name, "_count")].typ == "histogram":
+			base := strings.TrimSuffix(name, "_count")
+			f := fams[base]
+			f.count = v
+			fams[base] = f
+		default:
+			f, seen := fams[name]
+			if !seen {
+				t.Fatalf("sample %q without TYPE line", line)
+			}
+			f.samples[""] = v
+			fams[name] = f
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func validPromName(n string) bool {
+	if n == "" {
+		return false
+	}
+	for i, r := range n {
+		switch {
+		case r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// TestPrometheusRoundTrip builds a registry, renders it, parses the
+// exposition back, and checks every value against the JSON-visible
+// snapshot state.
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.insts").Add(12345)
+	reg.Counter("fault.outcome.recovered").Add(7)
+	reg.Gauge("sim.clq_occ_max").Set(9)
+	reg.Gauge("live.sb_occupancy").Set(3)
+	h := reg.Histogram("sim.verify_latency_cycles", []uint64{1, 5, 10})
+	for _, v := range []uint64{0, 1, 2, 6, 11, 400} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePrometheus(t, buf.String())
+
+	for name, want := range snap.Counters {
+		f, ok := fams[PromName(name)+"_total"]
+		if !ok || f.typ != "counter" {
+			t.Fatalf("counter %s missing or mistyped: %+v", name, f)
+		}
+		if got := f.samples[""]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	for name, want := range snap.Gauges {
+		f, ok := fams[PromName(name)]
+		if !ok || f.typ != "gauge" {
+			t.Fatalf("gauge %s missing or mistyped: %+v", name, f)
+		}
+		if got := f.samples[""]; got != uint64(want) {
+			t.Errorf("gauge %s = %d, want %d", name, got, want)
+		}
+	}
+	for name, hs := range snap.Histograms {
+		f, ok := fams[PromName(name)]
+		if !ok || f.typ != "histogram" {
+			t.Fatalf("histogram %s missing or mistyped: %+v", name, f)
+		}
+		if f.sum != hs.Sum || f.count != hs.Count {
+			t.Errorf("histogram %s sum/count = %d/%d, want %d/%d",
+				name, f.sum, f.count, hs.Sum, hs.Count)
+		}
+		cum := uint64(0)
+		for i, b := range hs.Bounds {
+			cum += hs.Counts[i]
+			le := fmt.Sprintf("%d", b)
+			if got := f.samples[le]; got != cum {
+				t.Errorf("histogram %s le=%s = %d, want %d", name, le, got, cum)
+			}
+		}
+		if got := f.samples["+Inf"]; got != hs.Count {
+			t.Errorf("histogram %s le=+Inf = %d, want %d", name, got, hs.Count)
+		}
+		// Buckets must be monotone non-decreasing up to +Inf.
+		prev := uint64(0)
+		for i, b := range hs.Bounds {
+			if f.samples[fmt.Sprintf("%d", b)] < prev {
+				t.Errorf("histogram %s bucket %d not cumulative", name, i)
+			}
+			prev = f.samples[fmt.Sprintf("%d", b)]
+		}
+		if hs.Count < prev {
+			t.Errorf("histogram %s +Inf below last bucket", name)
+		}
+	}
+	// Family count matches: no extra or dropped metrics.
+	if want := len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms); len(fams) != want {
+		t.Errorf("rendered %d families, want %d", len(fams), want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sim.region_lifetime_cycles": "sim_region_lifetime_cycles",
+		"cache.l1d.hits":             "cache_l1d_hits",
+		"fault.outcome.SDC":          "fault_outcome_SDC",
+		"9lives":                     "_9lives",
+		"a b..c":                     "a_b_c",
+		"":                           "_",
+		"ok:name_1":                  "ok:name_1",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

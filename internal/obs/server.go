@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Server is the embeddable live-observability endpoint the command-line
+// tools expose behind their -serve flag. While a simulation or campaign is
+// in flight it serves:
+//
+//	/metrics        current Snapshot in Prometheus text exposition
+//	/snapshot.json  current Snapshot as JSON (same payload the tools write)
+//	/runs           index of the on-disk run manifests in RunsDir
+//	/live           server-sent-event stream of progress samples (Publish)
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// The Snapshot provider is called on every scrape, so it must be safe to
+// call concurrently with the run (Registry.Snapshot is).
+type Server struct {
+	cfg  ServerConfig
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+
+	mu   sync.Mutex
+	subs map[chan liveFrame]struct{}
+	seq  uint64
+}
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	// Snapshot provides the current metric state; nil serves empty
+	// snapshots.
+	Snapshot func() Snapshot
+	// RunsDir is scanned for *.json run manifests by /runs. Empty means
+	// the current directory.
+	RunsDir string
+}
+
+// liveFrame is one queued SSE frame.
+type liveFrame struct {
+	event string
+	data  []byte
+}
+
+// NewServer builds a server; call Start (own listener) or mount Handler.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Snapshot == nil {
+		cfg.Snapshot = func() Snapshot { return Snapshot{} }
+	}
+	if cfg.RunsDir == "" {
+		cfg.RunsDir = "."
+	}
+	s := &Server{cfg: cfg, subs: map[chan liveFrame]struct{}{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/live", s.handleLive)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's route table for mounting in another server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves in a
+// background goroutine. It returns the bound address, which differs from
+// addr when port 0 asked the kernel to pick one.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux}
+	go s.http.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on Close
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and disconnects every /live subscriber.
+func (s *Server) Close() error {
+	var err error
+	if s.http != nil {
+		err = s.http.Close()
+	}
+	s.mu.Lock()
+	for ch := range s.subs {
+		close(ch)
+	}
+	s.subs = map[chan liveFrame]struct{}{}
+	s.mu.Unlock()
+	return err
+}
+
+// Publish broadcasts one event to every /live subscriber as an SSE frame
+// with the given event name and v as the JSON payload. Slow subscribers
+// drop frames rather than stall the publisher.
+func (s *Server) Publish(event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf("{\"error\":%q}", err.Error()))
+	}
+	s.mu.Lock()
+	s.seq++
+	for ch := range s.subs {
+		select {
+		case ch <- liveFrame{event: event, data: data}:
+		default: // subscriber not draining; drop
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) subscribe() chan liveFrame {
+	ch := make(chan liveFrame, 64)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch
+}
+
+func (s *Server) unsubscribe(ch chan liveFrame) {
+	s.mu.Lock()
+	if _, ok := s.subs[ch]; ok {
+		delete(s.subs, ch)
+		close(ch)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "turnpike observability server")
+	fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
+	fmt.Fprintln(w, "  /snapshot.json  metric snapshot as JSON")
+	fmt.Fprintln(w, "  /runs           on-disk run manifest index")
+	fmt.Fprintln(w, "  /live           SSE stream of progress samples")
+	fmt.Fprintln(w, "  /debug/pprof/   Go runtime profiles")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	if err := s.cfg.Snapshot().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.cfg.Snapshot().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// RunInfo is one /runs index entry: the manifest header without its
+// (potentially large) metric payload.
+type RunInfo struct {
+	File        string    `json:"file"`
+	Tool        string    `json:"tool"`
+	StartedAt   time.Time `json:"started_at"`
+	WallSeconds float64   `json:"wall_seconds"`
+	Workloads   []string  `json:"workloads,omitempty"`
+	Seed        int64     `json:"seed,omitempty"`
+	HasMetrics  bool      `json:"has_metrics"`
+}
+
+// IndexRuns scans dir for *.json files that parse as run manifests and
+// returns them newest-first. Files that fail to parse (torn writes from
+// pre-atomic tools, unrelated JSON) are skipped, not fatal.
+func IndexRuns(dir string) ([]RunInfo, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]RunInfo, 0, len(paths))
+	for _, p := range paths {
+		m, err := ReadManifest(p)
+		if err != nil || m.Tool == "" || m.StartedAt.IsZero() {
+			continue
+		}
+		runs = append(runs, RunInfo{
+			File:        filepath.Base(p),
+			Tool:        m.Tool,
+			StartedAt:   m.StartedAt,
+			WallSeconds: m.WallSeconds,
+			Workloads:   m.Workloads,
+			Seed:        m.Seed,
+			HasMetrics:  m.Metrics != nil,
+		})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].StartedAt.After(runs[j].StartedAt) })
+	return runs, nil
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	runs, err := IndexRuns(s.cfg.RunsDir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(runs) //nolint:errcheck — client gone is not actionable
+}
+
+// handleLive streams Publish events as server-sent events until the client
+// disconnects or the server closes. Each frame is
+//
+//	event: <name>\n
+//	data: <json>\n\n
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": turnpike live stream\n\n")
+	fl.Flush()
+
+	ch := s.subscribe()
+	defer s.unsubscribe(ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case f, open := <-ch:
+			if !open {
+				return
+			}
+			name := f.event
+			if name == "" {
+				name = "progress"
+			}
+			// SSE data must not contain raw newlines; compact JSON doesn't.
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, f.data)
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T, cfg ServerConfig) string {
+	t.Helper()
+	srv := NewServer(cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + addr.String()
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.insts").Add(42)
+	reg.Gauge("live.sb_occupancy").Set(2)
+	reg.Histogram("sim.recovery_cycles", []uint64{10, 100}).Observe(33)
+	base := startTestServer(t, ServerConfig{Snapshot: reg.Snapshot})
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePrometheus(t, string(body))
+	if fams["sim_insts_total"].samples[""] != 42 {
+		t.Errorf("sim_insts_total = %+v", fams["sim_insts_total"])
+	}
+	if fams["live_sb_occupancy"].samples[""] != 2 {
+		t.Errorf("live_sb_occupancy = %+v", fams["live_sb_occupancy"])
+	}
+	if fams["sim_recovery_cycles"].count != 1 || fams["sim_recovery_cycles"].sum != 33 {
+		t.Errorf("sim_recovery_cycles = %+v", fams["sim_recovery_cycles"])
+	}
+}
+
+func TestServerSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Add(5)
+	base := startTestServer(t, ServerConfig{Snapshot: reg.Snapshot})
+
+	resp, err := http.Get(base + "/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap, err := ReadSnapshot(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["a.b"] != 5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestServerRunsIndex(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest("experiments")
+	m.Workloads = []string{"gcc"}
+	m.Finish(Snapshot{})
+	if err := m.WriteFile(filepath.Join(dir, "run1.json")); err != nil {
+		t.Fatal(err)
+	}
+	// Distractors: non-manifest JSON and a torn file must be skipped.
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte(`{"x":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn.json"), []byte(`{"tool":"x","sta`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := startTestServer(t, ServerConfig{RunsDir: dir})
+
+	resp, err := http.Get(base + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var runs []RunInfo
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("runs = %+v, want exactly the one real manifest", runs)
+	}
+	if runs[0].Tool != "experiments" || runs[0].File != "run1.json" || !runs[0].HasMetrics {
+		t.Fatalf("run index entry = %+v", runs[0])
+	}
+}
+
+func TestServerLiveStream(t *testing.T) {
+	reg := NewRegistry()
+	srv := NewServer(ServerConfig{Snapshot: reg.Snapshot})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr.String() + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Publish until the subscriber is registered and sees a frame.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				srv.Publish("progress", map[string]any{"cycles": 123, "ipc": 0.8})
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	defer close(done)
+
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.After(5 * time.Second)
+	var event, data string
+	for data == "" {
+		lineCh := make(chan bool, 1)
+		go func() { lineCh <- sc.Scan() }()
+		select {
+		case ok := <-lineCh:
+			if !ok {
+				t.Fatalf("stream ended early: %v", sc.Err())
+			}
+		case <-deadline:
+			t.Fatal("no SSE frame within 5s")
+		}
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			event = v
+		}
+		if v, ok := strings.CutPrefix(line, "data: "); ok {
+			data = v
+		}
+	}
+	if event != "progress" {
+		t.Errorf("event = %q, want progress", event)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(data), &payload); err != nil {
+		t.Fatalf("data not JSON: %q: %v", data, err)
+	}
+	if payload["cycles"].(float64) != 123 {
+		t.Errorf("payload = %v", payload)
+	}
+}
+
+func TestServerIndexAndPprof(t *testing.T) {
+	base := startTestServer(t, ServerConfig{})
+	for _, path := range []string{"/", "/debug/pprof/"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s body empty", path)
+		}
+	}
+	resp, err := http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/nope status = %d, want 404", resp.StatusCode)
+	}
+}

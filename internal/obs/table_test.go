@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableColumnWidths checks that every rendered row pads its cells to
+// the widest entry of each column, so columns line up regardless of
+// content.
+func TestTableColumnWidths(t *testing.T) {
+	tab := Table{
+		Title:  "widths",
+		Header: []string{"name", "v"},
+		Rows:   [][]string{{"a", "1"}, {"much-longer-name", "22"}},
+	}
+	lines := strings.Split(strings.TrimRight(tab.Render(), "\n"), "\n")
+	// lines: [0] title, [1] header, [2] dashes, [3..] rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), tab.Render())
+	}
+	// The second column must start at the same offset in every body line:
+	// one past the widest first-column cell plus the two-space separator.
+	wantOffset := len("much-longer-name") + 2
+	for _, ln := range lines[1:] {
+		col2 := strings.TrimRight(ln[wantOffset:], " ")
+		if strings.Contains(col2, "  ") {
+			t.Errorf("column 2 misaligned in %q", ln)
+		}
+		if len(ln) < wantOffset {
+			t.Errorf("line %q shorter than first column width", ln)
+		}
+	}
+	// Dashes row underlines each column to its full width.
+	if !strings.HasPrefix(lines[2], strings.Repeat("-", len("much-longer-name"))) {
+		t.Errorf("dash row %q does not span column 1", lines[2])
+	}
+}
+
+// TestTableEmpty renders a header-only table without panicking and without
+// phantom rows.
+func TestTableEmpty(t *testing.T) {
+	tab := Table{Title: "empty", Header: []string{"a", "b"}}
+	text := tab.Render()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 3 { // title, header, dashes
+		t.Fatalf("empty table rendered %d lines, want 3:\n%s", len(lines), text)
+	}
+	md := tab.RenderMarkdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("empty markdown table:\n%s", md)
+	}
+}
+
+// TestTableWideCell checks that one very wide cell stretches its whole
+// column (header included) rather than colliding with its neighbor.
+func TestTableWideCell(t *testing.T) {
+	wide := strings.Repeat("x", 60)
+	tab := Table{
+		Title:  "wide",
+		Header: []string{"k", "v"},
+		Rows:   [][]string{{wide, "1"}, {"short", "2"}},
+	}
+	lines := strings.Split(strings.TrimRight(tab.Render(), "\n"), "\n")
+	headerIdx := strings.Index(lines[1], "v")
+	if headerIdx != 60+2 {
+		t.Errorf("header column 2 at offset %d, want %d", headerIdx, 62)
+	}
+	for i, ln := range lines[3:] {
+		if got := ln[62:63]; got != "1" && got != "2" {
+			t.Errorf("row %d value cell misplaced: %q", i, ln)
+		}
+	}
+	// Markdown escapes pipes so wide/odd cells cannot break the table.
+	pipeTab := Table{Title: "p", Header: []string{"h"}, Rows: [][]string{{"a|b"}}}
+	if !strings.Contains(pipeTab.RenderMarkdown(), `a\|b`) {
+		t.Error("markdown render must escape | in cells")
+	}
+}

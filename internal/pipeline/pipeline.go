@@ -155,6 +155,7 @@ type Stats struct {
 
 	// Region/CLQ behaviour.
 	RegionsExecuted uint64
+	RegionsVerified uint64 // regions retired through verification (not squashed)
 	CLQOverflows    uint64
 	CLQOccSamples   uint64
 	CLQOccSum       uint64
@@ -195,6 +196,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.ColorStalls += o.ColorStalls
 	s.FetchStalls += o.FetchStalls
 	s.RegionsExecuted += o.RegionsExecuted
+	s.RegionsVerified += o.RegionsVerified
 	s.CLQOverflows += o.CLQOverflows
 	s.CLQOccSamples += o.CLQOccSamples
 	s.CLQOccSum += o.CLQOccSum

@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// newTestSim compiles the standard kernel and returns a fresh Turnpike sim.
+func newTestSim(t *testing.T) *Sim {
+	t.Helper()
+	c, err := core.Compile(buildBench(60), core.TurnpikeAll(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c.Prog, TurnpikeConfig(4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(s.Mem, 60)
+	return s
+}
+
+// TestProgressMatchesStats runs one simulation with a Progress attached
+// and checks the accumulators land exactly on the final Stats.
+func TestProgressMatchesStats(t *testing.T) {
+	s := newTestSim(t)
+	var p Progress
+	s.AttachProgress(&p)
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cycles.Load(); got != st.Cycles {
+		t.Errorf("Progress.Cycles = %d, want %d", got, st.Cycles)
+	}
+	if got := p.Insts.Load(); got != st.Insts {
+		t.Errorf("Progress.Insts = %d, want %d", got, st.Insts)
+	}
+	if got := p.Regions.Load(); got != st.RegionsExecuted {
+		t.Errorf("Progress.Regions = %d, want %d", got, st.RegionsExecuted)
+	}
+	if got := p.RegionsVerified.Load(); got != st.RegionsVerified {
+		t.Errorf("Progress.RegionsVerified = %d, want %d", got, st.RegionsVerified)
+	}
+	if st.RegionsVerified == 0 || st.RegionsVerified > st.RegionsExecuted {
+		t.Errorf("RegionsVerified = %d outside (0, RegionsExecuted=%d]",
+			st.RegionsVerified, st.RegionsExecuted)
+	}
+	if got := p.Recoveries.Load(); got != st.Recoveries {
+		t.Errorf("Progress.Recoveries = %d, want %d", got, st.Recoveries)
+	}
+	if p.CLQOcc.Load() < 0 {
+		t.Errorf("CLQOcc should be >= 0 on a CLQ config, got %d", p.CLQOcc.Load())
+	}
+}
+
+// TestProgressAccumulatesAcrossSims shares one Progress between two
+// sequential sims — the campaign/sweep usage — and expects sums.
+func TestProgressAccumulatesAcrossSims(t *testing.T) {
+	var p Progress
+	var wantCycles, wantInsts uint64
+	for i := 0; i < 2; i++ {
+		s := newTestSim(t)
+		s.AttachProgress(&p)
+		st, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Runs.Add(1)
+		wantCycles += st.Cycles
+		wantInsts += st.Insts
+	}
+	if p.Cycles.Load() != wantCycles || p.Insts.Load() != wantInsts {
+		t.Errorf("accumulated cycles/insts = %d/%d, want %d/%d",
+			p.Cycles.Load(), p.Insts.Load(), wantCycles, wantInsts)
+	}
+	if p.Runs.Load() != 2 {
+		t.Errorf("Runs = %d, want 2", p.Runs.Load())
+	}
+}
+
+// TestSamplerLiveGauges runs the sampler goroutine concurrently with the
+// simulation hot loop — exactly the interleaving `go test -race` watches —
+// and checks the final sample and live.* gauges agree with the run.
+func TestSamplerLiveGauges(t *testing.T) {
+	s := newTestSim(t)
+	var p Progress
+	s.AttachProgress(&p)
+
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var samples []ProgressSample
+	sp := NewSampler(&p, reg, time.Millisecond, func(ps ProgressSample) {
+		mu.Lock()
+		samples = append(samples, ps)
+		mu.Unlock()
+	})
+	sp.Start()
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Runs.Add(1)
+	sp.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) == 0 {
+		t.Fatal("sampler produced no samples")
+	}
+	last := samples[len(samples)-1]
+	if last.Cycles != st.Cycles || last.Insts != st.Insts {
+		t.Errorf("final sample cycles/insts = %d/%d, want %d/%d",
+			last.Cycles, last.Insts, st.Cycles, st.Insts)
+	}
+	if last.Runs != 1 {
+		t.Errorf("final sample runs = %d, want 1", last.Runs)
+	}
+	if st.Insts > 0 && (last.IPC <= 0 || last.IPC > float64(2)) {
+		t.Errorf("IPC = %v outside (0, issue width]", last.IPC)
+	}
+	// Samples never regress: counters are monotone.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Cycles < samples[i-1].Cycles || samples[i].Insts < samples[i-1].Insts {
+			t.Fatalf("sample %d went backwards: %+v then %+v", i, samples[i-1], samples[i])
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["live.cycles"] != int64(st.Cycles) {
+		t.Errorf("live.cycles gauge = %d, want %d", snap.Gauges["live.cycles"], st.Cycles)
+	}
+	if snap.Gauges["live.regions_verified"] != int64(st.RegionsVerified) {
+		t.Errorf("live.regions_verified gauge = %d, want %d",
+			snap.Gauges["live.regions_verified"], st.RegionsVerified)
+	}
+}

@@ -66,6 +66,14 @@ type Sim struct {
 	// disabled; every instrumentation site is guarded by one nil check.
 	obs *Obs
 
+	// progress is the optional live-progress attachment (AttachProgress);
+	// published remembers the counter values already pushed into it so
+	// each Step publishes deltas.
+	progress  *Progress
+	published struct {
+		Cycles, Insts, RegionsExecuted, RegionsVerified, Recoveries uint64
+	}
+
 	Stats  Stats
 	halted bool
 }
@@ -128,6 +136,17 @@ func (s *Sim) Halted() bool { return s.halted }
 
 // Run executes to completion and returns the statistics.
 func (s *Sim) Run() (Stats, error) {
+	if s.progress == nil {
+		// Fast path: call the cycle kernel directly so the detached-
+		// observability loop costs exactly one call per cycle (the Step
+		// wrapper is beyond the inline budget).
+		for !s.halted {
+			if err := s.step(); err != nil {
+				return s.Stats, err
+			}
+		}
+		return s.Stats, nil
+	}
 	for !s.halted {
 		if err := s.Step(); err != nil {
 			return s.Stats, err
@@ -189,6 +208,7 @@ func (s *Sim) processVerifications() {
 		}
 		r.verified = true
 		s.rbb = s.rbb[1:]
+		s.Stats.RegionsVerified++
 		s.regionClosed(r, false)
 		// Colors: UC -> VC, reclaiming previous VC colors.
 		if s.colors != nil {
@@ -208,6 +228,14 @@ func (s *Sim) processVerifications() {
 
 // Step executes one instruction (or triggers a pending fault detection).
 func (s *Sim) Step() error {
+	err := s.step()
+	if s.progress != nil {
+		s.publishProgress()
+	}
+	return err
+}
+
+func (s *Sim) step() error {
 	if s.halted {
 		return nil
 	}

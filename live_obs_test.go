@@ -1,0 +1,190 @@
+package turnpike
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// TestLiveCampaignServing wires the exact stack cmd/faultcampaign -serve
+// uses — InjectFaults publishing into a shared registry and Progress,
+// sampler feeding an obs.Server — and scrapes /metrics and /live WHILE the
+// campaign is in flight. It is the acceptance test for the live
+// observability layer: the exposition must parse, and the SSE stream must
+// deliver at least one mid-run progress event.
+func TestLiveCampaignServing(t *testing.T) {
+	reg := obs.NewRegistry()
+	progress := &pipeline.Progress{}
+
+	srv := obs.NewServer(obs.ServerConfig{Snapshot: reg.Snapshot})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+
+	sampler := pipeline.NewSampler(progress, reg, 2*time.Millisecond,
+		func(ps pipeline.ProgressSample) { srv.Publish("progress", ps) })
+	sampler.Start()
+
+	// Run the campaign in the background; scrape while it runs.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var campErr error
+	go func() {
+		defer wg.Done()
+		_, campErr = InjectFaults("gcc", Turnpike, FaultCampaignConfig{
+			Trials: 60, Seed: 3, ScalePct: 8, Metrics: reg, Progress: progress,
+		})
+	}()
+
+	// /live: collect one progress event while trials are in flight.
+	liveResp, err := http.Get(base + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer liveResp.Body.Close()
+	type lineRes struct {
+		line string
+		ok   bool
+	}
+	lines := make(chan lineRes, 64)
+	go func() {
+		sc := bufio.NewScanner(liveResp.Body)
+		for sc.Scan() {
+			lines <- lineRes{sc.Text(), true}
+		}
+		lines <- lineRes{"", false}
+	}()
+	var sample pipeline.ProgressSample
+	gotLive := false
+	deadline := time.After(30 * time.Second)
+	for !gotLive {
+		select {
+		case l := <-lines:
+			if !l.ok {
+				t.Fatal("live stream closed before any progress event")
+			}
+			if data, found := strings.CutPrefix(l.line, "data: "); found {
+				if err := json.Unmarshal([]byte(data), &sample); err != nil {
+					t.Fatalf("SSE data not JSON: %q: %v", data, err)
+				}
+				gotLive = true
+			}
+		case <-deadline:
+			t.Fatal("no /live event within 30s")
+		}
+	}
+
+	// /metrics mid-run: must be parseable Prometheus text exposition.
+	metResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	sc := bufio.NewScanner(metResp.Body)
+	for sc.Scan() {
+		body.WriteString(sc.Text())
+		body.WriteByte('\n')
+	}
+	metResp.Body.Close()
+	if metResp.Header.Get("Content-Type") != obs.PromContentType {
+		t.Errorf("content type = %q", metResp.Header.Get("Content-Type"))
+	}
+	fams := parseProm(t, body.String())
+	if len(fams) == 0 {
+		t.Fatal("mid-run /metrics exposed no families")
+	}
+
+	wg.Wait()
+	sampler.Stop()
+	if campErr != nil {
+		t.Fatal(campErr)
+	}
+
+	// The final state must reflect the whole campaign: 60 trials plus the
+	// golden run, with live gauges present in the exposition.
+	if got := progress.Runs.Load(); got != 61 {
+		t.Errorf("progress runs = %d, want 61 (60 trials + golden)", got)
+	}
+	finalFams := parseProm(t, scrape(t, base+"/metrics"))
+	if _, ok := finalFams["live_cycles"]; !ok {
+		t.Error("live_cycles gauge missing from final exposition")
+	}
+	if finalFams["live_runs"] != 61 {
+		t.Errorf("live_runs = %d, want 61", finalFams["live_runs"])
+	}
+	if sum := finalFams["fault_outcome_masked_total"] + finalFams["fault_outcome_recovered_total"]; sum != 60 {
+		t.Errorf("outcome counters sum to %d, want 60", sum)
+	}
+}
+
+// scrape GETs a URL and returns the body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// parseProm is a minimal strict parser for the exposition subset the
+// server emits: TYPE comments plus `name value` and bucket samples. It
+// returns plain (non-bucket) sample values by name and fails on any
+// unrecognized line.
+func parseProm(t *testing.T, text string) map[string]uint64 {
+	t.Helper()
+	typed := map[string]bool{}
+	vals := map[string]uint64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch f[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown family type in %q", line)
+			}
+			typed[f[0]] = true
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("bad sample line %q", line)
+		}
+		var v uint64
+		if _, err := json.Number(val).Int64(); err != nil {
+			t.Fatalf("bad value in %q", line)
+		}
+		json.Unmarshal([]byte(val), &v) //nolint:errcheck — checked above
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			continue // histogram bucket; family presence checked via TYPE
+		}
+		vals[name] = v
+	}
+	if len(typed) == 0 {
+		t.Fatal("no TYPE lines in exposition")
+	}
+	return vals
+}

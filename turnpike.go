@@ -206,6 +206,10 @@ type FaultCampaignConfig struct {
 	// outcome counters, detection-latency and recovery-cycle histograms,
 	// and the merged per-trial simulator statistics.
 	Metrics *obs.Registry
+	// Progress, when non-nil, is attached to every trial's simulator so a
+	// pipeline.Sampler can stream live campaign figures (cmd/faultcampaign
+	// -serve).
+	Progress *pipeline.Progress
 }
 
 // FaultResult re-exports the campaign outcome.
@@ -246,10 +250,11 @@ func InjectFaults(bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultR
 		return nil, err
 	}
 	return fault.Campaign(compiled.Prog, fault.Config{
-		Trials:  cfg.Trials,
-		Seed:    cfg.Seed,
-		Sim:     sim,
-		Metrics: cfg.Metrics,
+		Trials:   cfg.Trials,
+		Seed:     cfg.Seed,
+		Sim:      sim,
+		Metrics:  cfg.Metrics,
+		Progress: cfg.Progress,
 	}, p.SeedMemory)
 }
 
