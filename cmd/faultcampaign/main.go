@@ -4,19 +4,29 @@
 // detected by the sensor model and repaired through the compiler-generated
 // recovery blocks.
 //
+// Trials are independently seeded and fan out over a worker pool; the
+// outcome histogram and failure report are identical for every -workers
+// value at a fixed seed.
+//
 // Usage:
 //
 //	faultcampaign                      # quick campaign on a sample set
 //	faultcampaign -trials 500 gcc lbm
 //	faultcampaign -scheme turnstile -wcdl 30 -all
+//	faultcampaign -workers 1 -seed 42 gcc  # serial, same result as parallel
+//	faultcampaign -budget -1 -trials 10000 gcc   # record every failure, never abort
+//	faultcampaign -resume ckpt -trials 10000 gcc # checkpoint to ckpt-gcc.json; re-run resumes
 //	faultcampaign -manifest run.json gcc   # write a JSON run manifest
 //	faultcampaign -serve :9090 -all        # live /metrics + /live SSE mid-campaign
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"text/tabwriter"
 
 	turnpike "repro"
@@ -27,13 +37,16 @@ import (
 
 func main() {
 	var (
-		scheme = flag.String("scheme", "turnpike", "resilience scheme: turnstile | turnpike")
-		trials = flag.Int("trials", 100, "injections per benchmark")
-		wcdl   = flag.Int("wcdl", 10, "worst-case sensor detection latency (cycles)")
-		sb     = flag.Int("sb", 4, "store buffer entries")
-		scale  = flag.Int("scale", 8, "workload scale (percent)")
-		seed   = flag.Int64("seed", 1, "campaign seed")
-		all    = flag.Bool("all", false, "run every benchmark")
+		scheme  = flag.String("scheme", "turnpike", "resilience scheme: turnstile | turnpike")
+		trials  = flag.Int("trials", 100, "injections per benchmark")
+		wcdl    = flag.Int("wcdl", 10, "worst-case sensor detection latency (cycles)")
+		sb      = flag.Int("sb", 4, "store buffer entries")
+		scale   = flag.Int("scale", 8, "workload scale (percent)")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		all     = flag.Bool("all", false, "run every benchmark")
+		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the result is identical for every value")
+		budget  = flag.Int("budget", 0, "failure budget: abort after this many SDC/crash trials (0 = first failure, -1 = record all, never abort)")
+		resume  = flag.String("resume", "", "checkpoint path prefix; completed trials persist to <prefix>-<bench>.json and a re-run resumes from them")
 	)
 	cli := obs.RegisterCLI(flag.CommandLine, "faultcampaign")
 	flag.Parse()
@@ -62,14 +75,23 @@ func main() {
 	man.Config["wcdl"] = *wcdl
 	man.Config["sb_size"] = *sb
 	man.Config["scale_pct"] = *scale
+	man.Config["workers"] = *workers
+	man.Config["failure_budget"] = *budget
 	man.Seed = *seed
 	man.Workloads = benches
 	reg := obs.NewRegistry()
 	outcomes := map[string]map[string]int{}
+	failures := map[string][]fault.TrialFailure{}
+
+	// Ctrl-C cancels outstanding trials; with -resume each benchmark's
+	// checkpoint is flushed first, so the next invocation picks up from
+	// the completed-trial watermark.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	// -serve: the campaign registry is scraped live (its counters and
 	// histograms are goroutine-safe) while a sampler streams per-trial
-	// simulator progress to /live.
+	// simulator progress — including the active worker count — to /live.
 	var progress *pipeline.Progress
 	if cli.Serving() {
 		progress = &pipeline.Progress{}
@@ -91,14 +113,25 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "BENCHMARK\tMASKED\tRECOVERED\tSDC\tCRASH\tAVG RECOVERY (cyc)\tP50 SLOWDOWN\tP99 SLOWDOWN")
 	totalSDC := 0
+	interrupted := false
 	for _, b := range benches {
-		res, err := turnpike.InjectFaults(b, sc, turnpike.FaultCampaignConfig{
+		ckpt := ""
+		if *resume != "" {
+			ckpt = fmt.Sprintf("%s-%s.json", *resume, b)
+		}
+		res, err := turnpike.InjectFaultsContext(ctx, b, sc, turnpike.FaultCampaignConfig{
 			Trials: *trials, Seed: *seed, SBSize: *sb, WCDL: *wcdl, ScalePct: *scale,
 			Metrics: reg, Progress: progress,
+			Workers: *workers, FailureBudget: *budget, Checkpoint: ckpt,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b, err)
-			os.Exit(1)
+			if res == nil || ctx.Err() == nil {
+				w.Flush()
+				printFailures(failures)
+				os.Exit(1)
+			}
+			interrupted = true
 		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.0f\t%.3f\t%.3f\n", b,
 			res.Outcomes[fault.Masked], res.Outcomes[fault.Recovered],
@@ -111,9 +144,20 @@ func main() {
 			per[o.String()] = n
 		}
 		outcomes[b] = per
+		if len(res.Failures) > 0 {
+			failures[b] = res.Failures
+		}
+		if interrupted {
+			break
+		}
 	}
 	w.Flush()
-	if totalSDC > 0 {
+	printFailures(failures)
+	switch {
+	case interrupted:
+		fmt.Println("\ninterrupted: partial results above; re-run with the same -resume prefix to continue")
+		os.Exit(130)
+	case totalSDC > 0:
 		fmt.Println("\nFAIL: silent data corruption observed")
 		os.Exit(1)
 	}
@@ -122,9 +166,42 @@ func main() {
 
 	if cli.WantsOutput() {
 		man.Extra["outcomes_by_benchmark"] = outcomes
+		if len(failures) > 0 {
+			man.Extra["failures_by_benchmark"] = failures
+		}
 		if err := cli.WriteOutputs(man, reg.Snapshot(), os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// printFailures dumps the replayable failure report: one line per SDC or
+// crash trial, in trial order, with the exact injection to hand to
+// turnpike.ReplayFault (or fault.Replay) for debugging.
+func printFailures(failures map[string][]fault.TrialFailure) {
+	for _, b := range sortedKeys(failures) {
+		fmt.Printf("\n%s failure report (%d):\n", b, len(failures[b]))
+		for _, f := range failures[b] {
+			fmt.Printf("  trial %d: %s reg=%d bit=%d at_inst=%d latency=%d%s\n",
+				f.Trial, f.Outcome, f.Inj.Reg, f.Inj.Bit, f.Inj.AtInst, f.Inj.Latency,
+				errSuffix(f.Err))
+		}
+	}
+}
+
+func errSuffix(s string) string {
+	if s == "" {
+		return ""
+	}
+	return " err=" + s
+}
+
+func sortedKeys(m map[string][]fault.TrialFailure) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }

@@ -1,0 +1,369 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/sensor"
+)
+
+// splitmix64 is the SplitMix64 output mix: a bijective avalanche over the
+// incremented state. Two mixes over (seed, trial) give every trial an
+// independent, well-spread PRNG seed without any shared stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// trialSeed derives the independent PRNG seed for one trial from the
+// campaign seed. Per-trial seeding is what makes the injection plan a pure
+// function of the Config: trials can run in any order, on any number of
+// workers, and replay individually, without consuming a shared stream.
+func trialSeed(seed int64, trial int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(trial)))
+}
+
+// trialForker is the optional capability of a Config.Sampler to derive an
+// independent per-trial latency stream (sensor.Detector and
+// sensor.PhysicalDetector both implement it). Samplers without it stay
+// correct — the engine pre-draws every trial's latency from the shared
+// stream in trial order before fanning out — at the cost of one serial
+// pass.
+type trialForker interface {
+	Fork(seed int64) sensor.Sampler
+}
+
+// trialRecord is one completed trial: the plan, the classification, and
+// the simulator statistics needed to merge it into a Result. It is also
+// the checkpoint file's unit of progress.
+type trialRecord struct {
+	Trial   int            `json:"trial"`
+	Inj     Injection      `json:"injection"`
+	Outcome Outcome        `json:"outcome"`
+	Stats   pipeline.Stats `json:"stats"`
+	Err     string         `json:"error,omitempty"`
+}
+
+// engine carries the immutable per-campaign state every worker shares.
+type engine struct {
+	prog    *isa.Program
+	cfg     Config
+	seedMem func(*isa.Memory)
+	golden  *isa.Memory
+	maxAt   uint64
+	// Exactly one of fork/lats is set: fork derives a per-trial latency
+	// stream, lats holds latencies pre-drawn in trial order from a
+	// sampler that cannot fork.
+	fork func(int64) sensor.Sampler
+	lats []int
+}
+
+func (e *engine) resolveSampler() {
+	if e.cfg.Sampler == nil {
+		e.fork = sensor.NewDetector(e.cfg.Sim.WCDL, 0).Fork
+		return
+	}
+	if f, ok := e.cfg.Sampler.(trialForker); ok {
+		e.fork = f.Fork
+		return
+	}
+	e.lats = make([]int, e.cfg.Trials)
+	for i := range e.lats {
+		e.lats[i] = e.cfg.Sampler.Latency()
+	}
+}
+
+// plan derives trial's injection as a pure function of (cfg.Seed, trial):
+// a SplitMix64-derived seed feeds a private PRNG for the strike point, and
+// the latency comes from an independently-seeded per-trial detector
+// stream. Sampled latencies are clamped to [1, WCDL], preserving the
+// recovery argument.
+func (e *engine) plan(trial int) Injection {
+	rng := rand.New(rand.NewSource(trialSeed(e.cfg.Seed, trial)))
+	inj := Injection{
+		Reg:    isa.Reg(1 + rng.Intn(isa.NumRegs-1)),
+		Bit:    uint(rng.Intn(64)),
+		AtInst: uint64(rng.Int63n(int64(e.maxAt))) + 1,
+	}
+	lat := e.latency(trial)
+	if lat < 1 {
+		lat = 1
+	}
+	if w := e.cfg.Sim.WCDL; w > 0 && lat > w {
+		lat = w
+	}
+	inj.Latency = lat
+	return inj
+}
+
+// latency returns trial's detection latency. The fork seed is derived from
+// Seed+1, echoing the seed the serial engine historically gave its
+// detector, so the strike-point and latency streams stay decorrelated.
+func (e *engine) latency(trial int) int {
+	if e.lats != nil {
+		return e.lats[trial]
+	}
+	return e.fork(trialSeed(e.cfg.Seed+1, trial)).Latency()
+}
+
+// runTrial executes one planned injection and classifies it against the
+// golden memory.
+func (e *engine) runTrial(trial int) *trialRecord {
+	inj := e.plan(trial)
+	mem, st, err := run(e.prog, e.cfg, e.seedMem, &inj)
+	rec := &trialRecord{Trial: trial, Inj: inj, Stats: st}
+	switch {
+	case err != nil:
+		rec.Outcome = Crash
+		rec.Err = err.Error()
+	case !e.golden.Equal(mem):
+		rec.Outcome = SDC
+	case st.Recoveries > 0:
+		rec.Outcome = Recovered
+	default:
+		rec.Outcome = Masked
+	}
+	return rec
+}
+
+// merge folds completed trials into a Result in trial order, so outcome
+// counts, aggregate statistics, histograms, slowdown samples, and the
+// failure report are identical for every worker count and for resumed
+// campaigns.
+func (e *engine) merge(records []*trialRecord, goldenStats pipeline.Stats) *Result {
+	cfg := e.cfg
+	var detLat, recLen *obs.Histogram
+	if cfg.Metrics != nil {
+		detLat = cfg.Metrics.Histogram("fault.detect_latency_cycles",
+			obs.LinearBuckets(1, 1, 32))
+		recLen = cfg.Metrics.Histogram("fault.recovery_cycles",
+			obs.ExpBuckets(1, 2, 14))
+	}
+	res := &Result{Outcomes: map[Outcome]int{}}
+	var recCycles, recRuns uint64
+	for _, rec := range records {
+		if rec == nil {
+			continue // cancelled before this trial completed
+		}
+		res.CompletedTrials++
+		if detLat != nil {
+			detLat.Observe(uint64(rec.Inj.Latency))
+		}
+		res.Agg.Merge(&rec.Stats)
+		res.Outcomes[rec.Outcome]++
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter("fault.outcome." + rec.Outcome.String()).Inc()
+		}
+		switch rec.Outcome {
+		case Recovered:
+			recCycles += rec.Stats.RecoveryCycles
+			recRuns++
+			if recLen != nil {
+				recLen.Observe(rec.Stats.RecoveryCycles)
+			}
+			if goldenStats.Cycles > 0 {
+				res.SlowdownSamples = append(res.SlowdownSamples,
+					float64(rec.Stats.Cycles)/float64(goldenStats.Cycles))
+			}
+		case SDC, Crash:
+			res.Failures = append(res.Failures, TrialFailure{
+				Trial: rec.Trial, Outcome: rec.Outcome, Inj: rec.Inj, Err: rec.Err,
+			})
+		}
+		res.Recoveries += rec.Stats.Recoveries
+		res.Parity += rec.Stats.ParityTrips
+	}
+	if recRuns > 0 {
+		res.AvgRecoveryCycles = float64(recCycles) / float64(recRuns)
+	}
+	if cfg.Metrics != nil {
+		pipeline.FillStats(cfg.Metrics, &res.Agg)
+	}
+	return res
+}
+
+// Campaign injects cfg.Trials faults into prog and verifies every outcome
+// against the fault-free golden memory. seedMem populates program inputs
+// for both runs. See CampaignContext for the engine's semantics.
+func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result, error) {
+	return CampaignContext(context.Background(), prog, cfg, seedMem)
+}
+
+// CampaignContext runs a fault-injection campaign: one golden execution,
+// then cfg.Trials independently-seeded injections fanned out over a
+// bounded worker pool and merged deterministically in trial order — the
+// result is byte-identical for every worker count. SDC and crash trials
+// land in Result.Failures until cfg.FailureBudget is exhausted, at which
+// point the remaining trials are cancelled and an error is returned with
+// the merged partial result. With cfg.Checkpoint set, completed trials are
+// checkpointed to an atomically-rewritten JSON file and a later campaign
+// with the same config resumes from that watermark; cancelling ctx also
+// returns the merged partial result after a final checkpoint write.
+func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 100
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	budget := cfg.FailureBudget
+	if budget == 0 {
+		budget = 1 // historical fail-fast default
+	}
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 64
+	}
+
+	golden, goldenStats, err := run(prog, cfg, seedMem, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run failed: %w", err)
+	}
+	maxAt := cfg.MaxInjectInst
+	if maxAt == 0 {
+		maxAt = goldenStats.Insts * 9 / 10
+		if maxAt == 0 {
+			maxAt = 1
+		}
+	}
+
+	e := &engine{prog: prog, cfg: cfg, seedMem: seedMem, golden: golden, maxAt: maxAt}
+	e.resolveSampler()
+
+	records := make([]*trialRecord, cfg.Trials)
+	if cfg.Checkpoint != "" {
+		if err := e.restore(records, goldenStats); err != nil {
+			return nil, err
+		}
+	}
+	failures := 0
+	for _, rec := range records {
+		if rec != nil && (rec.Outcome == SDC || rec.Outcome == Crash) {
+			failures++
+		}
+	}
+	var pending []int
+	if budget < 0 || failures < budget {
+		for t := range records {
+			if records[t] == nil {
+				pending = append(pending, t)
+			}
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	work := make(chan int)
+	go func() {
+		defer close(work)
+		for _, t := range pending {
+			select {
+			case work <- t:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		mu        sync.Mutex // guards records writes, failures, checkpoint cadence
+		sinceCkpt int
+		ckptErr   error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if cfg.Progress != nil {
+				cfg.Progress.Workers.Add(1)
+				defer cfg.Progress.Workers.Add(-1)
+			}
+			for t := range work {
+				if runCtx.Err() != nil {
+					return
+				}
+				rec := e.runTrial(t)
+				mu.Lock()
+				records[t] = rec
+				sinceCkpt++
+				if rec.Outcome == SDC || rec.Outcome == Crash {
+					failures++
+					if budget > 0 && failures >= budget {
+						cancel()
+					}
+				}
+				if cfg.Checkpoint != "" && sinceCkpt >= every {
+					sinceCkpt = 0
+					if err := e.save(records, goldenStats); err != nil && ckptErr == nil {
+						ckptErr = err
+						cancel()
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if cfg.Checkpoint != "" {
+		if err := e.save(records, goldenStats); err != nil && ckptErr == nil {
+			ckptErr = err
+		}
+	}
+
+	res := e.merge(records, goldenStats)
+	switch {
+	case ckptErr != nil:
+		return res, fmt.Errorf("fault: checkpoint: %w", ckptErr)
+	case ctx.Err() != nil:
+		return res, fmt.Errorf("fault: campaign interrupted after %d/%d trials: %w",
+			res.CompletedTrials, cfg.Trials, ctx.Err())
+	case budget > 0 && len(res.Failures) >= budget:
+		f := res.Failures[0]
+		return res, fmt.Errorf("fault: failure budget (%d) exhausted with %d failure(s); first: trial %d %s (%+v)%s",
+			budget, len(res.Failures), f.Trial, f.Outcome, f.Inj, errSuffix(f.Err))
+	}
+	return res, nil
+}
+
+func errSuffix(s string) string {
+	if s == "" {
+		return ""
+	}
+	return ": " + s
+}
+
+// Replay re-executes one recorded injection — from Result.Failures or a
+// checkpoint file — outside any campaign: golden run, injected run,
+// classification. On Crash the simulator's error is returned alongside the
+// outcome; any golden-run failure is an error with outcome Crash.
+func Replay(prog *isa.Program, cfg Config, seedMem func(*isa.Memory), inj Injection) (Outcome, pipeline.Stats, error) {
+	golden, _, err := run(prog, cfg, seedMem, nil)
+	if err != nil {
+		return Crash, pipeline.Stats{}, fmt.Errorf("fault: golden run failed: %w", err)
+	}
+	mem, st, err := run(prog, cfg, seedMem, &inj)
+	switch {
+	case err != nil:
+		return Crash, st, err
+	case !golden.Equal(mem):
+		return SDC, st, nil
+	case st.Recoveries > 0:
+		return Recovered, st, nil
+	}
+	return Masked, st, nil
+}

@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// FuzzTrialPlan fuzzes the per-trial seeding scheme: for any (seed,
+// trial, maxAt, wcdl), the injection plan must be pure (re-derivable) and
+// in-bounds — register in [1, NumRegs), bit < 64, strike point in
+// [1, maxAt], latency in [1, WCDL]. This is the property the parallel
+// engine's worker-count invariance rests on.
+func FuzzTrialPlan(f *testing.F) {
+	f.Add(int64(1), uint16(0), uint64(100), uint8(10))
+	f.Add(int64(-7), uint16(9999), uint64(1), uint8(1))
+	f.Add(int64(1<<62), uint16(42), uint64(1<<40), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, trial uint16, maxAt uint64, wcdl uint8) {
+		if maxAt == 0 {
+			maxAt = 1
+		}
+		if maxAt > 1<<60 {
+			maxAt = 1 << 60
+		}
+		w := int(wcdl)
+		if w == 0 {
+			w = 1
+		}
+		e := &engine{cfg: Config{Seed: seed, Trials: int(trial) + 1, Sim: pipeline.TurnpikeConfig(4, w)}, maxAt: maxAt}
+		e.resolveSampler()
+		inj := e.plan(int(trial))
+		if inj != e.plan(int(trial)) {
+			t.Fatalf("plan not pure for seed=%d trial=%d", seed, trial)
+		}
+		if inj.Reg < 1 || int(inj.Reg) >= isa.NumRegs {
+			t.Fatalf("register out of range: %+v", inj)
+		}
+		if inj.Bit > 63 {
+			t.Fatalf("bit out of range: %+v", inj)
+		}
+		if inj.AtInst < 1 || inj.AtInst > maxAt {
+			t.Fatalf("strike point outside [1, %d]: %+v", maxAt, inj)
+		}
+		if inj.Latency < 1 || inj.Latency > w {
+			t.Fatalf("latency outside [1, %d]: %+v", w, inj)
+		}
+	})
+}
+
+// FuzzInjectNoSDC is the end-to-end resilience fuzz target: a random
+// structured program, compiled under Turnpike, must survive random
+// single-bit strikes without silent data corruption. The nightly CI smoke
+// pass runs it with -fuzz; under plain `go test` only the seed corpus
+// executes.
+func FuzzInjectNoSDC(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(987654))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed ^ 0x7fbb))
+		fn := workload.Fuzz(seed)
+		wcdl := 5 + rng.Intn(30)
+		compiled, err := core.Compile(fn, core.TurnpikeAll(4))
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		cfg := pipeline.TurnpikeConfig(4, wcdl)
+		seedMem := func(m *isa.Memory) { workload.FuzzSeedMemory(m, seed) }
+		golden, _, err := run(compiled.Prog, Config{Sim: cfg}, seedMem, nil)
+		if err != nil {
+			t.Fatalf("seed %d: golden: %v", seed, err)
+		}
+		for trial := 0; trial < 2; trial++ {
+			inj := Injection{
+				Reg:     isa.Reg(1 + rng.Intn(isa.NumRegs-1)),
+				Bit:     uint(rng.Intn(64)),
+				AtInst:  uint64(rng.Intn(600) + 1),
+				Latency: 1 + rng.Intn(wcdl),
+			}
+			mem, _, err := run(compiled.Prog, Config{Sim: cfg}, seedMem, &inj)
+			if err != nil {
+				t.Fatalf("seed %d trial %d (%+v): crash: %v", seed, trial, inj, err)
+			}
+			if !golden.Equal(mem) {
+				t.Fatalf("seed %d trial %d (%+v): SDC:\n%s", seed, trial, inj, golden.Diff(mem, 8))
+			}
+		}
+	})
+}

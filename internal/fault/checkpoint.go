@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// campaignCheckpoint is the on-disk resume state: a fingerprint binding
+// the file to one exact campaign (seed, trial count, resolved injection
+// window, and the golden run's cycle/instruction counts, which pin the
+// program, its inputs, and the simulator config), plus every completed
+// trial. The file is rewritten in full through obs.WriteFileAtomic, so an
+// interrupted campaign never leaves a torn checkpoint behind.
+type campaignCheckpoint struct {
+	Version       int           `json:"version"`
+	Seed          int64         `json:"seed"`
+	Trials        int           `json:"trials"`
+	MaxInjectInst uint64        `json:"max_inject_inst"`
+	GoldenCycles  uint64        `json:"golden_cycles"`
+	GoldenInsts   uint64        `json:"golden_insts"`
+	Done          []trialRecord `json:"done"`
+}
+
+const checkpointVersion = 1
+
+// save rewrites the checkpoint file with every completed trial, in trial
+// order. Callers serialize saves (the campaign holds its merge mutex or
+// has joined all workers).
+func (e *engine) save(records []*trialRecord, goldenStats pipeline.Stats) error {
+	ck := campaignCheckpoint{
+		Version:       checkpointVersion,
+		Seed:          e.cfg.Seed,
+		Trials:        e.cfg.Trials,
+		MaxInjectInst: e.maxAt,
+		GoldenCycles:  goldenStats.Cycles,
+		GoldenInsts:   goldenStats.Insts,
+	}
+	for _, rec := range records {
+		if rec != nil {
+			ck.Done = append(ck.Done, *rec)
+		}
+	}
+	return obs.WriteFileAtomic(e.cfg.Checkpoint, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(ck)
+	})
+}
+
+// restore loads the checkpoint file, if any, into records. A missing file
+// is a fresh campaign; a file whose fingerprint does not match this
+// campaign, or whose recorded injections disagree with the deterministic
+// per-trial plan, is an error rather than a silently-wrong resume.
+func (e *engine) restore(records []*trialRecord, goldenStats pipeline.Stats) error {
+	b, err := os.ReadFile(e.cfg.Checkpoint)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	var ck campaignCheckpoint
+	if err := json.Unmarshal(b, &ck); err != nil {
+		return fmt.Errorf("fault: checkpoint %s: %w", e.cfg.Checkpoint, err)
+	}
+	if ck.Version != checkpointVersion || ck.Seed != e.cfg.Seed || ck.Trials != e.cfg.Trials ||
+		ck.MaxInjectInst != e.maxAt ||
+		ck.GoldenCycles != goldenStats.Cycles || ck.GoldenInsts != goldenStats.Insts {
+		return fmt.Errorf("fault: checkpoint %s was written by a different campaign (seed, trials, workload, or simulator config changed) — delete it to start over",
+			e.cfg.Checkpoint)
+	}
+	for i := range ck.Done {
+		rec := ck.Done[i]
+		if rec.Trial < 0 || rec.Trial >= len(records) {
+			return fmt.Errorf("fault: checkpoint %s: trial %d out of range", e.cfg.Checkpoint, rec.Trial)
+		}
+		if got := e.plan(rec.Trial); got != rec.Inj {
+			return fmt.Errorf("fault: checkpoint %s: trial %d recorded injection %+v does not match the plan %+v",
+				e.cfg.Checkpoint, rec.Trial, rec.Inj, got)
+		}
+		records[rec.Trial] = &rec
+	}
+	return nil
+}

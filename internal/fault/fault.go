@@ -9,13 +9,12 @@ package fault
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 	"sort"
 
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
-	"repro/internal/sensor"
 )
 
 // Outcome classifies one injection run.
@@ -69,8 +68,31 @@ type Config struct {
 	Metrics *obs.Registry
 	// Progress, when set, is attached to every trial's simulator so a
 	// pipeline.Sampler can publish live campaign figures (cycles, IPC,
-	// recoveries, trial count) while the campaign is in flight.
+	// recoveries, trial count, active workers) while the campaign is in
+	// flight.
 	Progress *pipeline.Progress
+	// Workers bounds the trial worker pool; <=0 uses GOMAXPROCS. The
+	// result is identical for every worker count: each trial's injection
+	// plan is a pure function of (Seed, trial) and per-trial results are
+	// merged in trial order.
+	Workers int
+	// FailureBudget caps recorded SDC/crash trials before the campaign
+	// cancels its remaining work. 0 keeps the historical fail-fast
+	// behaviour (budget of one); a negative budget never aborts, so a
+	// full campaign records every failure into Result.Failures for
+	// replay. Whenever the budget is exhausted Campaign returns an error
+	// alongside the merged partial result.
+	FailureBudget int
+	// Checkpoint, when non-empty, is the path of an atomically-rewritten
+	// JSON file recording every completed trial. A campaign started with
+	// an existing checkpoint at the same (seed, trials, workload) resumes
+	// from the completed-trial watermark instead of re-running; anything
+	// else in the file's fingerprint mismatching is an error.
+	Checkpoint string
+	// CheckpointEvery is the number of completed trials between
+	// checkpoint rewrites (default 64). The file is always rewritten once
+	// more when the campaign finishes or is cancelled.
+	CheckpointEvery int
 }
 
 // LatencySampler produces per-strike detection latencies in cycles.
@@ -92,128 +114,55 @@ type Result struct {
 	// Agg is the Stats.Merge aggregation of every injected trial's
 	// simulator statistics (the golden run is excluded).
 	Agg pipeline.Stats
+	// CompletedTrials counts the trials that actually ran (or were
+	// restored from a checkpoint); it is less than Config.Trials when the
+	// campaign was cancelled or exhausted its failure budget.
+	CompletedTrials int
+	// Failures is the replayable failure report: every SDC or crash
+	// trial, in trial order. Feed an entry's Inj to Replay to re-execute
+	// it in isolation.
+	Failures []TrialFailure
 }
 
 // SlowdownPercentile returns the p-th percentile (0..100) of the recovered
-// trials' relative slowdowns, or 0 when none recovered.
+// trials' relative slowdowns using the nearest-rank definition
+// (ceil(p/100*n)), or 0 when none recovered. Truncating the rank instead
+// would bias P95/P99 low on small sample counts.
 func (r *Result) SlowdownPercentile(p float64) float64 {
 	if len(r.SlowdownSamples) == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), r.SlowdownSamples...)
 	sort.Float64s(sorted)
-	idx := int(p / 100 * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[idx]
+	return sorted[rank-1]
 }
 
-// Injection describes one trial, for failure reporting.
+// Injection describes one trial's strike: which register bit flips, after
+// how many retired instructions, and the sensor's detection latency. It is
+// the replay unit — a campaign's failure report and checkpoint file both
+// record Injections, and Replay re-executes one.
 type Injection struct {
-	Reg     isa.Reg
-	Bit     uint
-	AtInst  uint64
-	Latency int
+	Reg     isa.Reg `json:"reg"`
+	Bit     uint    `json:"bit"`
+	AtInst  uint64  `json:"at_inst"`
+	Latency int     `json:"latency"`
 }
 
-// Campaign injects cfg.Trials faults into prog and verifies every outcome
-// against the fault-free golden memory. seedMem populates program inputs
-// for both runs. It returns the aggregate result; the first SDC or crash
-// aborts the campaign with an error describing the trial.
-func Campaign(prog *isa.Program, cfg Config, seedMem func(*isa.Memory)) (*Result, error) {
-	if cfg.Trials <= 0 {
-		cfg.Trials = 100
-	}
-	// Golden run.
-	golden, goldenStats, err := run(prog, cfg, seedMem, nil)
-	if err != nil {
-		return nil, fmt.Errorf("fault: golden run failed: %w", err)
-	}
-	maxAt := cfg.MaxInjectInst
-	if maxAt == 0 {
-		maxAt = goldenStats.Insts * 9 / 10
-		if maxAt == 0 {
-			maxAt = 1
-		}
-	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var det LatencySampler = sensor.NewDetector(cfg.Sim.WCDL, cfg.Seed+1)
-	if cfg.Sampler != nil {
-		det = cfg.Sampler
-	}
-	var detLat, recLen *obs.Histogram
-	if cfg.Metrics != nil {
-		detLat = cfg.Metrics.Histogram("fault.detect_latency_cycles",
-			obs.LinearBuckets(1, 1, 32))
-		recLen = cfg.Metrics.Histogram("fault.recovery_cycles",
-			obs.ExpBuckets(1, 2, 14))
-	}
-	res := &Result{Outcomes: map[Outcome]int{}}
-	var recCycles, recRuns uint64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		lat := det.Latency()
-		if lat < 1 {
-			lat = 1
-		}
-		if lat > cfg.Sim.WCDL {
-			lat = cfg.Sim.WCDL
-		}
-		if detLat != nil {
-			detLat.Observe(uint64(lat))
-		}
-		inj := Injection{
-			Reg:     isa.Reg(1 + rng.Intn(isa.NumRegs-1)),
-			Bit:     uint(rng.Intn(64)),
-			AtInst:  uint64(rng.Int63n(int64(maxAt))) + 1,
-			Latency: lat,
-		}
-		mem, st, err := run(prog, cfg, seedMem, &inj)
-		res.Agg.Merge(&st)
-		outcome := Masked
-		switch {
-		case err != nil:
-			outcome = Crash
-		case !golden.Equal(mem):
-			outcome = SDC
-		case st.Recoveries > 0:
-			outcome = Recovered
-		}
-		res.Outcomes[outcome]++
-		if cfg.Metrics != nil {
-			cfg.Metrics.Counter("fault.outcome." + outcome.String()).Inc()
-		}
-		if err != nil {
-			return res, fmt.Errorf("fault: trial %d crashed (%+v): %w", trial, inj, err)
-		}
-		if outcome == SDC {
-			return res, fmt.Errorf("fault: trial %d produced SDC (%+v)", trial, inj)
-		}
-		if outcome == Recovered {
-			recCycles += st.RecoveryCycles
-			recRuns++
-			if recLen != nil {
-				recLen.Observe(st.RecoveryCycles)
-			}
-			if goldenStats.Cycles > 0 {
-				res.SlowdownSamples = append(res.SlowdownSamples,
-					float64(st.Cycles)/float64(goldenStats.Cycles))
-			}
-		}
-		res.Recoveries += st.Recoveries
-		res.Parity += st.ParityTrips
-	}
-	if recRuns > 0 {
-		res.AvgRecoveryCycles = float64(recCycles) / float64(recRuns)
-	}
-	if cfg.Metrics != nil {
-		pipeline.FillStats(cfg.Metrics, &res.Agg)
-	}
-	return res, nil
+// TrialFailure records one SDC or crash trial in a campaign's failure
+// report.
+type TrialFailure struct {
+	Trial   int       `json:"trial"`
+	Outcome Outcome   `json:"outcome"`
+	Inj     Injection `json:"injection"`
+	// Err is the simulator error for crashes.
+	Err string `json:"error,omitempty"`
 }
 
 // run executes prog once, optionally injecting inj, and returns the output

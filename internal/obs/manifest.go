@@ -74,6 +74,15 @@ func (m *Manifest) WriteFile(path string) error {
 	return nil
 }
 
+// WriteFileAtomic writes whatever fill produces via a temp file in path's
+// directory plus rename, so a concurrent reader never observes a torn
+// file. On error the temp file is removed and path is untouched. Fault
+// campaigns use it for their resume checkpoints; manifests and metric
+// snapshots go through the same path.
+func WriteFileAtomic(path string, fill func(io.Writer) error) error {
+	return writeFileAtomic(path, fill)
+}
+
 // writeFileAtomic writes via a temp file in path's directory plus rename.
 // On error the temp file is removed and path is untouched.
 func writeFileAtomic(path string, fill func(io.Writer) error) error {

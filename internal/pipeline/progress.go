@@ -24,6 +24,7 @@ type Progress struct {
 	RegionsVerified atomic.Uint64 // regions retired through verification
 	Recoveries      atomic.Uint64 // recovery episodes
 	Runs            atomic.Uint64 // completed simulations (campaign trials, sweep points)
+	Workers         atomic.Int64  // campaign workers currently running trials
 
 	SBOcc  atomic.Int64 // store-buffer entries at last publication
 	CLQOcc atomic.Int64 // CLQ occupancy at last publication (-1: no CLQ)
@@ -72,6 +73,7 @@ type ProgressSample struct {
 	RegionsVerified uint64  `json:"regions_verified"`
 	Recoveries      uint64  `json:"recoveries"`
 	Runs            uint64  `json:"runs"`
+	Workers         int64   `json:"workers"`
 	SBOcc           int64   `json:"sb_occupancy"`
 	CLQOcc          int64   `json:"clq_occupancy"`
 }
@@ -152,6 +154,7 @@ func (sp *Sampler) sample() ProgressSample {
 		RegionsVerified: p.RegionsVerified.Load(),
 		Recoveries:      p.Recoveries.Load(),
 		Runs:            p.Runs.Load(),
+		Workers:         p.Workers.Load(),
 		SBOcc:           p.SBOcc.Load(),
 		CLQOcc:          p.CLQOcc.Load(),
 	}
@@ -171,6 +174,7 @@ func (sp *Sampler) sample() ProgressSample {
 		sp.reg.Gauge("live.regions_verified").Set(int64(s.RegionsVerified))
 		sp.reg.Gauge("live.recoveries").Set(int64(s.Recoveries))
 		sp.reg.Gauge("live.runs").Set(int64(s.Runs))
+		sp.reg.Gauge("live.workers").Set(s.Workers)
 		sp.reg.Gauge("live.sb_occupancy").Set(s.SBOcc)
 		sp.reg.Gauge("live.clq_occupancy").Set(s.CLQOcc)
 	}

@@ -94,6 +94,13 @@ func SensorsForWCDL(target int, dieAreaMM2, clockGHz float64) int {
 	return 1_000_000
 }
 
+// Sampler is the per-strike latency stream: one call, one detection
+// latency in cycles. Both detector flavours implement it, as does any
+// campaign-supplied override.
+type Sampler interface {
+	Latency() int
+}
+
 // Detector samples per-strike detection latencies for fault-injection
 // campaigns: an actual strike is detected after a latency uniform in
 // [1, WCDL] cycles — the mesh guarantees the upper bound, and the lower
@@ -118,6 +125,13 @@ func NewDetector(wcdl int, seed int64) *Detector {
 
 // WCDL returns the guaranteed detection bound in cycles.
 func (d *Detector) WCDL() int { return d.wcdl }
+
+// Fork returns an independent detector over the same mesh whose latency
+// stream is a pure function of seed. Parallel fault campaigns fork one
+// stream per trial so the injection plan does not depend on how trials
+// are interleaved across workers. The fork carries no observer — trial
+// latencies are recorded at merge time, in trial order.
+func (d *Detector) Fork(seed int64) Sampler { return NewDetector(d.wcdl, seed) }
 
 // Latency samples one detection latency in [1, WCDL].
 func (d *Detector) Latency() int {
@@ -187,3 +201,14 @@ func (d *PhysicalDetector) Latency() int {
 
 // WCDL returns the mesh's guaranteed bound.
 func (d *PhysicalDetector) WCDL() int { return d.model.WCDL() }
+
+// Fork returns an independent detector over the same grid whose latency
+// stream is a pure function of seed (see Detector.Fork).
+func (d *PhysicalDetector) Fork(seed int64) Sampler {
+	nd, err := NewPhysicalDetector(d.model, seed)
+	if err != nil {
+		// The receiver already validated the model; unreachable.
+		panic(err)
+	}
+	return nd
+}

@@ -131,3 +131,47 @@ func TestPhysicalDetectorValidation(t *testing.T) {
 		t.Fatal("accepted invalid model")
 	}
 }
+
+func TestForkStreamsAreIndependentAndPure(t *testing.T) {
+	// A fork's stream is a pure function of its seed — same seed, same
+	// stream — and does not perturb (or depend on) the parent's stream.
+	det := NewDetector(10, 1)
+	drawn := det.Latency() // advance the parent
+	a1, a2 := det.Fork(7), det.Fork(7)
+	for i := 0; i < 64; i++ {
+		la, lb := a1.Latency(), a2.Latency()
+		if la != lb {
+			t.Fatalf("fork stream not pure at draw %d: %d vs %d", i, la, lb)
+		}
+		if la < 1 || la > det.WCDL() {
+			t.Fatalf("forked latency %d outside [1, %d]", la, det.WCDL())
+		}
+	}
+	det2 := NewDetector(10, 1)
+	if det2.Latency() != drawn {
+		t.Fatal("forking perturbed the parent stream")
+	}
+
+	pd, err := NewPhysicalDetector(Model{Sensors: 300, DieAreaMM2: 1, ClockGHz: 2.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := pd.Fork(11), pd.Fork(11)
+	diffSeed := pd.Fork(12)
+	same := true
+	for i := 0; i < 64; i++ {
+		la, lb := p1.Latency(), p2.Latency()
+		if la != lb {
+			t.Fatalf("physical fork stream not pure at draw %d", i)
+		}
+		if la < 1 || la > pd.WCDL() {
+			t.Fatalf("physical forked latency %d outside [1, %d]", la, pd.WCDL())
+		}
+		if diffSeed.Latency() != la {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different fork seeds produced identical physical streams")
+	}
+}

@@ -43,6 +43,7 @@ func TestLiveCampaignServing(t *testing.T) {
 		defer wg.Done()
 		_, campErr = InjectFaults("gcc", Turnpike, FaultCampaignConfig{
 			Trials: 60, Seed: 3, ScalePct: 8, Metrics: reg, Progress: progress,
+			Workers: 4,
 		})
 	}()
 
@@ -121,6 +122,13 @@ func TestLiveCampaignServing(t *testing.T) {
 	}
 	if finalFams["live_runs"] != 61 {
 		t.Errorf("live_runs = %d, want 61", finalFams["live_runs"])
+	}
+	// Worker-level progress is part of the SSE/metrics contract: the
+	// gauge must be exposed, and must read zero once the pool has drained.
+	if v, ok := finalFams["live_workers"]; !ok {
+		t.Error("live_workers gauge missing from final exposition")
+	} else if v != 0 {
+		t.Errorf("live_workers = %d after campaign end, want 0", v)
 	}
 	if sum := finalFams["fault_outcome_masked_total"] + finalFams["fault_outcome_recovered_total"]; sum != 60 {
 		t.Errorf("outcome counters sum to %d, want 60", sum)

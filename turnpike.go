@@ -27,6 +27,7 @@
 package turnpike
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -210,17 +211,30 @@ type FaultCampaignConfig struct {
 	// pipeline.Sampler can stream live campaign figures (cmd/faultcampaign
 	// -serve).
 	Progress *pipeline.Progress
+	// Workers bounds the campaign's trial worker pool; <=0 uses
+	// GOMAXPROCS. The merged result is identical for every worker count.
+	Workers int
+	// FailureBudget caps recorded SDC/crash trials before the campaign
+	// aborts: 0 fails fast on the first failure, a negative budget
+	// records every failure without aborting. See fault.Config.
+	FailureBudget int
+	// Checkpoint, when non-empty, checkpoints completed trials to this
+	// file so an interrupted campaign resumes from its watermark.
+	Checkpoint string
 }
 
 // FaultResult re-exports the campaign outcome.
 type FaultResult = fault.Result
 
-// InjectFaults runs a single-bit-flip campaign against a benchmark under
-// the given scheme (Turnstile or Turnpike) and verifies that every outcome
-// is SDC-free — the paper's core guarantee.
-func InjectFaults(bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultResult, error) {
+// FaultInjection re-exports one trial's injection plan — the replay unit
+// recorded in FaultResult.Failures and campaign checkpoint files.
+type FaultInjection = fault.Injection
+
+// campaignSetup compiles bench for scheme and returns the program, the
+// simulator config, and the memory seeder a campaign (or replay) needs.
+func campaignSetup(bench string, scheme Scheme, cfg *FaultCampaignConfig) (*Program, pipeline.Config, func(*isa.Memory), error) {
 	if scheme == Baseline {
-		return nil, fmt.Errorf("turnpike: the baseline has no detection or recovery to campaign against")
+		return nil, pipeline.Config{}, nil, fmt.Errorf("turnpike: the baseline has no detection or recovery to campaign against")
 	}
 	if cfg.Trials == 0 {
 		cfg.Trials = 100
@@ -236,7 +250,7 @@ func InjectFaults(bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultR
 	}
 	p, ok := workload.ByName(bench)
 	if !ok {
-		return nil, fmt.Errorf("turnpike: unknown benchmark %q", bench)
+		return nil, pipeline.Config{}, nil, fmt.Errorf("turnpike: unknown benchmark %q", bench)
 	}
 	f := p.Build(cfg.ScalePct)
 	opt := core.Options{Scheme: core.Turnstile, SBSize: cfg.SBSize}
@@ -247,15 +261,48 @@ func InjectFaults(bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultR
 	}
 	compiled, err := core.Compile(f, opt)
 	if err != nil {
+		return nil, pipeline.Config{}, nil, err
+	}
+	return compiled.Prog, sim, p.SeedMemory, nil
+}
+
+// InjectFaults runs a single-bit-flip campaign against a benchmark under
+// the given scheme (Turnstile or Turnpike) and verifies that every outcome
+// is SDC-free — the paper's core guarantee.
+func InjectFaults(bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultResult, error) {
+	return InjectFaultsContext(context.Background(), bench, scheme, cfg)
+}
+
+// InjectFaultsContext is InjectFaults with cancellation: a cancelled ctx
+// stops the campaign's outstanding trials, writes a final checkpoint (when
+// configured), and returns the merged partial result alongside the error.
+func InjectFaultsContext(ctx context.Context, bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultResult, error) {
+	prog, sim, seedMem, err := campaignSetup(bench, scheme, &cfg)
+	if err != nil {
 		return nil, err
 	}
-	return fault.Campaign(compiled.Prog, fault.Config{
-		Trials:   cfg.Trials,
-		Seed:     cfg.Seed,
-		Sim:      sim,
-		Metrics:  cfg.Metrics,
-		Progress: cfg.Progress,
-	}, p.SeedMemory)
+	return fault.CampaignContext(ctx, prog, fault.Config{
+		Trials:        cfg.Trials,
+		Seed:          cfg.Seed,
+		Sim:           sim,
+		Metrics:       cfg.Metrics,
+		Progress:      cfg.Progress,
+		Workers:       cfg.Workers,
+		FailureBudget: cfg.FailureBudget,
+		Checkpoint:    cfg.Checkpoint,
+	}, seedMem)
+}
+
+// ReplayFault re-executes one recorded injection from a campaign's
+// failure report against a freshly compiled benchmark and returns its
+// classification — the debugging half of the campaign engine's replayable
+// failure reports.
+func ReplayFault(bench string, scheme Scheme, cfg FaultCampaignConfig, inj FaultInjection) (fault.Outcome, SimStats, error) {
+	prog, sim, seedMem, err := campaignSetup(bench, scheme, &cfg)
+	if err != nil {
+		return fault.Crash, SimStats{}, err
+	}
+	return fault.Replay(prog, fault.Config{Sim: sim}, seedMem, inj)
 }
 
 // WCDLForSensors returns the worst-case detection latency of a sensor mesh
