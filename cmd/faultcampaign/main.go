@@ -18,6 +18,15 @@
 //	faultcampaign -resume ckpt -trials 10000 gcc # checkpoint to ckpt-gcc.json; re-run resumes
 //	faultcampaign -manifest run.json gcc   # write a JSON run manifest
 //	faultcampaign -serve :9090 -all        # live /metrics + /live SSE mid-campaign
+//
+// Adversarial campaigns replace the perfect sensor mesh with an imperfect
+// one — dead sensors, detections beyond the WCDL, multi-strike bursts, and
+// false positives — and report detection coverage plus the DUE rate with
+// Wilson 95% intervals. The invariant shifts: misses become DUEs (detected
+// but unrecoverable, machine aborted), never SDC:
+//
+//	faultcampaign -missprob 0.2 -burst 3 -deadsensors 50 -fprate 0.05 gcc
+//	faultcampaign -missprob 0.2 -containment=false gcc  # unsafe point: expect SDC
 package main
 
 import (
@@ -47,6 +56,13 @@ func main() {
 		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the result is identical for every value")
 		budget  = flag.Int("budget", 0, "failure budget: abort after this many SDC/crash trials (0 = first failure, -1 = record all, never abort)")
 		resume  = flag.String("resume", "", "checkpoint path prefix; completed trials persist to <prefix>-<bench>.json and a re-run resumes from them")
+
+		missprob    = flag.Float64("missprob", 0, "adversary: per-strike probability the detection lands beyond the WCDL")
+		fprate      = flag.Float64("fprate", 0, "adversary: per-trial probability of a spurious sensor firing")
+		deadsensors = flag.Int("deadsensors", 0, "adversary: sensors of the nominal mesh that are offline")
+		burst       = flag.Int("burst", 0, "adversary: max strikes per trial (burst size drawn uniform in [1, burst])")
+		latefactor  = flag.Float64("latefactor", 0, "adversary: late detections bounded at latefactor x WCDL (0 = default 4)")
+		containment = flag.Bool("containment", true, "abort as DUE when a detection arrives after its region verified (off = unsafe, demonstrates SDC)")
 	)
 	cli := obs.RegisterCLI(flag.CommandLine, "faultcampaign")
 	flag.Parse()
@@ -69,6 +85,17 @@ func main() {
 		benches = []string{"gcc", "lbm", "mcf", "exchange2", "radix"}
 	}
 
+	var adv *turnpike.FaultAdversary
+	if *missprob > 0 || *fprate > 0 || *deadsensors > 0 || *burst > 1 || *latefactor > 0 {
+		adv = &turnpike.FaultAdversary{
+			MissProb:          *missprob,
+			FalsePositiveRate: *fprate,
+			DeadSensors:       *deadsensors,
+			BurstMax:          *burst,
+			LateFactor:        *latefactor,
+		}
+	}
+
 	man := cli.NewManifest()
 	man.Config["scheme"] = *scheme
 	man.Config["trials"] = *trials
@@ -77,6 +104,10 @@ func main() {
 	man.Config["scale_pct"] = *scale
 	man.Config["workers"] = *workers
 	man.Config["failure_budget"] = *budget
+	man.Config["containment"] = *containment
+	if adv != nil {
+		man.Config["adversary"] = adv
+	}
 	man.Seed = *seed
 	man.Workloads = benches
 	reg := obs.NewRegistry()
@@ -111,8 +142,9 @@ func main() {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "BENCHMARK\tMASKED\tRECOVERED\tSDC\tCRASH\tAVG RECOVERY (cyc)\tP50 SLOWDOWN\tP99 SLOWDOWN")
+	fmt.Fprintln(w, "BENCHMARK\tMASKED\tRECOVERED\tSDC\tCRASH\tDUE\tAVG RECOVERY (cyc)\tP50 SLOWDOWN\tP99 SLOWDOWN")
 	totalSDC := 0
+	var coverage []string
 	interrupted := false
 	for _, b := range benches {
 		ckpt := ""
@@ -123,6 +155,7 @@ func main() {
 			Trials: *trials, Seed: *seed, SBSize: *sb, WCDL: *wcdl, ScalePct: *scale,
 			Metrics: reg, Progress: progress,
 			Workers: *workers, FailureBudget: *budget, Checkpoint: ckpt,
+			Adversary: adv, Containment: containment,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b, err)
@@ -133,12 +166,22 @@ func main() {
 			}
 			interrupted = true
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.0f\t%.3f\t%.3f\n", b,
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.3f\t%.3f\n", b,
 			res.Outcomes[fault.Masked], res.Outcomes[fault.Recovered],
 			res.Outcomes[fault.SDC], res.Outcomes[fault.Crash],
+			res.Outcomes[fault.DUE],
 			res.AvgRecoveryCycles,
 			res.SlowdownPercentile(50), res.SlowdownPercentile(99))
 		totalSDC += res.Outcomes[fault.SDC]
+		if adv != nil {
+			coverage = append(coverage, fmt.Sprintf(
+				"%s: coverage %.1f%% [%.1f%%, %.1f%%] (%d/%d strikes), DUE rate %.1f%% [%.1f%%, %.1f%%], SDC rate %.1f%% [%.1f%%, %.1f%%]",
+				b,
+				100*res.Coverage.Rate, 100*res.Coverage.Lo, 100*res.Coverage.Hi,
+				res.Coverage.Successes, res.Coverage.Total,
+				100*res.DUERate.Rate, 100*res.DUERate.Lo, 100*res.DUERate.Hi,
+				100*res.SDCRate.Rate, 100*res.SDCRate.Lo, 100*res.SDCRate.Hi))
+		}
 		per := map[string]int{}
 		for o, n := range res.Outcomes {
 			per[o.String()] = n
@@ -152,17 +195,26 @@ func main() {
 		}
 	}
 	w.Flush()
+	if len(coverage) > 0 {
+		fmt.Println("\nadversarial mesh (Wilson 95% intervals):")
+		for _, line := range coverage {
+			fmt.Println("  " + line)
+		}
+	}
 	printFailures(failures)
 	switch {
 	case interrupted:
 		fmt.Println("\ninterrupted: partial results above; re-run with the same -resume prefix to continue")
 		os.Exit(130)
-	case totalSDC > 0:
+	case totalSDC > 0 && *containment:
 		fmt.Println("\nFAIL: silent data corruption observed")
 		os.Exit(1)
+	case totalSDC > 0:
+		fmt.Printf("\n%d SDC outcomes with containment disabled (the expected unsafe operating point)\n", totalSDC)
+	default:
+		fmt.Printf("\n%v: no silent data corruption across %d benchmarks x %d trials\n",
+			sc, len(benches), *trials)
 	}
-	fmt.Printf("\n%v: no silent data corruption across %d benchmarks x %d trials\n",
-		sc, len(benches), *trials)
 
 	if cli.WantsOutput() {
 		man.Extra["outcomes_by_benchmark"] = outcomes

@@ -41,6 +41,9 @@ func main() {
 		noDisasm = flag.Bool("q", false, "suppress the disassembly listing")
 		traceOut = flag.String("trace", "", "write a cycle-domain trace to this file (.json=Perfetto, .jsonl, .txt)")
 		inject   = flag.Int64("inject", -1, "inject one bit flip at this instruction during the traced run (-1 = auto, 0 = none)")
+		burst    = flag.Int("burst", 1, "strikes injected at the injection point (a fault burst sharing one detection window)")
+		latency  = flag.Int("latency", 0, "detection latency of the injected strike(s) (0 = WCDL; beyond WCDL shows a late-detection/degraded-mode episode)")
+		fp       = flag.Bool("fp", false, "also inject a false-positive sensor firing at the injection point")
 	)
 	cli := obs.RegisterCLI(flag.CommandLine, "trace")
 	flag.Parse()
@@ -140,11 +143,20 @@ func main() {
 	}
 
 	if *traceOut != "" || cli.WantsOutput() || cli.Serving() {
-		if err := runObserved(p, prog, opt, *sb, *wcdl, *traceOut, *inject, cli); err != nil {
+		inj := injectPlan{at: *inject, burst: *burst, latency: *latency, fp: *fp}
+		if err := runObserved(p, prog, opt, *sb, *wcdl, *traceOut, inj, cli); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// injectPlan is the traced run's fault scenario from the CLI flags.
+type injectPlan struct {
+	at      int64 // -1 auto, 0 none
+	burst   int
+	latency int // 0 = WCDL
+	fp      bool
 }
 
 // simConfig maps the compile options to a pipeline configuration.
@@ -164,14 +176,19 @@ func simConfig(opt core.Options, sb, wcdl int) pipeline.Config {
 // streaming live progress while it runs. Under a resilient scheme it
 // injects one soft error (auto-placed at one third of the dynamic
 // instruction count unless -inject pins or disables it) so the trace shows
-// a complete strike → detect → recover → re-execute episode.
-func runObserved(p workload.Profile, prog *isa.Program, opt core.Options, sb, wcdl int, traceOut string, inject int64, cli *obs.CLI) error {
+// a complete strike → detect → recover → re-execute episode; -burst,
+// -latency, and -fp turn that into an adversarial one (multi-strike
+// bursts, late detections with a degraded-mode window, spurious firings).
+func runObserved(p workload.Profile, prog *isa.Program, opt core.Options, sb, wcdl int, traceOut string, inject injectPlan, cli *obs.CLI) error {
 	cfg := simConfig(opt, sb, wcdl)
+	if inject.burst+1 > cfg.DetectQueue && cfg.DetectQueue > 0 {
+		cfg.DetectQueue = inject.burst + 1
+	}
 
 	injectAt := uint64(0)
-	if cfg.Resilient && inject != 0 {
-		if inject > 0 {
-			injectAt = uint64(inject)
+	if cfg.Resilient && inject.at != 0 {
+		if inject.at > 0 {
+			injectAt = uint64(inject.at)
 		} else {
 			// Auto placement: a quick unobserved run sizes the program.
 			pre, err := pipeline.New(prog, cfg)
@@ -228,12 +245,26 @@ func runObserved(p workload.Profile, prog *isa.Program, opt core.Options, sb, wc
 	injected := false
 	for !s.Halted() {
 		if injectAt > 0 && !injected && s.Stats.Insts >= injectAt {
-			lat := wcdl
+			lat := inject.latency
+			if lat <= 0 {
+				lat = wcdl
+			}
 			if lat < 1 {
 				lat = 1
 			}
-			if err := s.InjectBitFlip(4, 17, lat); err != nil {
-				return err
+			n := inject.burst
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				if err := s.InjectBitFlip(isa.Reg(4+i%8), uint(17+i), lat+i); err != nil {
+					return err
+				}
+			}
+			if inject.fp {
+				if err := s.InjectFalseDetection(lat); err != nil {
+					return err
+				}
 			}
 			injected = true
 		}

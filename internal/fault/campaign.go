@@ -2,41 +2,32 @@ package fault
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/rng"
 	"repro/internal/sensor"
 )
 
-// splitmix64 is the SplitMix64 output mix: a bijective avalanche over the
-// incremented state. Two mixes over (seed, trial) give every trial an
-// independent, well-spread PRNG seed without any shared stream.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 // trialSeed derives the independent PRNG seed for one trial from the
-// campaign seed. Per-trial seeding is what makes the injection plan a pure
-// function of the Config: trials can run in any order, on any number of
-// workers, and replay individually, without consuming a shared stream.
+// campaign seed (two SplitMix64 avalanches over (seed, trial)). Per-trial
+// seeding is what makes the injection plan a pure function of the Config:
+// trials can run in any order, on any number of workers, and replay
+// individually, without consuming a shared stream.
 func trialSeed(seed int64, trial int) int64 {
-	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(trial)))
+	return int64(rng.Mix(rng.Mix(uint64(seed)) ^ uint64(trial)))
 }
 
-// trialForker is the optional capability of a Config.Sampler to derive an
-// independent per-trial latency stream (sensor.Detector and
-// sensor.PhysicalDetector both implement it). Samplers without it stay
-// correct — the engine pre-draws every trial's latency from the shared
-// stream in trial order before fanning out — at the cost of one serial
-// pass.
+// trialForker is the required capability of a Config.Sampler: deriving an
+// independent per-trial latency stream (sensor.Detector,
+// sensor.PhysicalDetector, and sensor.MeshDetector all implement it). A
+// sampler that cannot fork is rejected at campaign start — a shared
+// stream would make the plan depend on trial execution order.
 type trialForker interface {
 	Fork(seed int64) sensor.Sampler
 }
@@ -59,59 +50,105 @@ type engine struct {
 	seedMem func(*isa.Memory)
 	golden  *isa.Memory
 	maxAt   uint64
-	// Exactly one of fork/lats is set: fork derives a per-trial latency
-	// stream, lats holds latencies pre-drawn in trial order from a
-	// sampler that cannot fork.
+	// Exactly one of fork/mesh is set: fork derives a per-trial latency
+	// stream for perfect-mesh campaigns, mesh derives per-trial
+	// adversarial detection streams.
 	fork func(int64) sensor.Sampler
-	lats []int
+	mesh *sensor.MeshDetector
 }
 
-func (e *engine) resolveSampler() {
+func (e *engine) resolveSampler() error {
+	if e.cfg.Adversary != nil {
+		if e.cfg.Sampler != nil {
+			return fmt.Errorf("fault: Adversary and Sampler are mutually exclusive")
+		}
+		adv := e.cfg.Adversary
+		if err := adv.validate(e.cfg.Sim); err != nil {
+			return err
+		}
+		// The nominal mesh is whatever deployment achieves the
+		// pipeline's WCDL on the paper's die; the adversary then breaks
+		// it. The pipeline keeps believing the nominal bound.
+		model := sensor.Model{
+			Sensors:    sensor.SensorsForWCDL(e.cfg.Sim.WCDL, 1.0, 2.5),
+			DieAreaMM2: 1.0,
+			ClockGHz:   2.5,
+		}
+		det, err := sensor.NewMeshDetector(sensor.Mesh{
+			Model:       model,
+			DeadSensors: adv.DeadSensors,
+			MissProb:    adv.MissProb,
+			LateFactor:  adv.LateFactor,
+		}, 0)
+		if err != nil {
+			return err
+		}
+		e.mesh = det
+		return nil
+	}
 	if e.cfg.Sampler == nil {
 		e.fork = sensor.NewDetector(e.cfg.Sim.WCDL, 0).Fork
-		return
+		return nil
 	}
 	if f, ok := e.cfg.Sampler.(trialForker); ok {
 		e.fork = f.Fork
-		return
+		return nil
 	}
-	e.lats = make([]int, e.cfg.Trials)
-	for i := range e.lats {
-		e.lats[i] = e.cfg.Sampler.Latency()
-	}
+	return fmt.Errorf("fault: sampler %T cannot fork per-trial streams; implement Fork(seed int64) sensor.Sampler", e.cfg.Sampler)
 }
 
 // plan derives trial's injection as a pure function of (cfg.Seed, trial):
-// a SplitMix64-derived seed feeds a private PRNG for the strike point, and
-// the latency comes from an independently-seeded per-trial detector
-// stream. Sampled latencies are clamped to [1, WCDL], preserving the
-// recovery argument.
+// a SplitMix64 stream seeded from (Seed, trial) draws the strike points,
+// and latencies come from an independently-seeded per-trial detector
+// stream (fork seeds derive from Seed+1, keeping the two decorrelated).
+// Perfect-mesh latencies are clamped to [1, WCDL], preserving the
+// recovery argument; adversarial campaigns sample the degraded mesh
+// instead — late detections included, plus burst extras and false
+// positives.
 func (e *engine) plan(trial int) Injection {
-	rng := rand.New(rand.NewSource(trialSeed(e.cfg.Seed, trial)))
+	s := rng.New(trialSeed(e.cfg.Seed, trial))
 	inj := Injection{
-		Reg:    isa.Reg(1 + rng.Intn(isa.NumRegs-1)),
-		Bit:    uint(rng.Intn(64)),
-		AtInst: uint64(rng.Int63n(int64(e.maxAt))) + 1,
+		Reg:    isa.Reg(1 + s.Intn(isa.NumRegs-1)),
+		Bit:    uint(s.Intn(64)),
+		AtInst: uint64(s.Int63n(int64(e.maxAt))) + 1,
 	}
-	lat := e.latency(trial)
-	if lat < 1 {
-		lat = 1
+	if e.mesh == nil {
+		lat := e.fork(trialSeed(e.cfg.Seed+1, trial)).Latency()
+		if lat < 1 {
+			lat = 1
+		}
+		if w := e.cfg.Sim.WCDL; w > 0 && lat > w {
+			lat = w
+		}
+		inj.Latency = lat
+		return inj
 	}
-	if w := e.cfg.Sim.WCDL; w > 0 && lat > w {
-		lat = w
+	det := e.mesh.ForkMesh(trialSeed(e.cfg.Seed+1, trial))
+	d := det.Sample()
+	inj.Latency, inj.Missed = d.Latency, d.Missed
+	adv := e.cfg.Adversary
+	if adv.BurstMax > 1 {
+		// Burst size uniform in [1, BurstMax]; extras land within one
+		// nominal detection window of the primary, so several strikes
+		// share the pending-detection queue.
+		for n := 1 + s.Intn(adv.BurstMax); n > 1; n-- {
+			ds := det.Sample()
+			inj.Extra = append(inj.Extra, Strike{
+				Reg:     isa.Reg(1 + s.Intn(isa.NumRegs-1)),
+				Bit:     uint(s.Intn(64)),
+				AtInst:  inj.AtInst + uint64(s.Intn(e.cfg.Sim.WCDL+1)),
+				Latency: ds.Latency,
+				Missed:  ds.Missed,
+			})
+		}
 	}
-	inj.Latency = lat
+	if adv.FalsePositiveRate > 0 && s.Float64() < adv.FalsePositiveRate {
+		inj.FalsePositives = append(inj.FalsePositives, FalsePositive{
+			AtInst:  uint64(s.Int63n(int64(e.maxAt))) + 1,
+			Latency: 1 + s.Intn(e.cfg.Sim.WCDL),
+		})
+	}
 	return inj
-}
-
-// latency returns trial's detection latency. The fork seed is derived from
-// Seed+1, echoing the seed the serial engine historically gave its
-// detector, so the strike-point and latency streams stay decorrelated.
-func (e *engine) latency(trial int) int {
-	if e.lats != nil {
-		return e.lats[trial]
-	}
-	return e.fork(trialSeed(e.cfg.Seed+1, trial)).Latency()
 }
 
 // runTrial executes one planned injection and classifies it against the
@@ -120,18 +157,30 @@ func (e *engine) runTrial(trial int) *trialRecord {
 	inj := e.plan(trial)
 	mem, st, err := run(e.prog, e.cfg, e.seedMem, &inj)
 	rec := &trialRecord{Trial: trial, Inj: inj, Stats: st}
-	switch {
-	case err != nil:
-		rec.Outcome = Crash
+	rec.Outcome = classify(e.golden, mem, st, err)
+	if err != nil {
 		rec.Err = err.Error()
-	case !e.golden.Equal(mem):
-		rec.Outcome = SDC
-	case st.Recoveries > 0:
-		rec.Outcome = Recovered
-	default:
-		rec.Outcome = Masked
 	}
 	return rec
+}
+
+// classify maps one injected run to its outcome. A DUEError is the
+// containment path doing its job — detected but unrecoverable — and is
+// kept distinct from Crash (the simulator wedging or faulting), which in
+// turn outranks memory comparison.
+func classify(golden, mem *isa.Memory, st pipeline.Stats, err error) Outcome {
+	var due *pipeline.DUEError
+	switch {
+	case errors.As(err, &due):
+		return DUE
+	case err != nil:
+		return Crash
+	case !golden.Equal(mem):
+		return SDC
+	case st.Recoveries > 0:
+		return Recovered
+	}
+	return Masked
 }
 
 // merge folds completed trials into a Result in trial order, so outcome
@@ -154,6 +203,9 @@ func (e *engine) merge(records []*trialRecord, goldenStats pipeline.Stats) *Resu
 			continue // cancelled before this trial completed
 		}
 		res.CompletedTrials++
+		strikes, missed := rec.Inj.CountStrikes()
+		res.Strikes += strikes
+		res.MissedDetections += missed
 		if detLat != nil {
 			detLat.Observe(uint64(rec.Inj.Latency))
 		}
@@ -184,7 +236,12 @@ func (e *engine) merge(records []*trialRecord, goldenStats pipeline.Stats) *Resu
 	if recRuns > 0 {
 		res.AvgRecoveryCycles = float64(recCycles) / float64(recRuns)
 	}
+	res.Coverage = NewProportion(res.Strikes-res.MissedDetections, res.Strikes)
+	res.DUERate = NewProportion(res.Outcomes[DUE], res.CompletedTrials)
+	res.SDCRate = NewProportion(res.Outcomes[SDC], res.CompletedTrials)
 	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("fault.strikes").Add(uint64(res.Strikes))
+		cfg.Metrics.Counter("fault.missed_detections").Add(uint64(res.MissedDetections))
 		pipeline.FillStats(cfg.Metrics, &res.Agg)
 	}
 	return res
@@ -240,7 +297,9 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 	}
 
 	e := &engine{prog: prog, cfg: cfg, seedMem: seedMem, golden: golden, maxAt: maxAt}
-	e.resolveSampler()
+	if err := e.resolveSampler(); err != nil {
+		return nil, err
+	}
 
 	records := make([]*trialRecord, cfg.Trials)
 	if cfg.Checkpoint != "" {
@@ -357,13 +416,9 @@ func Replay(prog *isa.Program, cfg Config, seedMem func(*isa.Memory), inj Inject
 		return Crash, pipeline.Stats{}, fmt.Errorf("fault: golden run failed: %w", err)
 	}
 	mem, st, err := run(prog, cfg, seedMem, &inj)
-	switch {
-	case err != nil:
-		return Crash, st, err
-	case !golden.Equal(mem):
-		return SDC, st, nil
-	case st.Recoveries > 0:
-		return Recovered, st, nil
+	out := classify(golden, mem, st, err)
+	if out == DUE {
+		err = nil // the containment abort is the classification, not a failure
 	}
-	return Masked, st, nil
+	return out, st, err
 }

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -31,9 +32,11 @@ func FuzzTrialPlan(f *testing.F) {
 			w = 1
 		}
 		e := &engine{cfg: Config{Seed: seed, Trials: int(trial) + 1, Sim: pipeline.TurnpikeConfig(4, w)}, maxAt: maxAt}
-		e.resolveSampler()
+		if err := e.resolveSampler(); err != nil {
+			t.Fatal(err)
+		}
 		inj := e.plan(int(trial))
-		if inj != e.plan(int(trial)) {
+		if !reflect.DeepEqual(inj, e.plan(int(trial))) {
 			t.Fatalf("plan not pure for seed=%d trial=%d", seed, trial)
 		}
 		if inj.Reg < 1 || int(inj.Reg) >= isa.NumRegs {
@@ -47,6 +50,60 @@ func FuzzTrialPlan(f *testing.F) {
 		}
 		if inj.Latency < 1 || inj.Latency > w {
 			t.Fatalf("latency outside [1, %d]: %+v", w, inj)
+		}
+	})
+}
+
+// FuzzBurstPlan fuzzes the adversarial planner: for any (seed, trial) and
+// any adversary knob settings, the burst plan must be a pure function of
+// (Seed, trial) — re-deriving it twice gives identical strikes, extras,
+// and false positives — and every event must stay in-bounds: burst size
+// within [1, BurstMax], extras within one nominal window of the primary,
+// false-positive latencies within [1, WCDL]. Worker-count invariance and
+// checkpoint resume both rest on this purity.
+func FuzzBurstPlan(f *testing.F) {
+	f.Add(int64(1), uint16(0), uint8(3), uint8(50), uint8(20))
+	f.Add(int64(-9), uint16(777), uint8(6), uint8(100), uint8(0))
+	f.Add(int64(1<<61), uint16(65535), uint8(2), uint8(0), uint8(100))
+	f.Fuzz(func(t *testing.T, seed int64, trial uint16, burst, missPct, fpPct uint8) {
+		const wcdl = 10
+		adv := &Adversary{
+			MissProb:          float64(missPct%101) / 100,
+			FalsePositiveRate: float64(fpPct%101) / 100,
+			DeadSensors:       int(trial) % 4,
+			BurstMax:          1 + int(burst)%7,
+			LateFactor:        3,
+		}
+		cfg := pipeline.TurnpikeConfig(4, wcdl)
+		cfg.DetectQueue = 16
+		e := &engine{cfg: Config{Seed: seed, Trials: int(trial) + 1, Sim: cfg, Adversary: adv}, maxAt: 1000}
+		if err := e.resolveSampler(); err != nil {
+			t.Fatal(err)
+		}
+		inj := e.plan(int(trial))
+		if !reflect.DeepEqual(inj, e.plan(int(trial))) {
+			t.Fatalf("burst plan not pure for seed=%d trial=%d", seed, trial)
+		}
+		strikes, _ := inj.CountStrikes()
+		if strikes < 1 || strikes > adv.BurstMax {
+			t.Fatalf("burst size %d outside [1, %d]", strikes, adv.BurstMax)
+		}
+		if inj.Latency < 1 {
+			t.Fatalf("non-positive primary latency: %+v", inj)
+		}
+		for _, s := range inj.Extra {
+			if s.Reg < 1 || int(s.Reg) >= isa.NumRegs || s.Bit > 63 || s.Latency < 1 {
+				t.Fatalf("extra strike out of range: %+v", s)
+			}
+			if s.AtInst < inj.AtInst || s.AtInst > inj.AtInst+wcdl {
+				t.Fatalf("extra strike %d outside the primary's window [%d, %d]",
+					s.AtInst, inj.AtInst, inj.AtInst+wcdl)
+			}
+		}
+		for _, fp := range inj.FalsePositives {
+			if fp.AtInst < 1 || fp.AtInst > e.maxAt || fp.Latency < 1 || fp.Latency > wcdl {
+				t.Fatalf("false positive out of range: %+v", fp)
+			}
 		}
 	})
 }

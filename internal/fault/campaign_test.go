@@ -78,25 +78,31 @@ func TestCampaignPhysicalDetectorWorkerInvariant(t *testing.T) {
 // pure function of (seed, trial), independent of any other trial.
 func TestTrialPlanIsPure(t *testing.T) {
 	e := &engine{cfg: Config{Seed: 7, Trials: 100, Sim: pipeline.TurnpikeConfig(4, 10)}, maxAt: 5000}
-	e.resolveSampler()
+	if err := e.resolveSampler(); err != nil {
+		t.Fatal(err)
+	}
 	want := make([]Injection, 16)
 	for i := range want {
 		want[i] = e.plan(i)
 	}
 	// Re-derive in reverse order from a fresh engine: identical plans.
 	e2 := &engine{cfg: e.cfg, maxAt: e.maxAt}
-	e2.resolveSampler()
+	if err := e2.resolveSampler(); err != nil {
+		t.Fatal(err)
+	}
 	for i := len(want) - 1; i >= 0; i-- {
-		if got := e2.plan(i); got != want[i] {
+		if got := e2.plan(i); !reflect.DeepEqual(got, want[i]) {
 			t.Fatalf("trial %d plan not pure: %+v vs %+v", i, got, want[i])
 		}
 	}
 	// Different seeds must decorrelate.
 	e3 := &engine{cfg: Config{Seed: 8, Trials: 100, Sim: e.cfg.Sim}, maxAt: e.maxAt}
-	e3.resolveSampler()
+	if err := e3.resolveSampler(); err != nil {
+		t.Fatal(err)
+	}
 	same := 0
 	for i := range want {
-		if e3.plan(i) == want[i] {
+		if reflect.DeepEqual(e3.plan(i), want[i]) {
 			same++
 		}
 	}

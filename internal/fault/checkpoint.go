@@ -7,6 +7,7 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"reflect"
 
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -25,10 +26,13 @@ type campaignCheckpoint struct {
 	MaxInjectInst uint64        `json:"max_inject_inst"`
 	GoldenCycles  uint64        `json:"golden_cycles"`
 	GoldenInsts   uint64        `json:"golden_insts"`
+	Adversary     *Adversary    `json:"adversary,omitempty"`
 	Done          []trialRecord `json:"done"`
 }
 
-const checkpointVersion = 1
+// Version 2: injections gained burst/false-positive plans and the
+// fingerprint gained the adversary, so v1 files no longer resume.
+const checkpointVersion = 2
 
 // save rewrites the checkpoint file with every completed trial, in trial
 // order. Callers serialize saves (the campaign holds its merge mutex or
@@ -41,6 +45,7 @@ func (e *engine) save(records []*trialRecord, goldenStats pipeline.Stats) error 
 		MaxInjectInst: e.maxAt,
 		GoldenCycles:  goldenStats.Cycles,
 		GoldenInsts:   goldenStats.Insts,
+		Adversary:     e.cfg.Adversary,
 	}
 	for _, rec := range records {
 		if rec != nil {
@@ -70,7 +75,8 @@ func (e *engine) restore(records []*trialRecord, goldenStats pipeline.Stats) err
 	}
 	if ck.Version != checkpointVersion || ck.Seed != e.cfg.Seed || ck.Trials != e.cfg.Trials ||
 		ck.MaxInjectInst != e.maxAt ||
-		ck.GoldenCycles != goldenStats.Cycles || ck.GoldenInsts != goldenStats.Insts {
+		ck.GoldenCycles != goldenStats.Cycles || ck.GoldenInsts != goldenStats.Insts ||
+		!reflect.DeepEqual(ck.Adversary, e.cfg.Adversary) {
 		return fmt.Errorf("fault: checkpoint %s was written by a different campaign (seed, trials, workload, or simulator config changed) — delete it to start over",
 			e.cfg.Checkpoint)
 	}
@@ -79,7 +85,7 @@ func (e *engine) restore(records []*trialRecord, goldenStats pipeline.Stats) err
 		if rec.Trial < 0 || rec.Trial >= len(records) {
 			return fmt.Errorf("fault: checkpoint %s: trial %d out of range", e.cfg.Checkpoint, rec.Trial)
 		}
-		if got := e.plan(rec.Trial); got != rec.Inj {
+		if got := e.plan(rec.Trial); !reflect.DeepEqual(got, rec.Inj) {
 			return fmt.Errorf("fault: checkpoint %s: trial %d recorded injection %+v does not match the plan %+v",
 				e.cfg.Checkpoint, rec.Trial, rec.Inj, got)
 		}

@@ -30,6 +30,12 @@ const (
 	SDC
 	// Crash: the simulator reported an error.
 	Crash
+	// DUE: a detected-unrecoverable error — the detection arrived after
+	// its region had verified and released stores, and containment
+	// aborted the machine rather than let the corruption go silent. A
+	// DUE is the *successful* outcome of containment under an imperfect
+	// mesh: data is lost, but never silently wrong.
+	DUE
 )
 
 func (o Outcome) String() string {
@@ -42,6 +48,8 @@ func (o Outcome) String() string {
 		return "SDC"
 	case Crash:
 		return "crash"
+	case DUE:
+		return "DUE"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -93,6 +101,66 @@ type Config struct {
 	// checkpoint rewrites (default 64). The file is always rewritten once
 	// more when the campaign finishes or is cancelled.
 	CheckpointEvery int
+	// Adversary, when set, switches the campaign to the imperfect-mesh
+	// fault model: dead sensors, late detections, fault bursts, and
+	// false positives, all drawn from the per-trial SplitMix64 streams
+	// so results stay worker-count-deterministic. Mutually exclusive
+	// with Sampler.
+	Adversary *Adversary
+}
+
+// Adversary parameterizes the imperfect-mesh fault model. The nominal
+// mesh is derived from the pipeline's WCDL (the sensor count that
+// achieves it on the paper's 1 mm², 2.5 GHz die); the knobs then break
+// it: DeadSensors enlarge the surviving cells (stretching real detection
+// latency past the WCDL the pipeline was provisioned for), MissProb
+// sends strikes to a farther sensor outright, BurstMax packs several
+// strikes into one detection window, and FalsePositiveRate fires
+// sensors with no strike at all.
+type Adversary struct {
+	// MissProb is the per-strike probability the detection lands beyond
+	// the nominal WCDL, in (WCDL, LateFactor×WCDL].
+	MissProb float64 `json:"miss_prob"`
+	// FalsePositiveRate is the per-trial probability of one spurious
+	// detection at a uniform instruction point.
+	FalsePositiveRate float64 `json:"false_positive_rate"`
+	// DeadSensors is how many sensors of the nominal mesh are offline.
+	DeadSensors int `json:"dead_sensors"`
+	// BurstMax caps the strikes per trial: each trial draws a burst
+	// size uniform in [1, BurstMax]. 0 or 1 keeps single strikes.
+	BurstMax int `json:"burst_max"`
+	// LateFactor bounds late detections at LateFactor × WCDL (values
+	// below 2 are raised to 2; 0 means the default of 4).
+	LateFactor float64 `json:"late_factor"`
+}
+
+// validate checks the adversary against the pipeline configuration it
+// will drive.
+func (a *Adversary) validate(sim pipeline.Config) error {
+	if a.MissProb < 0 || a.MissProb > 1 {
+		return fmt.Errorf("fault: adversary miss probability %v outside [0,1]", a.MissProb)
+	}
+	if a.FalsePositiveRate < 0 || a.FalsePositiveRate > 1 {
+		return fmt.Errorf("fault: adversary false-positive rate %v outside [0,1]", a.FalsePositiveRate)
+	}
+	if a.DeadSensors < 0 {
+		return fmt.Errorf("fault: adversary dead sensors %d", a.DeadSensors)
+	}
+	if a.BurstMax < 0 {
+		return fmt.Errorf("fault: adversary burst max %d", a.BurstMax)
+	}
+	dq := sim.DetectQueue
+	if dq == 0 {
+		dq = 8 // pipeline.New's default
+	}
+	if a.BurstMax+1 > dq {
+		return fmt.Errorf("fault: adversary burst max %d needs a detect queue of %d (have %d)",
+			a.BurstMax, a.BurstMax+1, dq)
+	}
+	if a.LateFactor < 0 {
+		return fmt.Errorf("fault: adversary late factor %v", a.LateFactor)
+	}
+	return nil
 }
 
 // LatencySampler produces per-strike detection latencies in cycles.
@@ -120,8 +188,63 @@ type Result struct {
 	CompletedTrials int
 	// Failures is the replayable failure report: every SDC or crash
 	// trial, in trial order. Feed an entry's Inj to Replay to re-execute
-	// it in isolation.
+	// it in isolation. DUEs are not failures — they are containment
+	// working as designed.
 	Failures []TrialFailure
+
+	// Strikes is the total number of injected strikes across every
+	// completed trial (each strike of a burst counts).
+	Strikes int
+	// MissedDetections counts strikes whose planned detection exceeded
+	// the nominal WCDL (the imperfect mesh's misses).
+	MissedDetections int
+	// Coverage is the fraction of strikes detected within the WCDL,
+	// with a Wilson 95% interval.
+	Coverage Proportion
+	// DUERate and SDCRate are per-trial outcome rates with Wilson 95%
+	// intervals. The containment invariant in one line: with containment
+	// on, SDCRate.Hi must sit at the binomial zero bound while DUERate
+	// absorbs every miss.
+	DUERate Proportion
+	SDCRate Proportion
+}
+
+// Proportion is a binomial rate estimate with its Wilson 95% score
+// interval — the interval of choice for campaign rates because it stays
+// honest at the extremes (zero successes out of n still yields a nonzero
+// upper bound of roughly 3.84/(n+3.84)).
+type Proportion struct {
+	Successes int     `json:"successes"`
+	Total     int     `json:"total"`
+	Rate      float64 `json:"rate"`
+	// Lo and Hi bound the true rate at 95% confidence.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// NewProportion computes the Wilson 95% score interval for k successes
+// out of n.
+func NewProportion(k, n int) Proportion {
+	p := Proportion{Successes: k, Total: n}
+	if n <= 0 {
+		return p
+	}
+	const z = 1.959963984540054 // 97.5th normal percentile
+	ph := float64(k) / float64(n)
+	p.Rate = ph
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := ph + z*z/(2*nf)
+	half := z * math.Sqrt(ph*(1-ph)/nf+z*z/(4*nf*nf))
+	p.Lo = (center - half) / denom
+	p.Hi = (center + half) / denom
+	if p.Lo < 0 {
+		p.Lo = 0
+	}
+	if p.Hi > 1 {
+		p.Hi = 1
+	}
+	return p
 }
 
 // SlowdownPercentile returns the p-th percentile (0..100) of the recovered
@@ -144,15 +267,78 @@ func (r *Result) SlowdownPercentile(p float64) float64 {
 	return sorted[rank-1]
 }
 
-// Injection describes one trial's strike: which register bit flips, after
-// how many retired instructions, and the sensor's detection latency. It is
-// the replay unit — a campaign's failure report and checkpoint file both
-// record Injections, and Replay re-executes one.
+// Injection describes one trial's fault events: the primary strike (which
+// register bit flips, after how many retired instructions, the sensor's
+// detection latency), plus — for adversarial campaigns — the rest of the
+// burst and any spurious detections. It is the replay unit: a campaign's
+// failure report and checkpoint file both record Injections, and Replay
+// re-executes one, adversarial or not.
 type Injection struct {
 	Reg     isa.Reg `json:"reg"`
 	Bit     uint    `json:"bit"`
 	AtInst  uint64  `json:"at_inst"`
 	Latency int     `json:"latency"`
+	// Missed flags a primary detection planned beyond the nominal WCDL.
+	Missed bool `json:"missed,omitempty"`
+	// Extra holds the burst's additional strikes, in injection order.
+	Extra []Strike `json:"extra,omitempty"`
+	// FalsePositives lists spurious sensor firings (no strike).
+	FalsePositives []FalsePositive `json:"false_positives,omitempty"`
+}
+
+// Strike is one additional burst strike.
+type Strike struct {
+	Reg     isa.Reg `json:"reg"`
+	Bit     uint    `json:"bit"`
+	AtInst  uint64  `json:"at_inst"`
+	Latency int     `json:"latency"`
+	Missed  bool    `json:"missed,omitempty"`
+}
+
+// FalsePositive is one spurious detection event.
+type FalsePositive struct {
+	AtInst  uint64 `json:"at_inst"`
+	Latency int    `json:"latency"`
+}
+
+// injEvent is one scheduled fault event in a trial; strike is nil for a
+// false positive.
+type injEvent struct {
+	atInst uint64
+	strike *Strike
+	fpLat  int
+}
+
+// events flattens the injection into an instruction-ordered schedule.
+// Ordering is deterministic: by instruction point, primaries before
+// extras before false positives on ties (stable sort over that layout).
+func (inj *Injection) events() []injEvent {
+	evs := make([]injEvent, 0, 1+len(inj.Extra)+len(inj.FalsePositives))
+	primary := Strike{Reg: inj.Reg, Bit: inj.Bit, AtInst: inj.AtInst, Latency: inj.Latency, Missed: inj.Missed}
+	evs = append(evs, injEvent{atInst: primary.AtInst, strike: &primary})
+	for i := range inj.Extra {
+		evs = append(evs, injEvent{atInst: inj.Extra[i].AtInst, strike: &inj.Extra[i]})
+	}
+	for i := range inj.FalsePositives {
+		evs = append(evs, injEvent{atInst: inj.FalsePositives[i].AtInst, fpLat: inj.FalsePositives[i].Latency})
+	}
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].atInst < evs[b].atInst })
+	return evs
+}
+
+// CountStrikes returns the number of strikes (1 + burst extras) and how
+// many of them were planned to be missed (detected beyond the WCDL).
+func (inj *Injection) CountStrikes() (strikes, missed int) {
+	strikes = 1 + len(inj.Extra)
+	if inj.Missed {
+		missed++
+	}
+	for i := range inj.Extra {
+		if inj.Extra[i].Missed {
+			missed++
+		}
+	}
+	return strikes, missed
 }
 
 // TrialFailure records one SDC or crash trial in a campaign's failure
@@ -180,13 +366,24 @@ func run(prog *isa.Program, cfg Config, seedMem func(*isa.Memory), inj *Injectio
 	if seedMem != nil {
 		seedMem(s.Mem)
 	}
-	injected := false
+	var evs []injEvent
+	if inj != nil {
+		evs = inj.events()
+	}
+	next := 0
 	for !s.Halted() {
-		if inj != nil && !injected && s.Stats.Insts >= inj.AtInst {
-			if err := s.InjectBitFlip(inj.Reg, inj.Bit, inj.Latency); err != nil {
+		for next < len(evs) && s.Stats.Insts >= evs[next].atInst {
+			ev := evs[next]
+			next++
+			var err error
+			if ev.strike != nil {
+				err = s.InjectBitFlip(ev.strike.Reg, ev.strike.Bit, ev.strike.Latency)
+			} else {
+				err = s.InjectFalseDetection(ev.fpLat)
+			}
+			if err != nil {
 				return nil, s.Stats, err
 			}
-			injected = true
 		}
 		if err := s.Step(); err != nil {
 			return nil, s.Stats, err

@@ -39,7 +39,7 @@ func TestDebugSDCTrace(t *testing.T) {
 		if in.Op == isa.ST && injected && s.Stats.Recoveries == 0 {
 			addr := s.Regs[in.Rs1] + uint64(in.Imm)
 			t.Logf("pre-recovery store pc=%d %v addr=%#x val=%#x taint1=%v taint2=%v cycle=%d pend=%d",
-				pc, in.String(), addr, s.Regs[in.Rs2], s.Taint[in.Rs1], s.Taint[in.Rs2], s.cycle, s.pendingDetectAt)
+				pc, in.String(), addr, s.Regs[in.Rs2], s.Taint[in.Rs1], s.Taint[in.Rs2], s.cycle, s.nextDetectAt())
 		}
 		wasRec := s.Stats.Recoveries
 		if err := s.Step(); err != nil {

@@ -57,20 +57,29 @@ func TestMultiBitFaultRecoveryNoSDC(t *testing.T) {
 func TestMultiBitValidation(t *testing.T) {
 	f := buildBench(10)
 	prog := compileFor(t, f, core.Turnpike, 4)
-	s, err := New(prog, TurnpikeConfig(4, 10))
+	cfg := TurnpikeConfig(4, 10)
+	cfg.DetectQueue = 3
+	s, err := New(prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.InjectMultiBitFlip(1, nil, false, 5); err == nil {
 		t.Fatal("accepted empty bit list")
 	}
-	if err := s.InjectMultiBitFlip(1, []uint{1, 2}, false, 99); err == nil {
-		t.Fatal("accepted latency beyond WCDL")
+	if err := s.InjectMultiBitFlip(1, []uint{1, 2}, false, 0); err == nil {
+		t.Fatal("accepted zero latency")
 	}
-	if err := s.InjectMultiBitFlip(1, []uint{1, 2}, true, 5); err != nil {
-		t.Fatal(err)
+	// Bursts: several strikes may share one detection window, bounded by
+	// the detect-queue capacity.
+	for i := 0; i < 3; i++ {
+		if err := s.InjectMultiBitFlip(1, []uint{1, 2}, true, 5+i); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := s.InjectMultiBitFlip(1, []uint{3}, false, 5); err == nil {
-		t.Fatal("accepted double injection")
+	if err := s.InjectMultiBitFlip(1, []uint{3}, false, 9); err == nil {
+		t.Fatal("accepted a burst beyond the detect-queue capacity")
+	}
+	if got := s.Stats.DetectQueuePeak; got != 3 {
+		t.Fatalf("DetectQueuePeak = %d, want 3", got)
 	}
 }

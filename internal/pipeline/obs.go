@@ -41,6 +41,7 @@ type Obs struct {
 	sbOcc       *obs.Histogram // store-buffer entries after each push
 	clqOcc      *obs.Histogram // CLQ occupancy sampled at region boundaries
 	recoveryLen *obs.Histogram // cycles per recovery episode
+	detectQueue *obs.Histogram // pending-detection queue depth after each enqueue
 }
 
 // NewObs builds the handle bundle; histograms are registered eagerly so
@@ -53,6 +54,7 @@ func NewObs(tr *obs.Tracer, reg *obs.Registry) *Obs {
 		o.sbOcc = reg.Histogram("sim.sb_occupancy", obs.LinearBuckets(0, 1, 41))
 		o.clqOcc = reg.Histogram("sim.clq_occupancy", obs.LinearBuckets(0, 1, 17))
 		o.recoveryLen = reg.Histogram("sim.recovery_cycles", obs.ExpBuckets(1, 2, 12))
+		o.detectQueue = reg.Histogram("sim.detect_queue_depth", obs.LinearBuckets(0, 1, 17))
 	}
 	return o
 }
@@ -171,7 +173,8 @@ func (s *Sim) FillMetrics(reg *obs.Registry) {
 }
 
 // FillStats exports every Stats counter into reg under "sim.<snake_case>".
-// CLQOccMax is exported as a gauge (a maximum, not a count).
+// CLQOccMax and DetectQueuePeak are exported as gauges (maxima, not
+// counts).
 func FillStats(reg *obs.Registry, st *Stats) {
 	v := reflect.ValueOf(*st)
 	t := v.Type()
@@ -181,7 +184,7 @@ func FillStats(reg *obs.Registry, st *Stats) {
 			continue
 		}
 		name := "sim." + snakeCase(f.Name)
-		if f.Name == "CLQOccMax" {
+		if f.Name == "CLQOccMax" || f.Name == "DetectQueuePeak" {
 			reg.Gauge(name).SetMax(int64(v.Field(i).Uint()))
 			continue
 		}

@@ -72,6 +72,22 @@ type Config struct {
 	MaxInsts uint64
 	// RecordRegions enables the per-region event log (RegionLog).
 	RecordRegions bool
+
+	// DetectQueue bounds the pending-detection queue — how many strike
+	// detections can be in flight at once (fault bursts). 0 means the
+	// default of 8. A burst exceeding the bound is an injection error:
+	// real sensor controllers have finite event FIFOs.
+	DetectQueue int
+	// Containment turns detections that arrive after their region has
+	// verified and released its stores into DUE machine-check aborts
+	// (DUEError) instead of silently dropping them. Without it a late
+	// detection is dropped and the corruption is free to become SDC.
+	Containment bool
+	// DegradeWindow is how many cycles the core stays in conservative
+	// (quarantine-everything) mode after observing a late detection,
+	// before a region boundary may recalibrate back to fast release.
+	// 0 means the default of 8×WCDL.
+	DegradeWindow uint64
 }
 
 // Default returns the paper's §6.1 configuration for the given scheme
@@ -89,10 +105,13 @@ func Default() Config {
 	}
 }
 
-// TurnstileConfig: quarantine everything, no fast release.
+// TurnstileConfig: quarantine everything, no fast release. Containment
+// is on by default — a detection the quarantine can no longer absorb
+// aborts the machine rather than corrupting memory. Campaigns exploring
+// the unsafe operating point flip it off explicitly.
 func TurnstileConfig(sb, wcdl int) Config {
 	c := Default()
-	c.SBSize, c.WCDL, c.Resilient = sb, wcdl, true
+	c.SBSize, c.WCDL, c.Resilient, c.Containment = sb, wcdl, true, true
 	return c
 }
 
@@ -125,6 +144,9 @@ func (c *Config) validate() error {
 	}
 	if c.Resilient && c.RBBSize < 2 {
 		return fmt.Errorf("pipeline: RBB size %d", c.RBBSize)
+	}
+	if c.DetectQueue < 0 {
+		return fmt.Errorf("pipeline: detect queue %d", c.DetectQueue)
 	}
 	return nil
 }
@@ -166,6 +188,22 @@ type Stats struct {
 	ParityTrips    uint64
 	RecoveryCycles uint64
 
+	// Adversarial detection behaviour. LateDetections counts injected
+	// strikes whose detection lands beyond the provisioned WCDL;
+	// FalseDetections counts spurious sensor firings with no strike;
+	// DroppedDetections counts detections discarded because their
+	// region had already verified (containment off); DUEs counts
+	// machine-check aborts raised for the same situation with
+	// containment on. DetectQueuePeak is the high-water mark of the
+	// pending-detection queue (max on Merge, like CLQOccMax).
+	LateDetections    uint64
+	FalseDetections   uint64
+	DroppedDetections uint64
+	DUEs              uint64
+	DegradeEntries    uint64
+	DegradeExits      uint64
+	DetectQueuePeak   uint64
+
 	// Region-attribution remainders (resilient configs only): work done
 	// while no region is open — recovery blocks and code before the first
 	// boundary. With these, the per-region event log sums exactly to the
@@ -206,6 +244,15 @@ func (s *Stats) Merge(o *Stats) {
 	s.Recoveries += o.Recoveries
 	s.ParityTrips += o.ParityTrips
 	s.RecoveryCycles += o.RecoveryCycles
+	s.LateDetections += o.LateDetections
+	s.FalseDetections += o.FalseDetections
+	s.DroppedDetections += o.DroppedDetections
+	s.DUEs += o.DUEs
+	s.DegradeEntries += o.DegradeEntries
+	s.DegradeExits += o.DegradeExits
+	if o.DetectQueuePeak > s.DetectQueuePeak {
+		s.DetectQueuePeak = o.DetectQueuePeak
+	}
 	s.OutsideRegionInsts += o.OutsideRegionInsts
 	s.OutsideRegionStores += o.OutsideRegionStores
 }

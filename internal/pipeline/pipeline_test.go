@@ -335,18 +335,29 @@ func TestRecoveryReexecutionCost(t *testing.T) {
 func TestInjectValidation(t *testing.T) {
 	f := buildBench(10)
 	prog := compileFor(t, f, core.Turnpike, 4)
-	s, err := New(prog, TurnpikeConfig(4, 10))
+	cfg := TurnpikeConfig(4, 10)
+	cfg.DetectQueue = 2
+	s, err := New(prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.InjectBitFlip(1, 0, 11); err == nil {
-		t.Fatal("accepted latency > WCDL")
+	if err := s.InjectBitFlip(1, 0, 0); err == nil {
+		t.Fatal("accepted zero latency")
 	}
+	// Latency beyond WCDL models a degraded mesh and is accepted; the
+	// strike is flagged late.
+	if err := s.InjectBitFlip(1, 0, 11); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.LateDetections != 1 {
+		t.Fatalf("LateDetections = %d, want 1", s.Stats.LateDetections)
+	}
+	// Bursts are accepted up to the queue bound.
 	if err := s.InjectBitFlip(1, 0, 5); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.InjectBitFlip(1, 0, 5); err == nil {
-		t.Fatal("accepted double injection")
+		t.Fatal("accepted a burst beyond the detect-queue capacity")
 	}
 	b, err := New(prog, BaselineConfig(4))
 	if err != nil {

@@ -55,9 +55,15 @@ type Sim struct {
 	clqEnabled bool
 	colors     *colorMaps
 
-	// Fault state (driven by package fault).
-	pendingDetectAt uint64 // infCycle when none
-	inRecovery      bool   // executing a recovery block
+	// Fault state (driven by package fault). pendingDetects holds every
+	// in-flight sensor event ordered by firing cycle (fault bursts put
+	// several strikes inside one detection window); degradedUntil is
+	// nonzero while the degradation controller has fast release
+	// suspended after a late detection (0 = healthy).
+	pendingDetects []detectEvent
+	degradedUntil  uint64
+	inRecovery     bool // executing a recovery block
+	lastRestart    int  // static ID of the last restarted region, -1 before any recovery
 
 	// regionLog records per-region events when Cfg.RecordRegions is set.
 	regionLog []RegionEvent
@@ -101,16 +107,22 @@ func New(prog *isa.Program, cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.DetectQueue == 0 {
+		cfg.DetectQueue = 8
+	}
+	if cfg.DegradeWindow == 0 && cfg.Resilient {
+		cfg.DegradeWindow = 8 * uint64(cfg.WCDL)
+	}
 	s := &Sim{
-		Prog:            prog,
-		Cfg:             cfg,
-		Mem:             isa.NewMemory(),
-		PC:              prog.Entry,
-		hier:            hier,
-		sb:              newStoreBuffer(cfg.SBSize),
-		predictor:       map[int]uint8{},
-		pendingDetectAt: infCycle,
-		cycle:           1,
+		Prog:        prog,
+		Cfg:         cfg,
+		Mem:         isa.NewMemory(),
+		PC:          prog.Entry,
+		hier:        hier,
+		sb:          newStoreBuffer(cfg.SBSize),
+		predictor:   map[int]uint8{},
+		cycle:       1,
+		lastRestart: -1,
 	}
 	if cfg.Resilient {
 		if cfg.WARFreeRelease {
@@ -198,8 +210,8 @@ func (s *Sim) advanceTo(c uint64, counter *uint64) {
 // already jumped further due to a stall.
 func (s *Sim) processVerifications() {
 	limit := s.cycle
-	if s.pendingDetectAt != infCycle && s.pendingDetectAt <= limit {
-		limit = s.pendingDetectAt - 1
+	if at := s.nextDetectAt(); at <= limit {
+		limit = at - 1
 	}
 	for len(s.rbb) > 0 {
 		r := s.rbb[0]
@@ -243,8 +255,8 @@ func (s *Sim) step() error {
 		return fmt.Errorf("pipeline: instruction limit %d exceeded", s.Cfg.MaxInsts)
 	}
 	s.processVerifications()
-	if s.pendingDetectAt != infCycle && s.cycle >= s.pendingDetectAt {
-		return s.recover()
+	if s.cycle >= s.nextDetectAt() {
+		return s.fireDetections()
 	}
 	if s.PC < 0 || s.PC >= len(s.Prog.Insts) {
 		return fmt.Errorf("pipeline: PC %d out of range", s.PC)
@@ -304,15 +316,17 @@ func (s *Sim) step() error {
 
 	switch {
 	case in.Op == isa.HALT:
-		if s.Cfg.Resilient && s.pendingDetectAt != infCycle {
-			// The program cannot retire: its final regions are still
-			// inside their verification windows and the sensors fire
-			// within WCDL — recovery preempts the halt (a corrupted value
-			// may even be what steered execution here).
-			if s.pendingDetectAt > s.cycle {
-				s.advanceTo(s.pendingDetectAt, nil)
+		if s.Cfg.Resilient && len(s.pendingDetects) > 0 {
+			// The program cannot retire with sensor events in flight:
+			// either a detection aborts the halt into recovery (a
+			// corrupted value may even be what steered execution here),
+			// or — for a late detection whose region already verified —
+			// the event must still be adjudicated (DUE or dropped)
+			// before the machine may claim a clean exit.
+			if at := s.nextDetectAt(); at > s.cycle {
+				s.advanceTo(at, nil)
 			}
-			return s.recover()
+			return s.fireDetections()
 		}
 		s.halted = true
 		if s.Cfg.Resilient {
@@ -482,6 +496,17 @@ func (s *Sim) commitBound(in *isa.Inst, now uint64) error {
 		s.cur.end = now
 		s.cur.verifyAt = now + uint64(s.Cfg.WCDL)
 	}
+	// Degradation controller: a region boundary is the recalibration
+	// point — once the degrade window has elapsed with no further late
+	// detections, the mesh is trusted again and fast release resumes
+	// for regions opened from here on.
+	if s.degradedUntil != 0 && now >= s.degradedUntil {
+		s.degradedUntil = 0
+		s.Stats.DegradeExits++
+		if s.obs != nil {
+			s.obs.Tracer.Instant(trackSensor, "mesh", "recalibrated", now, nil)
+		}
+	}
 	// RBB capacity: stall until the oldest region verifies.
 	for len(s.rbb) >= s.Cfg.RBBSize {
 		oldest := s.rbb[0]
@@ -525,6 +550,22 @@ func (s *Sim) commitBound(in *isa.Inst, now uint64) error {
 	return nil
 }
 
+// degradedHeadroom reports whether the store buffer can take one more
+// quarantined entry of a still-open region without risking a wedge: the
+// buffer must keep at least one slot free of entries that cannot drain
+// until an open region closes, or a Turnpike-partitioned region (sized
+// for fast release, not for Turnstile quarantine) could fill the SB with
+// undrainable stores and deadlock the pipeline.
+func (s *Sim) degradedHeadroom() bool {
+	n := 0
+	for i := range s.sb.entries {
+		if s.sb.entries[i].pendingVerifyAt() == infCycle {
+			n++
+		}
+	}
+	return n < s.sb.cap-1
+}
+
 // reserveSBSlot stalls until the store buffer has a free entry, sizing the
 // stall from pending verification events. When a fault detection fires
 // before the hazard resolves, it triggers recovery and reports
@@ -536,10 +577,12 @@ func (s *Sim) reserveSBSlot() (recovered bool, err error) {
 		if t == infCycle {
 			return false, s.sb.wedgedError()
 		}
-		if s.pendingDetectAt != infCycle && t >= s.pendingDetectAt {
+		if at := s.nextDetectAt(); t >= at {
 			// The sensors fire before the structural hazard resolves.
-			s.advanceTo(s.pendingDetectAt, &s.Stats.SBFullStalls)
-			return true, s.recover()
+			// recovered=true either way: the store did not commit and
+			// re-executes (immediately, if the detection was dropped).
+			s.advanceTo(at, &s.Stats.SBFullStalls)
+			return true, s.fireDetections()
 		}
 		if t > s.cycle {
 			s.advanceTo(t, &s.Stats.SBFullStalls)
@@ -570,9 +613,17 @@ func (s *Sim) commitStore(in *isa.Inst, addr, val uint64, isCkpt bool, ckptReg i
 
 	quarantine := s.Cfg.Resilient
 	if quarantine && !isCkpt && s.clq != nil && s.clqEnabled && s.cur != nil && !s.inRecovery {
-		// Fast release of WAR-free regular stores (§4.3.1), guarded by the
-		// forwarding-CAM WAW check for same-address ordering.
-		if s.clq.warFree(addr) {
+		if s.degraded() && s.degradedHeadroom() {
+			// Degradation controller: the WCDL bound is in doubt, so
+			// hold the store in quarantine (Turnstile-style) as long as
+			// the SB has headroom. Regions partitioned for Turnpike can
+			// out-store the SB, so under pressure the controller yields
+			// back to the WAR-free release below — forward progress
+			// over conservatism, and the release itself is still sound
+			// for timely detections.
+		} else if s.clq.warFree(addr) {
+			// Fast release of WAR-free regular stores (§4.3.1), guarded
+			// by the forwarding-CAM WAW check for same-address ordering.
 			if s.sb.hasOlderSameAddr(addr) {
 				s.Stats.WAWBlocked++
 			} else {
@@ -619,9 +670,9 @@ func (s *Sim) commitCkpt(in *isa.Inst) (recovered bool, err error) {
 				return false, fmt.Errorf("pipeline: color pool wedged for %v", r)
 			}
 			t := s.rbb[0].verifyAt
-			if s.pendingDetectAt != infCycle && t >= s.pendingDetectAt {
-				s.advanceTo(s.pendingDetectAt, &s.Stats.ColorStalls)
-				return true, s.recover()
+			if at := s.nextDetectAt(); t >= at {
+				s.advanceTo(at, &s.Stats.ColorStalls)
+				return true, s.fireDetections()
 			}
 			s.advanceTo(t, &s.Stats.ColorStalls)
 			color = s.colors.acquire(r)
@@ -644,11 +695,28 @@ func (s *Sim) commitCkpt(in *isa.Inst) (recovered bool, err error) {
 		}
 		s.cur.colors[r] = color
 		addr := s.Prog.CkptSlot(r, color)
+		s.Stats.CkptStores++
+		if s.degraded() && s.degradedHeadroom() {
+			// Degradation controller: the mesh recently delivered a late
+			// detection, so the WCDL bound underpinning colored fast
+			// release cannot be trusted. Keep the coloring bookkeeping
+			// (RESTORE's verified-color lookup must stay consistent) but
+			// hold the value in quarantine until the region verifies —
+			// unless the SB is out of headroom (see commitStore).
+			s.Stats.Quarantined++
+			s.cur.quarantined++
+			s.sb.push(sbEntry{addr: addr, val: val, quarantined: true, region: s.cur,
+				isCkpt: true, ckptReg: r, commitAt: s.cycle})
+			if s.obs != nil {
+				s.obsCommitStore(addr, true, true)
+			}
+			s.hier.L1D.Access(addr)
+			return false, nil
+		}
 		// Fast release: SB entry for bandwidth, memory applied at commit.
 		s.Mem.Store(addr, val)
 		s.sb.push(sbEntry{addr: addr, val: val, commitAt: s.cycle})
 		s.hier.L1D.Access(addr)
-		s.Stats.CkptStores++
 		s.Stats.ColoredReleased++
 		s.cur.colored++
 		if s.obs != nil {

@@ -1,0 +1,103 @@
+package rng
+
+import "testing"
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	d := New(42)
+	for i := 0; i < 64; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnBoundsAndCoverage(t *testing.T) {
+	s := New(7)
+	seen := make([]bool, 10)
+	for i := 0; i < 10_000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("Intn(10) never produced %d in 10k draws", v)
+		}
+	}
+	if s.Intn(1) != 0 {
+		t.Fatal("Intn(1) must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean %.3f far from 0.5", mean)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(3)
+	before := *parent // copy state
+	c1, c2 := parent.Fork(9), parent.Fork(9)
+	for i := 0; i < 64; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("same-index forks diverged at draw %d", i)
+		}
+	}
+	if *parent != before {
+		t.Fatal("forking perturbed the parent state")
+	}
+	// Different indices decorrelate.
+	d1, d2 := parent.Fork(1), parent.Fork(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if d1.Uint64() == d2.Uint64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different fork indices produced identical streams")
+	}
+}
+
+func TestMixMatchesReference(t *testing.T) {
+	// Reference values for the canonical SplitMix64 sequence seeded with
+	// 1234567: from the public-domain reference implementation
+	// (Vigna, prng.di.unimi.it).
+	s := &Stream{state: 1234567}
+	want := []uint64{0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package sensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Mesh models an imperfect deployment of a sensor Model: some sensors
+// are dead (enlarging the surviving sensors' cells and therefore the
+// real detection bound), and environmental noise makes a fraction of
+// strikes audible only to a farther sensor, pushing their detection
+// latency past the WCDL the pipeline was provisioned for. The pipeline
+// keeps believing the nominal WCDL — that gap between advertised and
+// actual bound is exactly what the containment machinery has to absorb.
+type Mesh struct {
+	// Model is the nominal, fully-healthy deployment.
+	Model Model
+	// DeadSensors is how many of Model.Sensors are offline.
+	DeadSensors int
+	// MissProb is the per-strike probability that the nearest live
+	// sensor misses the wave and a farther one detects it late —
+	// beyond the *nominal* WCDL.
+	MissProb float64
+	// LateFactor bounds late detections at LateFactor × nominal WCDL
+	// (the farthest sensor that can still hear the attenuated wave).
+	// Values below 2 are raised to 2 so a late detection is always
+	// distinguishable from a timely one.
+	LateFactor float64
+}
+
+// Validate checks the mesh configuration.
+func (m Mesh) Validate() error {
+	if err := m.Model.Validate(); err != nil {
+		return err
+	}
+	if m.DeadSensors < 0 || m.DeadSensors >= m.Model.Sensors {
+		return fmt.Errorf("sensor: %d dead of %d sensors", m.DeadSensors, m.Model.Sensors)
+	}
+	if m.MissProb < 0 || m.MissProb > 1 {
+		return fmt.Errorf("sensor: miss probability %v outside [0,1]", m.MissProb)
+	}
+	if m.LateFactor < 0 {
+		return fmt.Errorf("sensor: negative late factor %v", m.LateFactor)
+	}
+	return nil
+}
+
+// Alive returns the number of live sensors.
+func (m Mesh) Alive() int { return m.Model.Sensors - m.DeadSensors }
+
+// Effective returns the Model describing the surviving sensors: same
+// die, same clock, fewer sensors — so bigger cells and a worse WCDL.
+func (m Mesh) Effective() Model {
+	eff := m.Model
+	eff.Sensors = m.Alive()
+	return eff
+}
+
+// NominalWCDL is the detection bound the pipeline was provisioned for
+// (every sensor alive).
+func (m Mesh) NominalWCDL() int { return m.Model.WCDL() }
+
+// EffectiveWCDL is the real detection bound of the degraded mesh.
+// With no dead sensors it equals NominalWCDL.
+func (m Mesh) EffectiveWCDL() int { return m.Effective().WCDL() }
+
+// lateBound returns the (exclusive lower, inclusive upper) latency
+// window for late detections.
+func (m Mesh) lateBound() (int, int) {
+	nominal := m.NominalWCDL()
+	lf := m.LateFactor
+	if lf < 2 {
+		lf = 2
+	}
+	hi := int(math.Ceil(lf * float64(nominal)))
+	if hi <= nominal {
+		hi = nominal + 1
+	}
+	return nominal, hi
+}
+
+// Detection is one sampled strike-detection event.
+type Detection struct {
+	// Latency is the cycles from strike to detection.
+	Latency int
+	// Missed reports that the detection landed beyond the nominal
+	// WCDL — the window the pipeline sizes its region buffer for.
+	Missed bool
+}
+
+// MeshDetector samples strike detections from a degraded mesh on a
+// SplitMix64 stream, so a campaign's adversarial events are a pure
+// function of (seed, trial) regardless of worker count.
+type MeshDetector struct {
+	mesh    Mesh
+	eff     int
+	nominal int
+	rng     *rng.Stream
+}
+
+// NewMeshDetector builds a detector for the mesh and seed.
+func NewMeshDetector(m Mesh, seed int64) (*MeshDetector, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &MeshDetector{
+		mesh:    m,
+		eff:     m.EffectiveWCDL(),
+		nominal: m.NominalWCDL(),
+		rng:     rng.New(seed),
+	}, nil
+}
+
+// Mesh returns the detector's mesh configuration.
+func (d *MeshDetector) Mesh() Mesh { return d.mesh }
+
+// WCDL returns the *nominal* bound — what the pipeline believes.
+func (d *MeshDetector) WCDL() int { return d.nominal }
+
+// Sample draws one detection. Timely detections are uniform in
+// [1, effective WCDL]: dead sensors stretch the window past the nominal
+// bound on their own, so a sufficiently degraded mesh produces Missed
+// detections even with MissProb = 0. An explicit miss (probability
+// MissProb) lands uniformly in (nominal, LateFactor × nominal].
+func (d *MeshDetector) Sample() Detection {
+	var lat int
+	if d.mesh.MissProb > 0 && d.rng.Float64() < d.mesh.MissProb {
+		lo, hi := d.mesh.lateBound()
+		lat = lo + 1 + d.rng.Intn(hi-lo)
+	} else {
+		lat = 1 + d.rng.Intn(d.eff)
+	}
+	return Detection{Latency: lat, Missed: lat > d.nominal}
+}
+
+// Latency implements Sampler by discarding the Missed flag. Campaigns
+// that want the adversarial semantics call Sample directly.
+func (d *MeshDetector) Latency() int { return d.Sample().Latency }
+
+// Fork returns an independent detector over the same mesh whose stream
+// is a pure function of seed (see Detector.Fork).
+func (d *MeshDetector) Fork(seed int64) Sampler {
+	nd, err := NewMeshDetector(d.mesh, seed)
+	if err != nil {
+		// The receiver already validated the mesh; unreachable.
+		panic(err)
+	}
+	return nd
+}
+
+// ForkMesh is Fork without the interface wrapper, for callers that need
+// Sample.
+func (d *MeshDetector) ForkMesh(seed int64) *MeshDetector {
+	return d.Fork(seed).(*MeshDetector)
+}

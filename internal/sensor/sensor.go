@@ -10,7 +10,8 @@ package sensor
 import (
 	"fmt"
 	"math"
-	"math/rand"
+
+	"repro/internal/rng"
 )
 
 // SoundSpeed is the acoustic propagation speed in silicon, m/s.
@@ -107,7 +108,7 @@ type Sampler interface {
 // spread models strike position relative to the nearest sensor.
 type Detector struct {
 	wcdl     int
-	rng      *rand.Rand
+	rng      *rng.Stream
 	onSample func(int)
 }
 
@@ -120,7 +121,7 @@ func NewDetector(wcdl int, seed int64) *Detector {
 	if wcdl < 1 {
 		wcdl = 1
 	}
-	return &Detector{wcdl: wcdl, rng: rand.New(rand.NewSource(seed))}
+	return &Detector{wcdl: wcdl, rng: rng.New(seed)}
 }
 
 // WCDL returns the guaranteed detection bound in cycles.
@@ -152,7 +153,7 @@ type PhysicalDetector struct {
 	model    Model
 	side     int // sensors per grid side
 	pitch    float64
-	rng      *rand.Rand
+	rng      *rng.Stream
 	onSample func(int)
 }
 
@@ -173,7 +174,7 @@ func NewPhysicalDetector(m Model, seed int64) (*PhysicalDetector, error) {
 		model: m,
 		side:  side,
 		pitch: edge / float64(side),
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   rng.New(seed),
 	}, nil
 }
 

@@ -221,6 +221,16 @@ type FaultCampaignConfig struct {
 	// Checkpoint, when non-empty, checkpoints completed trials to this
 	// file so an interrupted campaign resumes from its watermark.
 	Checkpoint string
+	// Adversary, when non-nil, switches the campaign to the
+	// imperfect-mesh fault model: dead sensors, detections beyond the
+	// WCDL, fault bursts, and false positives. See fault.Adversary.
+	Adversary *FaultAdversary
+	// Containment, when non-nil, overrides the simulator's containment
+	// policy (on by default for resilient configs): a detection arriving
+	// after its region verified aborts as a DUE instead of running on
+	// corrupted state. Turning it off is the unsafe operating point used
+	// to demonstrate SDC under an imperfect mesh.
+	Containment *bool
 }
 
 // FaultResult re-exports the campaign outcome.
@@ -229,6 +239,9 @@ type FaultResult = fault.Result
 // FaultInjection re-exports one trial's injection plan — the replay unit
 // recorded in FaultResult.Failures and campaign checkpoint files.
 type FaultInjection = fault.Injection
+
+// FaultAdversary re-exports the imperfect-mesh fault model knobs.
+type FaultAdversary = fault.Adversary
 
 // campaignSetup compiles bench for scheme and returns the program, the
 // simulator config, and the memory seeder a campaign (or replay) needs.
@@ -258,6 +271,9 @@ func campaignSetup(bench string, scheme Scheme, cfg *FaultCampaignConfig) (*Prog
 	if scheme == Turnpike {
 		opt = core.TurnpikeAll(cfg.SBSize)
 		sim = pipeline.TurnpikeConfig(cfg.SBSize, cfg.WCDL)
+	}
+	if cfg.Containment != nil {
+		sim.Containment = *cfg.Containment
 	}
 	compiled, err := core.Compile(f, opt)
 	if err != nil {
@@ -290,6 +306,7 @@ func InjectFaultsContext(ctx context.Context, bench string, scheme Scheme, cfg F
 		Workers:       cfg.Workers,
 		FailureBudget: cfg.FailureBudget,
 		Checkpoint:    cfg.Checkpoint,
+		Adversary:     cfg.Adversary,
 	}, seedMem)
 }
 
