@@ -1,0 +1,143 @@
+// Command campaignd runs fault-injection campaigns as a service: a
+// durable job queue behind an HTTP API, sharing one mux with the
+// observability endpoints (/metrics, /live, /runs).
+//
+//	campaignd -state /var/lib/campaignd -addr 127.0.0.1:8321
+//
+//	curl -X POST localhost:8321/jobs -d '{"bench":"gcc","trials":1000}'
+//	curl localhost:8321/jobs/job-000001
+//	curl localhost:8321/readyz
+//
+// Jobs queue up to -queue deep; beyond that, submissions are rejected
+// with 429 + Retry-After (backpressure). Failed jobs retry with
+// exponential backoff when the failure is transient; a workload failing
+// permanently -breaker-threshold times in a row has its circuit breaker
+// opened and submissions fail fast until the cool-down elapses.
+//
+// Every job transition is persisted atomically under -state, and each
+// campaign checkpoints its completed trials there too. SIGTERM and
+// SIGINT drain: in-flight campaigns get up to -drain to finish, then
+// are cancelled — which flushes their checkpoints — and the daemon
+// exits 0. A restart (graceful or after a crash) re-queues unfinished
+// jobs and resumes them from their watermarks; results are
+// byte-identical to an uninterrupted run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	turnpike "repro"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8321", "HTTP listen address (host:0 picks a free port)")
+		state       = flag.String("state", "campaignd-state", "state directory: job store + campaign checkpoints")
+		queue       = flag.Int("queue", 64, "queued-job bound; a full queue answers 429 + Retry-After")
+		concurrency = flag.Int("concurrency", 1, "jobs run at once (campaigns parallelize internally)")
+		attempts    = flag.Int("max-attempts", 3, "runs of one job before a transient failure becomes permanent")
+		deadline    = flag.Duration("deadline", 10*time.Minute, "wall-time bound per attempt (0 = none); overruns retry from the checkpoint")
+		drain       = flag.Duration("drain", 30*time.Second, "SIGTERM/SIGINT drain window before in-flight jobs are checkpointed for the next life")
+		brThreshold = flag.Int("breaker-threshold", 3, "consecutive permanent failures that open a workload's circuit breaker")
+		brCooldown  = flag.Duration("breaker-cooldown", time.Minute, "breaker open time before one probe job is admitted")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("campaignd: ")
+
+	reg := obs.NewRegistry()
+	progress := &pipeline.Progress{}
+
+	svc, err := service.New(service.Config{
+		StateDir:         *state,
+		Runner:           campaignRunner(reg, progress),
+		QueueDepth:       *queue,
+		Concurrency:      *concurrency,
+		MaxAttempts:      *attempts,
+		JobDeadline:      *deadline,
+		BreakerThreshold: *brThreshold,
+		BreakerCooldown:  *brCooldown,
+		Progress:         progress,
+		Metrics:          reg,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := obs.NewServer(obs.ServerConfig{Snapshot: reg.Snapshot, RunsDir: *state})
+	svc.Mount(srv)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The one stdout line, so scripts (and the e2e test) can learn the
+	// bound port when -addr asked the kernel for one.
+	fmt.Printf("campaignd listening on http://%s\n", bound)
+
+	sampler := pipeline.NewSampler(progress, reg, 0, func(ps pipeline.ProgressSample) {
+		srv.Publish("progress", ps)
+	})
+	sampler.Start()
+	svc.Start()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("received %s; draining (window %s)", got, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("warning: final state persist: %v", err)
+	}
+	cancel()
+	sampler.Stop()
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := srv.Shutdown(httpCtx); err != nil {
+		log.Printf("warning: http shutdown: %v", err)
+	}
+	httpCancel()
+	log.Printf("drained; state persisted under %s — restart with the same -state to resume unfinished jobs", *state)
+}
+
+// campaignRunner adapts the fault-campaign engine to service.Runner,
+// threading the service's registry and live-progress gauges into every
+// campaign so /metrics and /live cover the jobs as they run.
+func campaignRunner(reg *obs.Registry, progress *pipeline.Progress) service.Runner {
+	return func(ctx context.Context, spec service.JobSpec, checkpoint string) (*fault.Result, error) {
+		var sc turnpike.Scheme
+		switch spec.Scheme {
+		case "", "turnpike":
+			sc = turnpike.Turnpike
+		case "turnstile":
+			sc = turnpike.Turnstile
+		default:
+			return nil, fmt.Errorf("%w: unknown scheme %q", fault.ErrInvalidConfig, spec.Scheme)
+		}
+		return turnpike.InjectFaultsContext(ctx, spec.Bench, sc, turnpike.FaultCampaignConfig{
+			Trials:          spec.Trials,
+			Seed:            spec.Seed,
+			SBSize:          spec.SBSize,
+			WCDL:            spec.WCDL,
+			ScalePct:        spec.ScalePct,
+			Workers:         spec.Workers,
+			FailureBudget:   spec.FailureBudget,
+			Checkpoint:      checkpoint,
+			CheckpointEvery: spec.CheckpointEvery,
+			Metrics:         reg,
+			Progress:        progress,
+			Warnf:           log.Printf,
+		})
+	}
+}

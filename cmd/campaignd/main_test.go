@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinary compiles campaignd once per test.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGTERM delivery is POSIX-only")
+	}
+	bin := filepath.Join(t.TempDir(), "campaignd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// lockedBuffer collects daemon output from two writers at once: exec's
+// stderr-copy goroutine and the test's stdout drain. It deliberately
+// implements only Write (no ReadFrom), so both io.Copy paths serialize
+// through the mutex instead of racing on a bare bytes.Buffer.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// daemon is one running campaignd process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string        // http://host:port
+	out  *lockedBuffer // combined stdout+stderr after the address line
+}
+
+// startDaemon boots campaignd on a kernel-picked port over dir and
+// parses the bound address off its first stdout line.
+func startDaemon(t *testing.T, bin, dir string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-state", dir}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf lockedBuffer
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+		io.Copy(&buf, stdout) //nolint:errcheck
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok || !strings.Contains(line, "listening on http://") {
+			cmd.Process.Kill()
+			t.Fatalf("no address line from campaignd: %q\n%s", line, buf.String())
+		}
+		base := line[strings.Index(line, "http://"):]
+		return &daemon{cmd: cmd, base: base, out: &buf}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("campaignd never printed its address\n%s", buf.String())
+		return nil
+	}
+}
+
+// jobView is the slice of the job JSON the test compares across daemon
+// lives: lifecycle outcome plus the raw campaign result.
+type jobView struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+func getJob(t *testing.T, base, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// submit POSTs one job spec and returns the assigned ID.
+func submit(t *testing.T, base string, spec string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit %s: %d %s", spec, resp.StatusCode, body)
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+// waitAllDone polls until every job is done, returning each job's
+// compacted result bytes.
+func waitAllDone(t *testing.T, base string, ids []string, within time.Duration) map[string][]byte {
+	t.Helper()
+	results := map[string][]byte{}
+	deadline := time.Now().Add(within)
+	for len(results) < len(ids) {
+		for _, id := range ids {
+			if _, ok := results[id]; ok {
+				continue
+			}
+			v := getJob(t, base, id)
+			switch v.State {
+			case "done":
+				var compact bytes.Buffer
+				if err := json.Compact(&compact, v.Result); err != nil {
+					t.Fatalf("%s result: %v", id, err)
+				}
+				results[id] = compact.Bytes()
+			case "failed", "canceled":
+				t.Fatalf("%s ended %s: %s", id, v.State, v.Error)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs not done within %s: have %d/%d", within, len(results), len(ids))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return results
+}
+
+var jobSpecs = []string{
+	`{"bench":"gcc","trials":280,"seed":7,"scale_pct":4,"workers":2,"failure_budget":-1,"checkpoint_every":4}`,
+	`{"bench":"lbm","trials":60,"seed":11,"scale_pct":4,"workers":2,"failure_budget":-1}`,
+	`{"bench":"mcf","trials":60,"seed":13,"scale_pct":4,"workers":2,"failure_budget":-1}`,
+}
+
+// TestSigtermDrainRestartByteIdentical is the daemon acceptance path,
+// process-for-real: submit three jobs over HTTP, SIGTERM while the first
+// campaign is mid-flight, assert the daemon drains and exits 0, restart
+// it over the same state directory, and assert every job completes with
+// results byte-identical to an uninterrupted daemon's.
+func TestSigtermDrainRestartByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon three times")
+	}
+	bin := buildBinary(t)
+
+	// Reference life: never signalled, all three jobs run to completion.
+	refDir := t.TempDir()
+	ref := startDaemon(t, bin, refDir)
+	var refIDs []string
+	for _, spec := range jobSpecs {
+		refIDs = append(refIDs, submit(t, ref.base, spec))
+	}
+	want := waitAllDone(t, ref.base, refIDs, 3*time.Minute)
+	ref.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+	if err := ref.cmd.Wait(); err != nil {
+		t.Fatalf("reference daemon exit: %v\n%s", err, ref.out.String())
+	}
+
+	// Interrupted life: SIGTERM once job 1's campaign has checkpointed
+	// (proof the signal lands mid-campaign). -drain is kept short so the
+	// drain window expires and the checkpoint-requeue path runs.
+	dir := t.TempDir()
+	d := startDaemon(t, bin, dir, "-drain", "250ms")
+	var ids []string
+	for _, spec := range jobSpecs {
+		ids = append(ids, submit(t, d.base, spec))
+	}
+	ckpt := filepath.Join(dir, ids[0]+".ckpt.json")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if fi, err := os.Stat(ckpt); err == nil && fi.Size() > 0 {
+			break
+		}
+		if v := getJob(t, d.base, ids[0]); v.State == "done" {
+			d.cmd.Process.Kill()
+			t.Skipf("job 1 finished before SIGTERM could land mid-campaign")
+		}
+		if time.Now().After(deadline) {
+			d.cmd.Process.Kill()
+			t.Fatalf("no campaign checkpoint at %s\n%s", ckpt, d.out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- d.cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v\n%s", err, d.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("daemon did not exit within 30s of SIGTERM\n%s", d.out.String())
+	}
+	logs := d.out.String()
+	if !strings.Contains(logs, "draining") || !strings.Contains(logs, "drained") {
+		t.Fatalf("exit was not a drain:\n%s", logs)
+	}
+
+	// Next life: same state dir; the three jobs must complete and match
+	// the reference byte for byte.
+	d2 := startDaemon(t, bin, dir)
+	defer func() {
+		d2.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		d2.cmd.Wait()                          //nolint:errcheck
+	}()
+	if !strings.Contains(d2.out.String()+logs, "restored") {
+		// The restore log may race the address line; check via the API too.
+		resp, err := http.Get(d2.base + "/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []jobView
+		if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(all) != len(ids) {
+			t.Fatalf("restart restored %d jobs, want %d", len(all), len(ids))
+		}
+	}
+	got := waitAllDone(t, d2.base, ids, 3*time.Minute)
+	for i, id := range ids {
+		refID := refIDs[i]
+		if !bytes.Equal(got[id], want[refID]) {
+			t.Errorf("job %d (%s) result diverged after SIGTERM+restart\nresumed:   %s\nreference: %s",
+				i+1, id, got[id], want[refID])
+		}
+	}
+}
+
+// TestReadyzFlipsDuringDrain boots the daemon with a long-running job
+// and a generous drain window, sends SIGTERM, and asserts /readyz turns
+// not-ready (draining) while the drain is still in progress.
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon")
+	}
+	bin := buildBinary(t)
+	d := startDaemon(t, bin, t.TempDir(), "-drain", "2m")
+	defer func() {
+		d.cmd.Process.Kill() //nolint:errcheck
+		d.cmd.Wait()         //nolint:errcheck
+	}()
+	id := submit(t, d.base, `{"bench":"gcc","trials":100000,"seed":1,"scale_pct":4,"checkpoint_every":8}`)
+	deadline := time.Now().Add(30 * time.Second)
+	for getJob(t, d.base, id).State != "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		resp, err := http.Get(d.base + "/readyz")
+		if err != nil {
+			t.Fatalf("daemon stopped serving before the drain finished: %v\n%s", err, d.out.String())
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && bytes.Contains(body, []byte("draining")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never reported draining: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Submissions during the drain are refused.
+	resp, err := http.Post(d.base+"/jobs", "application/json",
+		strings.NewReader(`{"bench":"lbm"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d %s", resp.StatusCode, body)
+	}
+}

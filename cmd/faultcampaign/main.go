@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"syscall"
 	"text/tabwriter"
 
 	turnpike "repro"
@@ -114,10 +115,11 @@ func main() {
 	outcomes := map[string]map[string]int{}
 	failures := map[string][]fault.TrialFailure{}
 
-	// Ctrl-C cancels outstanding trials; with -resume each benchmark's
-	// checkpoint is flushed first, so the next invocation picks up from
-	// the completed-trial watermark.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or a supervisor's SIGTERM cancels outstanding trials; with
+	// -resume each benchmark's checkpoint is flushed first, so the next
+	// invocation picks up from the completed-trial watermark. Both signals
+	// take the same path: partial results, exit 130, resume hint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// -serve: the campaign registry is scraped live (its counters and

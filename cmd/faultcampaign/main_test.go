@@ -26,13 +26,15 @@ func buildBinary(t *testing.T) string {
 }
 
 // TestInterruptFlushesCheckpointAndResumeReproduces covers the operator
-// workflow the checkpoint machinery exists for: SIGINT mid-campaign must
-// flush the checkpoint before the process exits with status 130, and a
-// re-run with the same -resume prefix must finish the campaign with output
-// byte-identical to a never-interrupted run.
+// workflow the checkpoint machinery exists for: an interrupt mid-campaign
+// must flush the checkpoint before the process exits with status 130, and
+// a re-run with the same -resume prefix must finish the campaign with
+// output byte-identical to a never-interrupted run. SIGINT (an operator's
+// Ctrl-C) and SIGTERM (a supervisor's stop — systemd, Kubernetes, the
+// campaignd drain) must take the identical path.
 func TestInterruptFlushesCheckpointAndResumeReproduces(t *testing.T) {
 	if testing.Short() {
-		t.Skip("builds and runs the binary three times")
+		t.Skip("builds and runs the binary five times")
 	}
 	bin := buildBinary(t)
 	dir := t.TempDir()
@@ -45,62 +47,72 @@ func TestInterruptFlushesCheckpointAndResumeReproduces(t *testing.T) {
 		}
 	}
 
-	// Reference: an uninterrupted run.
+	// Reference: an uninterrupted run, shared by both signal cases.
 	refPrefix := filepath.Join(dir, "ref")
 	ref, err := exec.Command(bin, args(refPrefix)...).CombinedOutput()
 	if err != nil {
 		t.Fatalf("reference run: %v\n%s", err, ref)
 	}
 
-	// Interrupted run: SIGINT once the first checkpoint write lands.
-	intPrefix := filepath.Join(dir, "int")
-	ckpt := intPrefix + "-gcc.json"
-	cmd := exec.Command(bin, args(intPrefix)...)
-	var out bytes.Buffer
-	cmd.Stdout, cmd.Stderr = &out, &out
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		if fi, err := os.Stat(ckpt); err == nil && fi.Size() > 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			cmd.Process.Kill()
-			t.Fatalf("no checkpoint appeared at %s within 60s:\n%s", ckpt, out.String())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
-		t.Fatal(err)
-	}
-	err = cmd.Wait()
-	ee, ok := err.(*exec.ExitError)
-	if !ok {
-		// The campaign may have finished before the signal landed on a
-		// fast machine; that leaves nothing to resume.
-		t.Skipf("campaign completed before SIGINT took effect: err=%v\n%s", err, out.String())
-	}
-	if code := ee.ExitCode(); code != 130 {
-		t.Fatalf("exit code %d after SIGINT, want 130\n%s", code, out.String())
-	}
-	if !bytes.Contains(out.Bytes(), []byte("interrupted")) {
-		t.Fatalf("interrupted run did not announce partial results:\n%s", out.String())
-	}
-	fi, err := os.Stat(ckpt)
-	if err != nil || fi.Size() == 0 {
-		t.Fatalf("checkpoint not flushed before exit: %v", err)
-	}
+	for _, tc := range []struct {
+		name string
+		sig  syscall.Signal
+	}{
+		{"SIGINT", syscall.SIGINT},
+		{"SIGTERM", syscall.SIGTERM},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Interrupted run: signal once the first checkpoint write lands.
+			intPrefix := filepath.Join(dir, "int-"+tc.name)
+			ckpt := intPrefix + "-gcc.json"
+			cmd := exec.Command(bin, args(intPrefix)...)
+			var out bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &out, &out
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				if fi, err := os.Stat(ckpt); err == nil && fi.Size() > 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					cmd.Process.Kill()
+					t.Fatalf("no checkpoint appeared at %s within 60s:\n%s", ckpt, out.String())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if err := cmd.Process.Signal(tc.sig); err != nil {
+				t.Fatal(err)
+			}
+			err := cmd.Wait()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				// The campaign may have finished before the signal landed on
+				// a fast machine; that leaves nothing to resume.
+				t.Skipf("campaign completed before %s took effect: err=%v\n%s", tc.name, err, out.String())
+			}
+			if code := ee.ExitCode(); code != 130 {
+				t.Fatalf("exit code %d after %s, want 130\n%s", code, tc.name, out.String())
+			}
+			if !bytes.Contains(out.Bytes(), []byte("interrupted")) {
+				t.Fatalf("interrupted run did not announce partial results:\n%s", out.String())
+			}
+			fi, err := os.Stat(ckpt)
+			if err != nil || fi.Size() == 0 {
+				t.Fatalf("checkpoint not flushed before exit: %v", err)
+			}
 
-	// Resume: the finished campaign's output must match the reference
-	// byte for byte (the checkpoint restores completed trials; merging is
-	// trial-ordered and worker-count independent).
-	res, err := exec.Command(bin, args(intPrefix)...).CombinedOutput()
-	if err != nil {
-		t.Fatalf("resumed run: %v\n%s", err, res)
-	}
-	if !bytes.Equal(res, ref) {
-		t.Fatalf("resumed output diverged from the uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", res, ref)
+			// Resume: the finished campaign's output must match the
+			// reference byte for byte (the checkpoint restores completed
+			// trials; merging is trial-ordered and worker-count independent).
+			res, err := exec.Command(bin, args(intPrefix)...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("resumed run: %v\n%s", err, res)
+			}
+			if !bytes.Equal(res, ref) {
+				t.Fatalf("resumed output diverged from the uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", res, ref)
+			}
+		})
 	}
 }

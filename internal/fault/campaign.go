@@ -57,6 +57,14 @@ type engine struct {
 	mesh *sensor.MeshDetector
 }
 
+// warnf reports a non-fatal campaign condition (today: a corrupt
+// checkpoint being discarded) through cfg.Warnf, discarding when unset.
+func (e *engine) warnf(format string, args ...any) {
+	if e.cfg.Warnf != nil {
+		e.cfg.Warnf(format, args...)
+	}
+}
+
 func (e *engine) resolveSampler() error {
 	if e.cfg.Adversary != nil {
 		if e.cfg.Sampler != nil {
@@ -286,7 +294,9 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 
 	golden, goldenStats, err := run(prog, cfg, seedMem, nil)
 	if err != nil {
-		return nil, fmt.Errorf("fault: golden run failed: %w", err)
+		// The simulator is deterministic: a golden run that fails now will
+		// fail on every retry, so the error is marked permanent.
+		return nil, fmt.Errorf("%w: golden run failed: %v", ErrInvalidConfig, err)
 	}
 	maxAt := cfg.MaxInjectInst
 	if maxAt == 0 {
@@ -298,13 +308,22 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 
 	e := &engine{prog: prog, cfg: cfg, seedMem: seedMem, golden: golden, maxAt: maxAt}
 	if err := e.resolveSampler(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 
 	records := make([]*trialRecord, cfg.Trials)
 	if cfg.Checkpoint != "" {
 		if err := e.restore(records, goldenStats); err != nil {
-			return nil, err
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				return nil, err
+			}
+			// A corrupt file carries no usable progress and will be
+			// atomically overwritten by the first save; restart fresh
+			// rather than dying on bytes a torn write left behind.
+			e.warnf("%v — restarting the campaign from trial 0", err)
+			for i := range records {
+				records[i] = nil
+			}
 		}
 	}
 	failures := 0

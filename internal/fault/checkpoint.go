@@ -58,9 +58,12 @@ func (e *engine) save(records []*trialRecord, goldenStats pipeline.Stats) error 
 }
 
 // restore loads the checkpoint file, if any, into records. A missing file
-// is a fresh campaign; a file whose fingerprint does not match this
-// campaign, or whose recorded injections disagree with the deterministic
-// per-trial plan, is an error rather than a silently-wrong resume.
+// is a fresh campaign. Bytes that do not parse as a checkpoint, or records
+// that contradict the deterministic per-trial plan, wrap
+// ErrCheckpointCorrupt (the caller restarts fresh); a syntactically valid
+// file whose fingerprint does not match this campaign wraps
+// ErrInvalidConfig, because it records a *different* campaign's progress
+// and must not be silently overwritten.
 func (e *engine) restore(records []*trialRecord, goldenStats pipeline.Stats) error {
 	b, err := os.ReadFile(e.cfg.Checkpoint)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -71,23 +74,23 @@ func (e *engine) restore(records []*trialRecord, goldenStats pipeline.Stats) err
 	}
 	var ck campaignCheckpoint
 	if err := json.Unmarshal(b, &ck); err != nil {
-		return fmt.Errorf("fault: checkpoint %s: %w", e.cfg.Checkpoint, err)
+		return fmt.Errorf("%w: %s: %v", ErrCheckpointCorrupt, e.cfg.Checkpoint, err)
 	}
 	if ck.Version != checkpointVersion || ck.Seed != e.cfg.Seed || ck.Trials != e.cfg.Trials ||
 		ck.MaxInjectInst != e.maxAt ||
 		ck.GoldenCycles != goldenStats.Cycles || ck.GoldenInsts != goldenStats.Insts ||
 		!reflect.DeepEqual(ck.Adversary, e.cfg.Adversary) {
-		return fmt.Errorf("fault: checkpoint %s was written by a different campaign (seed, trials, workload, or simulator config changed) — delete it to start over",
-			e.cfg.Checkpoint)
+		return fmt.Errorf("%w: checkpoint %s was written by a different campaign (seed, trials, workload, or simulator config changed) — delete it to start over",
+			ErrInvalidConfig, e.cfg.Checkpoint)
 	}
 	for i := range ck.Done {
 		rec := ck.Done[i]
 		if rec.Trial < 0 || rec.Trial >= len(records) {
-			return fmt.Errorf("fault: checkpoint %s: trial %d out of range", e.cfg.Checkpoint, rec.Trial)
+			return fmt.Errorf("%w: %s: trial %d out of range", ErrCheckpointCorrupt, e.cfg.Checkpoint, rec.Trial)
 		}
 		if got := e.plan(rec.Trial); !reflect.DeepEqual(got, rec.Inj) {
-			return fmt.Errorf("fault: checkpoint %s: trial %d recorded injection %+v does not match the plan %+v",
-				e.cfg.Checkpoint, rec.Trial, rec.Inj, got)
+			return fmt.Errorf("%w: %s: trial %d recorded injection %+v does not match the plan %+v",
+				ErrCheckpointCorrupt, e.cfg.Checkpoint, rec.Trial, rec.Inj, got)
 		}
 		records[rec.Trial] = &rec
 	}

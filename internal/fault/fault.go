@@ -107,6 +107,10 @@ type Config struct {
 	// so results stay worker-count-deterministic. Mutually exclusive
 	// with Sampler.
 	Adversary *Adversary
+	// Warnf, when set, receives non-fatal campaign warnings — today, a
+	// corrupt checkpoint file being discarded in favour of a fresh run.
+	// Nil discards.
+	Warnf func(format string, args ...any)
 }
 
 // Adversary parameterizes the imperfect-mesh fault model. The nominal

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -30,9 +31,10 @@ type Server struct {
 	http *http.Server
 	ln   net.Listener
 
-	mu   sync.Mutex
-	subs map[chan liveFrame]struct{}
-	seq  uint64
+	mu     sync.Mutex
+	subs   map[chan liveFrame]struct{}
+	seq    uint64
+	closed bool
 }
 
 // ServerConfig parameterizes NewServer.
@@ -78,6 +80,17 @@ func NewServer(cfg ServerConfig) *Server {
 // Handler returns the server's route table for mounting in another server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Handle registers an additional route on the server's mux — the hook the
+// campaign service daemon uses to mount its job API next to /metrics and
+// /live. Register before Start; the pattern syntax is net/http's
+// (method-and-wildcard patterns included).
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// HandleFunc is Handle for a plain handler function.
+func (s *Server) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, h)
+}
+
 // Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves in a
 // background goroutine. It returns the bound address, which differs from
 // addr when port 0 asked the kernel to pick one.
@@ -92,19 +105,41 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Close stops the listener and disconnects every /live subscriber.
+// Close stops the listener immediately and disconnects every /live
+// subscriber. In-flight non-streaming requests are aborted; use Shutdown
+// for a graceful stop.
 func (s *Server) Close() error {
-	var err error
+	s.disconnectSubscribers()
 	if s.http != nil {
-		err = s.http.Close()
+		return s.http.Close()
 	}
+	return nil
+}
+
+// Shutdown stops the server gracefully: it first disconnects every /live
+// subscriber — without this the SSE handlers would never return and a
+// graceful shutdown could never complete — then lets in-flight scrape
+// requests finish, bounded by ctx. New subscriptions racing the shutdown
+// observe the closed state and return immediately instead of leaking a
+// blocked writer goroutine.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.disconnectSubscribers()
+	if s.http != nil {
+		return s.http.Shutdown(ctx)
+	}
+	return nil
+}
+
+// disconnectSubscribers closes every /live channel and marks the server
+// closed so later subscribe calls get an already-closed channel.
+func (s *Server) disconnectSubscribers() {
 	s.mu.Lock()
+	s.closed = true
 	for ch := range s.subs {
 		close(ch)
 	}
 	s.subs = map[chan liveFrame]struct{}{}
 	s.mu.Unlock()
-	return err
 }
 
 // Publish broadcasts one event to every /live subscriber as an SSE frame
@@ -129,7 +164,14 @@ func (s *Server) Publish(event string, v any) {
 func (s *Server) subscribe() chan liveFrame {
 	ch := make(chan liveFrame, 64)
 	s.mu.Lock()
-	s.subs[ch] = struct{}{}
+	if s.closed {
+		// A /live request racing Close/Shutdown: hand back a closed
+		// channel so the handler returns instead of blocking forever on a
+		// channel nobody will ever close again.
+		close(ch)
+	} else {
+		s.subs[ch] = struct{}{}
+	}
 	s.mu.Unlock()
 	return ch
 }

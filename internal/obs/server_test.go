@@ -2,9 +2,12 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -174,6 +177,116 @@ func TestServerLiveStream(t *testing.T) {
 	}
 	if payload["cycles"].(float64) != 123 {
 		t.Errorf("payload = %v", payload)
+	}
+}
+
+// TestShutdownDisconnectsLiveSubscribers is the graceful-lifecycle
+// regression test: an open /live stream must not wedge Shutdown (SSE
+// handlers never finish on their own — the server has to close their
+// channels first), and the client's stream must end rather than block a
+// writer goroutine forever.
+func TestShutdownDisconnectsLiveSubscribers(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr.String() + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Wait for the subscription to register so Shutdown has a live
+	// subscriber to disconnect (the handler writes its banner first).
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+
+	streamDone := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, br)
+		streamDone <- err
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(6 * time.Second):
+		t.Fatal("Shutdown wedged behind an open /live stream")
+	}
+	select {
+	case <-streamDone:
+		// EOF or a reset — either way the subscriber was disconnected.
+	case <-time.After(5 * time.Second):
+		t.Fatal("client /live stream still open after Shutdown")
+	}
+}
+
+// TestLiveSubscribeAfterCloseReturns covers the race the closed flag
+// exists for: a /live request landing after Close must get a closed
+// channel and return immediately, not park a handler goroutine on a
+// subscription nobody will ever signal.
+func TestLiveSubscribeAfterCloseReturns(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The listener is gone; drive the handler directly through the mux,
+	// as an embedding server (the daemon's) would.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/live", nil)
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		srv.Handler().ServeHTTP(rec, req)
+	}()
+	select {
+	case <-handlerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("/live handler blocked after Close — leaked writer goroutine")
+	}
+	if !strings.Contains(rec.Body.String(), "turnpike live stream") {
+		t.Fatalf("banner missing from post-Close /live response: %q", rec.Body.String())
+	}
+}
+
+// TestServerHandleMountsExtraRoutes: the daemon mounts its job API next
+// to the observability endpoints via Handle/HandleFunc.
+func TestServerHandleMountsExtraRoutes(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	srv.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	// The catch-all index still serves alongside the method pattern.
+	resp, err = http.Get("http://" + addr.String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/ status = %d after extra routes", resp.StatusCode)
 	}
 }
 

@@ -25,9 +25,12 @@ type Progress struct {
 	Recoveries      atomic.Uint64 // recovery episodes
 	Runs            atomic.Uint64 // completed simulations (campaign trials, sweep points)
 	Workers         atomic.Int64  // campaign workers currently running trials
+	Retries         atomic.Uint64 // campaign-service job attempts re-queued after transient failures
 
-	SBOcc  atomic.Int64 // store-buffer entries at last publication
-	CLQOcc atomic.Int64 // CLQ occupancy at last publication (-1: no CLQ)
+	SBOcc        atomic.Int64 // store-buffer entries at last publication
+	CLQOcc       atomic.Int64 // CLQ occupancy at last publication (-1: no CLQ)
+	JobsQueued   atomic.Int64 // campaign-service jobs waiting in the bounded queue
+	BreakersOpen atomic.Int64 // campaign-service circuit breakers currently open
 }
 
 // AttachProgress makes the simulator publish into p at every Step; nil
@@ -74,8 +77,11 @@ type ProgressSample struct {
 	Recoveries      uint64  `json:"recoveries"`
 	Runs            uint64  `json:"runs"`
 	Workers         int64   `json:"workers"`
+	Retries         uint64  `json:"retries"`
 	SBOcc           int64   `json:"sb_occupancy"`
 	CLQOcc          int64   `json:"clq_occupancy"`
+	JobsQueued      int64   `json:"jobs_queued"`
+	BreakersOpen    int64   `json:"breakers_open"`
 }
 
 // Sampler periodically reads a Progress and publishes each observation as
@@ -155,8 +161,11 @@ func (sp *Sampler) sample() ProgressSample {
 		Recoveries:      p.Recoveries.Load(),
 		Runs:            p.Runs.Load(),
 		Workers:         p.Workers.Load(),
+		Retries:         p.Retries.Load(),
 		SBOcc:           p.SBOcc.Load(),
 		CLQOcc:          p.CLQOcc.Load(),
+		JobsQueued:      p.JobsQueued.Load(),
+		BreakersOpen:    p.BreakersOpen.Load(),
 	}
 	if s.Cycles > 0 {
 		s.IPC = float64(s.Insts) / float64(s.Cycles)
@@ -175,8 +184,11 @@ func (sp *Sampler) sample() ProgressSample {
 		sp.reg.Gauge("live.recoveries").Set(int64(s.Recoveries))
 		sp.reg.Gauge("live.runs").Set(int64(s.Runs))
 		sp.reg.Gauge("live.workers").Set(s.Workers)
+		sp.reg.Gauge("live.retries").Set(int64(s.Retries))
 		sp.reg.Gauge("live.sb_occupancy").Set(s.SBOcc)
 		sp.reg.Gauge("live.clq_occupancy").Set(s.CLQOcc)
+		sp.reg.Gauge("live.jobs_queued").Set(s.JobsQueued)
+		sp.reg.Gauge("live.breakers_open").Set(s.BreakersOpen)
 	}
 	if sp.onSample != nil {
 		sp.onSample(s)

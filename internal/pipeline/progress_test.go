@@ -138,3 +138,26 @@ func TestSamplerLiveGauges(t *testing.T) {
 			snap.Gauges["live.regions_verified"], st.RegionsVerified)
 	}
 }
+
+// TestSamplerServiceGauges covers the campaign-service accumulators: queue
+// depth, retry count, and open-breaker count flow from Progress through
+// the sample payload into live.* gauges like every pipeline counter.
+func TestSamplerServiceGauges(t *testing.T) {
+	p := &Progress{}
+	p.JobsQueued.Store(3)
+	p.Retries.Add(2)
+	p.BreakersOpen.Store(1)
+	reg := obs.NewRegistry()
+	sp := NewSampler(p, reg, time.Hour, nil)
+	sp.start = time.Now()
+	s := sp.sample()
+	if s.JobsQueued != 3 || s.Retries != 2 || s.BreakersOpen != 1 {
+		t.Fatalf("sample = %+v", s)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["live.jobs_queued"] != 3 ||
+		snap.Gauges["live.retries"] != 2 ||
+		snap.Gauges["live.breakers_open"] != 1 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+}

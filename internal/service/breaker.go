@@ -1,0 +1,67 @@
+package service
+
+import "time"
+
+// breaker is a per-workload circuit breaker over *permanent* job
+// failures. Transient failures are the retry loop's business; a workload
+// that keeps failing permanently (bad benchmark build, impossible
+// configuration) gets its submissions rejected fast instead of burning a
+// worker slot per attempt.
+//
+// States: closed (failures counted), open (submissions fail fast until
+// the cool-down elapses), half-open (one probe job admitted; success
+// closes the breaker, another permanent failure reopens it). Breaker
+// state is deliberately in-memory only — a daemon restart starts closed,
+// which is the safe direction: the worst case is re-learning a failure.
+type breaker struct {
+	threshold   int
+	cooldown    time.Duration
+	consecutive int
+	openSince   time.Time
+	isOpen      bool
+	probing     bool // half-open probe in flight
+}
+
+// allow reports whether a new job for this workload may be admitted at
+// now, transitioning open → half-open once the cool-down has elapsed.
+func (b *breaker) allow(now time.Time) bool {
+	if !b.isOpen {
+		return true
+	}
+	if now.Sub(b.openSince) < b.cooldown {
+		return false
+	}
+	if b.probing {
+		return false // one probe at a time
+	}
+	b.probing = true
+	return true
+}
+
+// retryAfter is how long until the breaker would admit a probe.
+func (b *breaker) retryAfter(now time.Time) time.Duration {
+	if !b.isOpen {
+		return 0
+	}
+	if d := b.cooldown - now.Sub(b.openSince); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// failure records one permanent job failure.
+func (b *breaker) failure(now time.Time) {
+	b.consecutive++
+	b.probing = false
+	if b.consecutive >= b.threshold {
+		b.isOpen = true
+		b.openSince = now
+	}
+}
+
+// success closes the breaker.
+func (b *breaker) success() {
+	b.consecutive = 0
+	b.isOpen = false
+	b.probing = false
+}

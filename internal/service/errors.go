@@ -1,0 +1,99 @@
+// Package service turns the fault-campaign engine into a crash-safe job
+// service: a bounded queue with backpressure, a worker supervisor with
+// deadline enforcement, exponential-backoff retry of transient failures,
+// per-workload circuit breakers, and durable job state that survives a
+// killed daemon — every in-flight campaign resumes from its checkpoint
+// watermark on restart and merges to a byte-identical result.
+package service
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+
+	"repro/internal/fault"
+)
+
+// Class is the retry supervisor's verdict on a job failure.
+type Class int
+
+const (
+	// Transient failures — deadline overruns (the next attempt resumes
+	// from the checkpoint watermark and makes fresh progress), I/O
+	// hiccups, cancelled contexts — are retried with backoff.
+	Transient Class = iota
+	// Permanent failures recur on every attempt: the simulator is
+	// deterministic, so an unexplained campaign failure is permanent by
+	// default. Permanent failures fail the job immediately and count
+	// toward the workload's circuit breaker.
+	Permanent
+)
+
+func (c Class) String() string {
+	if c == Permanent {
+		return "permanent"
+	}
+	return "transient"
+}
+
+// classified wraps an error with an explicit Class, overriding Classify's
+// inference.
+type classified struct {
+	err   error
+	class Class
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+func (c *classified) Unwrap() error { return c.err }
+
+// MarkTransient marks err as transient regardless of its type: retrying
+// can help. Nil stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: Transient}
+}
+
+// MarkPermanent marks err as permanent regardless of its type: no retry
+// will ever succeed. Nil stays nil.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: Permanent}
+}
+
+// Classify maps a job failure to its retry class. Explicit
+// MarkTransient/MarkPermanent wrappers win; otherwise the convention
+// shared with internal/fault applies:
+//
+//   - context deadline/cancellation → Transient: the attempt was cut
+//     short, not wrong, and the checkpoint watermark makes the retry
+//     cheaper than the original attempt;
+//   - fault.ErrCheckpointCorrupt → Transient: the engine restarts fresh
+//     over a corrupt file, so a retry proceeds;
+//   - filesystem errors → Transient: disks fill and unfill;
+//   - fault.ErrInvalidConfig → Permanent: the campaign configuration can
+//     never succeed;
+//   - anything else → Permanent: the simulator is deterministic, so an
+//     unexplained failure will recur on every retry.
+func Classify(err error) Class {
+	var c *classified
+	if errors.As(err, &c) {
+		return c.class
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return Transient
+	case errors.Is(err, fault.ErrCheckpointCorrupt):
+		return Transient
+	case errors.Is(err, fault.ErrInvalidConfig):
+		return Permanent
+	}
+	var pathErr *fs.PathError
+	if errors.As(err, &pathErr) {
+		return Transient
+	}
+	return Permanent
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Mount registers the job API and the probe endpoints on an obs.Server's
+// mux, next to /metrics and /live:
+//
+//	POST   /jobs        submit a JobSpec; 202 + Job, 429 when the queue
+//	                    is full (Retry-After set), 503 when draining or
+//	                    the workload's breaker is open
+//	GET    /jobs        every job, submission order
+//	GET    /jobs/{id}   one job
+//	DELETE /jobs/{id}   cancel one job
+//	GET    /healthz     liveness: 200 while the process serves
+//	GET    /readyz      readiness: 503 while draining or queue-saturated
+func (s *Service) Mount(srv *obs.Server) {
+	srv.HandleFunc("POST /jobs", s.handleSubmit)
+	srv.HandleFunc("GET /jobs", s.handleList)
+	srv.HandleFunc("GET /jobs/{id}", s.handleJob)
+	srv.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	srv.HandleFunc("GET /healthz", s.handleHealthz)
+	srv.HandleFunc("GET /readyz", s.handleReadyz)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck — client gone is not actionable
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	if err == nil {
+		writeJSON(w, http.StatusAccepted, j)
+		return
+	}
+	var full *QueueFullError
+	var open *BreakerOpenError
+	switch {
+	case errors.As(err, &full):
+		// Backpressure, the HTTP way: try again once the workers have
+		// eaten into the queue.
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(full.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &open):
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(open.RetryAfter)))
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	j, err := s.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports whether the service should receive traffic: not
+// while draining (shutdown in progress) and not while the queue is
+// saturated (a load balancer should prefer a sibling daemon).
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	type readiness struct {
+		Ready    bool   `json:"ready"`
+		Reason   string `json:"reason,omitempty"`
+		Queued   int    `json:"queued"`
+		Running  int    `json:"running"`
+		Draining bool   `json:"draining"`
+	}
+	s.mu.Lock()
+	st := readiness{
+		Ready:    true,
+		Queued:   len(s.pending),
+		Running:  len(s.running),
+		Draining: s.draining,
+	}
+	saturated := len(s.pending) >= s.cfg.QueueDepth
+	s.mu.Unlock()
+	switch {
+	case st.Draining:
+		st.Ready, st.Reason = false, "draining"
+	case saturated:
+		st.Ready, st.Reason = false, "queue saturated"
+	}
+	if st.Ready {
+		writeJSON(w, http.StatusOK, st)
+	} else {
+		writeJSON(w, http.StatusServiceUnavailable, st)
+	}
+}
+
+// ceilSeconds renders a Retry-After duration as whole seconds, at least 1.
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// State is a job's position in its lifecycle. Queued, Running, and
+// Retrying jobs are "open": a daemon restart re-queues them and their
+// campaigns resume from the checkpoint watermark.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateRetrying State = "retrying" // failed transiently; waiting out its backoff
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// open reports whether the state still owes the submitter a result.
+func (s State) open() bool {
+	switch s {
+	case StateQueued, StateRunning, StateRetrying:
+		return true
+	}
+	return false
+}
+
+// JobSpec is the submit payload: which campaign to run. The zero values
+// of the numeric knobs defer to the engine's defaults.
+type JobSpec struct {
+	// Bench is the benchmark name (required).
+	Bench string `json:"bench"`
+	// Scheme is "turnpike" (default) or "turnstile".
+	Scheme string `json:"scheme,omitempty"`
+	Trials int    `json:"trials,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	WCDL   int    `json:"wcdl,omitempty"`
+	SBSize int    `json:"sb_size,omitempty"`
+	// ScalePct is the workload scale (percent).
+	ScalePct int `json:"scale_pct,omitempty"`
+	// Workers bounds the campaign's trial pool; the result is identical
+	// for every value.
+	Workers int `json:"workers,omitempty"`
+	// FailureBudget caps SDC/crash trials before the campaign aborts
+	// (0 = first failure, -1 = record all).
+	FailureBudget int `json:"failure_budget,omitempty"`
+	// CheckpointEvery is the completed-trial cadence between checkpoint
+	// rewrites; the service defaults it to 16 so a drained or killed job
+	// loses little work.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// Validate rejects specs no runner could execute.
+func (s *JobSpec) Validate() error {
+	if s.Bench == "" {
+		return fmt.Errorf("service: job spec needs a bench")
+	}
+	switch s.Scheme {
+	case "", "turnpike", "turnstile":
+	default:
+		return fmt.Errorf("service: unknown scheme %q (want turnpike or turnstile)", s.Scheme)
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("service: negative trial count %d", s.Trials)
+	}
+	return nil
+}
+
+// Workload is the circuit-breaker key: jobs for the same benchmark and
+// scheme share one breaker.
+func (s *JobSpec) Workload() string {
+	scheme := s.Scheme
+	if scheme == "" {
+		scheme = "turnpike"
+	}
+	return s.Bench + "/" + scheme
+}
+
+// Job is one submitted campaign and its durable lifecycle record — the
+// unit persisted to the state file on every transition.
+type Job struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State State   `json:"state"`
+	// Attempts counts started runs of this job (retries included).
+	Attempts int `json:"attempts,omitempty"`
+	// Error is the most recent failure, kept across retries until a
+	// success clears it.
+	Error string `json:"error,omitempty"`
+	// Result is set once the job is done.
+	Result *fault.Result `json:"result,omitempty"`
+	// Checkpoint is the campaign's resume file, relative to the state
+	// directory.
+	Checkpoint string `json:"checkpoint,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+// clone returns a copy safe to serve to HTTP handlers after the service
+// lock is released. Result is shared but immutable once set.
+func (j *Job) clone() *Job {
+	c := *j
+	return &c
+}

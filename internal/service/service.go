@@ -1,0 +1,600 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// Runner executes one campaign job. checkpoint is the absolute path of
+// the job's resume file: the runner must thread it into the campaign so
+// a cancelled or killed attempt leaves a watermark the next attempt
+// resumes from. A cancelled ctx must flush that checkpoint and return
+// promptly (fault.CampaignContext does both).
+type Runner func(ctx context.Context, spec JobSpec, checkpoint string) (*fault.Result, error)
+
+// Config parameterizes New. Zero values get production defaults.
+type Config struct {
+	// StateDir holds jobs.json and the per-job campaign checkpoints
+	// (required). Created if missing.
+	StateDir string
+	// Runner executes one job (required).
+	Runner Runner
+	// QueueDepth bounds the waiting-job queue; a full queue rejects
+	// submissions with backpressure (HTTP 429 + Retry-After). Default 64.
+	QueueDepth int
+	// Concurrency is how many jobs run at once. Default 1 — campaigns
+	// parallelize internally over their trial workers; raising this
+	// multiplies CPU oversubscription, not throughput.
+	Concurrency int
+	// MaxAttempts caps runs of one job, the first included. Default 3.
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the retry schedule: the n-th retry
+	// waits BackoffBase·2^(n-1) plus up to 25% jitter, capped at
+	// BackoffCap. Defaults 500ms and 30s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// JobDeadline bounds one attempt's wall time; a deadline overrun is a
+	// transient failure whose retry resumes from the checkpoint
+	// watermark. 0 means no deadline. Default 10m.
+	JobDeadline time.Duration
+	// BreakerThreshold consecutive permanent failures of one workload
+	// open its circuit breaker; submissions for that workload then fail
+	// fast until BreakerCooldown elapses (then one probe job is
+	// admitted). Defaults 3 and 1m.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RetryAfter is the backpressure hint returned with 429s. Default 5s.
+	RetryAfter time.Duration
+	// Progress, when set, receives the live queue-depth, retry, and
+	// open-breaker gauges (and is handed to runners via closure if the
+	// daemon wires it into campaign configs).
+	Progress *pipeline.Progress
+	// Metrics, when set, receives service counters (submitted, done,
+	// failed, retried, rejected, breaker trips).
+	Metrics *obs.Registry
+	// Logf receives operational log lines; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.StateDir == "" {
+		return fmt.Errorf("service: Config.StateDir is required")
+	}
+	if c.Runner == nil {
+		return fmt.Errorf("service: Config.Runner is required")
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 500 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 30 * time.Second
+	}
+	if c.JobDeadline == 0 {
+		c.JobDeadline = 10 * time.Minute
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 5 * time.Second
+	}
+	return nil
+}
+
+// Submission rejections the HTTP layer maps to status codes.
+var (
+	// ErrDraining rejects submissions while the daemon drains for
+	// shutdown.
+	ErrDraining = errors.New("service: draining; not accepting new jobs")
+	// ErrUnknownJob is returned for lookups of IDs the service never
+	// issued.
+	ErrUnknownJob = errors.New("service: no such job")
+)
+
+// QueueFullError is the backpressure rejection: the bounded queue is at
+// capacity and the caller should retry after the hint.
+type QueueFullError struct {
+	Depth      int
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: job queue full (%d waiting); retry in %s", e.Depth, e.RetryAfter)
+}
+
+// BreakerOpenError fails a submission fast: the workload's recent
+// permanent failures opened its circuit breaker.
+type BreakerOpenError struct {
+	Workload   string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("service: circuit breaker open for %s; retry in %s", e.Workload, e.RetryAfter)
+}
+
+// Service is the campaign job service: a bounded queue feeding a worker
+// supervisor, with every job transition persisted atomically so a killed
+// daemon resumes where it stood.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and persistence
+	pending  []string // FIFO of queued job IDs
+	running  map[string]context.CancelFunc
+	timers   map[string]*time.Timer // retrying jobs' backoff timers
+	breakers map[string]*breaker
+	nextID   int
+	draining bool
+	aborted  bool // simulated crash: skip all persistence on the way out
+
+	wg  sync.WaitGroup
+	now func() time.Time // test hook
+}
+
+// New builds a service over StateDir, restoring any jobs a previous
+// daemon life left behind: open jobs re-enter the queue and resume from
+// their campaign checkpoints.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	s := &Service{
+		cfg:      cfg,
+		jobs:     map[string]*Job{},
+		running:  map[string]context.CancelFunc{},
+		timers:   map[string]*time.Timer{},
+		breakers: map[string]*breaker{},
+		nextID:   1,
+		now:      time.Now,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.loadState(); err != nil {
+		return nil, err
+	}
+	restored := 0
+	for _, id := range s.order {
+		if s.jobs[id].State == StateQueued {
+			s.pending = append(s.pending, id)
+			restored++
+		}
+	}
+	if restored > 0 {
+		s.logf("restored %d unfinished job(s) from %s; campaigns resume from their checkpoints", restored, s.statePath())
+	}
+	s.updateGauges()
+	return s, nil
+}
+
+// Start launches the worker supervisor. Call once.
+func (s *Service) Start() {
+	for i := 0; i < s.cfg.Concurrency; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				id, ok := s.pop()
+				if !ok {
+					return
+				}
+				s.runJob(id)
+			}
+		}()
+	}
+}
+
+// Submit validates, admits, persists, and queues one job. Rejections:
+// ErrDraining, *BreakerOpenError (the workload is failing permanently),
+// *QueueFullError (backpressure).
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Scheme == "" {
+		spec.Scheme = "turnpike"
+	}
+	if spec.CheckpointEvery == 0 {
+		// Tight enough that a drained or killed daemon repeats little
+		// work, loose enough that checkpoint writes don't dominate.
+		spec.CheckpointEvery = 16
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	now := s.now()
+	b := s.breakerFor(spec.Workload())
+	if !b.allow(now) {
+		s.count("service.rejected_breaker")
+		return nil, &BreakerOpenError{Workload: spec.Workload(), RetryAfter: b.retryAfter(now)}
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.count("service.rejected_backpressure")
+		return nil, &QueueFullError{Depth: len(s.pending), RetryAfter: s.cfg.RetryAfter}
+	}
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.nextID++
+	j := &Job{
+		ID:          id,
+		Spec:        spec,
+		State:       StateQueued,
+		Checkpoint:  id + ".ckpt.json",
+		SubmittedAt: now,
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.pending = append(s.pending, id)
+	s.count("service.jobs_submitted")
+	if err := s.persistLocked(); err != nil {
+		// Roll the admission back: a job we cannot persist is a job we
+		// would silently lose on restart.
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.pending = s.pending[:len(s.pending)-1]
+		return nil, err
+	}
+	s.updateGauges()
+	s.cond.Signal()
+	return j.clone(), nil
+}
+
+// Job returns a snapshot of one job.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j.clone(), nil
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].clone())
+	}
+	return out
+}
+
+// Cancel stops a job: queued and retrying jobs are withdrawn, a running
+// job's context is cancelled (its campaign flushes a final checkpoint
+// and returns). Cancelling a finished job is a no-op.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	switch j.State {
+	case StateQueued:
+		for i, pid := range s.pending {
+			if pid == id {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+	case StateRetrying:
+		if tm := s.timers[id]; tm != nil {
+			tm.Stop()
+			delete(s.timers, id)
+		}
+	case StateRunning:
+		if cancel := s.running[id]; cancel != nil {
+			cancel()
+		}
+	default:
+		return nil // already finished
+	}
+	j.State = StateCanceled
+	j.FinishedAt = s.now()
+	s.count("service.jobs_canceled")
+	s.updateGauges()
+	return s.persistLocked()
+}
+
+// Draining reports whether the service has begun shutting down.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Saturated reports whether the queue is at capacity (the /readyz
+// not-ready condition besides draining).
+func (s *Service) Saturated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending) >= s.cfg.QueueDepth
+}
+
+// Shutdown drains the service: no new jobs are admitted or started,
+// retry timers are parked (their jobs resume next life), and in-flight
+// jobs run to completion until ctx expires — then their contexts are
+// cancelled, which flushes each campaign's checkpoint and returns the
+// job to the queue for the next daemon life. The final state is
+// persisted before returning.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for id, tm := range s.timers {
+		// A stopped timer leaves its job in StateRetrying; loadState
+		// turns that back into StateQueued next life, which is exactly
+		// the retry the backoff was deferring.
+		tm.Stop()
+		delete(s.timers, id)
+	}
+	inflight := len(s.running)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if inflight > 0 {
+		s.logf("draining: waiting for %d in-flight job(s)", inflight)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := len(s.running)
+		for _, cancel := range s.running {
+			cancel()
+		}
+		s.mu.Unlock()
+		if n > 0 {
+			s.logf("drain window expired; checkpointing %d in-flight job(s) for the next life", n)
+		}
+		<-done
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistLocked()
+}
+
+// Abort is the simulated crash used by tests and nothing else: every
+// in-flight context is cancelled and NO state is persisted on the way
+// out, so the disk holds exactly what an uncontrolled daemon death would
+// leave — the last atomic writes. Restart recovery must still complete
+// every job with byte-identical results.
+func (s *Service) Abort() {
+	s.mu.Lock()
+	s.draining = true
+	s.aborted = true
+	for id, tm := range s.timers {
+		tm.Stop()
+		delete(s.timers, id)
+	}
+	for _, cancel := range s.running {
+		cancel()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// pop blocks until a job is available or the service drains.
+func (s *Service) pop() (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.draining && len(s.pending) == 0 {
+		s.cond.Wait()
+	}
+	if s.draining || len(s.pending) == 0 {
+		return "", false
+	}
+	id := s.pending[0]
+	s.pending = s.pending[1:]
+	s.updateGauges()
+	return id, true
+}
+
+// runJob executes one attempt of one job and routes the outcome: done,
+// retry with backoff, permanent failure (breaker), or — during a drain —
+// back to the queue for the next daemon life.
+func (s *Service) runJob(id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.State != StateQueued {
+		// Cancelled (or otherwise resolved) between queue and worker.
+		s.mu.Unlock()
+		return
+	}
+	j.State = StateRunning
+	j.Attempts++
+	j.StartedAt = s.now()
+	runCtx, cancel := context.WithCancel(context.Background())
+	if s.cfg.JobDeadline > 0 {
+		runCtx, cancel = context.WithTimeout(context.Background(), s.cfg.JobDeadline)
+	}
+	s.running[id] = cancel
+	ckpt := filepath.Join(s.cfg.StateDir, j.Checkpoint)
+	spec := j.Spec
+	attempt := j.Attempts
+	if err := s.persistLocked(); err != nil {
+		s.logf("warning: %v", err)
+	}
+	s.mu.Unlock()
+	s.logf("%s attempt %d: %s (trials=%d seed=%d)", id, attempt, spec.Workload(), spec.Trials, spec.Seed)
+
+	res, err := s.cfg.Runner(runCtx, spec, ckpt)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, id)
+	now := s.now()
+	persist := true
+	switch {
+	case j.State == StateCanceled:
+		// Cancel already persisted the terminal state; just tidy up.
+		os.Remove(ckpt)
+		persist = false
+	case err == nil:
+		j.State = StateDone
+		j.Result = res
+		j.Error = ""
+		j.FinishedAt = now
+		s.breakerFor(spec.Workload()).success()
+		s.count("service.jobs_done")
+		os.Remove(ckpt) // the result is in the state file; the watermark is spent
+		s.logf("%s done: %d/%d trials", id, res.CompletedTrials, spec.Trials)
+	case s.draining:
+		// The drain cut this attempt short; that is not a failure. The
+		// checkpoint holds the watermark — re-queue for the next life.
+		j.State = StateQueued
+		j.Attempts--
+		persist = !s.aborted
+	default:
+		j.Error = err.Error()
+		class := Classify(err)
+		if class == Transient && j.Attempts < s.cfg.MaxAttempts {
+			j.State = StateRetrying
+			delay := s.backoff(j.Attempts)
+			if s.cfg.Progress != nil {
+				s.cfg.Progress.Retries.Add(1)
+			}
+			s.count("service.retries")
+			s.logf("%s attempt %d failed (transient): %v — retrying in %s", id, attempt, err, delay.Round(time.Millisecond))
+			s.timers[id] = time.AfterFunc(delay, func() { s.requeue(id) })
+		} else {
+			j.State = StateFailed
+			j.FinishedAt = now
+			s.count("service.jobs_failed")
+			if class == Permanent {
+				b := s.breakerFor(spec.Workload())
+				b.failure(now)
+				if b.isOpen {
+					s.count("service.breaker_trips")
+					s.logf("%s failed permanently: %v — breaker OPEN for %s", id, err, spec.Workload())
+				} else {
+					s.logf("%s failed permanently: %v", id, err)
+				}
+			} else {
+				s.logf("%s failed after %d attempts: %v", id, j.Attempts, err)
+			}
+		}
+	}
+	if persist {
+		if err := s.persistLocked(); err != nil {
+			s.logf("warning: %v", err)
+		}
+	}
+	s.updateGauges()
+}
+
+// requeue moves a retrying job back into the queue once its backoff
+// elapses.
+func (s *Service) requeue(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.timers, id)
+	j, ok := s.jobs[id]
+	if !ok || j.State != StateRetrying || s.draining {
+		return
+	}
+	j.State = StateQueued
+	s.pending = append(s.pending, id)
+	if err := s.persistLocked(); err != nil {
+		s.logf("warning: %v", err)
+	}
+	s.updateGauges()
+	s.cond.Signal()
+}
+
+// backoff computes the wait before retry n (n = attempts so far):
+// base·2^(n-1) with up to 25% jitter, capped.
+func (s *Service) backoff(n int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 1; i < n && d < s.cfg.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffCap {
+		d = s.cfg.BackoffCap
+	}
+	if d > 0 {
+		d += time.Duration(rand.Int63n(int64(d)/4 + 1))
+	}
+	return d
+}
+
+// breakerFor returns (creating if needed) the workload's breaker. Caller
+// holds s.mu.
+func (s *Service) breakerFor(workload string) *breaker {
+	b, ok := s.breakers[workload]
+	if !ok {
+		b = &breaker{threshold: s.cfg.BreakerThreshold, cooldown: s.cfg.BreakerCooldown}
+		s.breakers[workload] = b
+	}
+	return b
+}
+
+// updateGauges refreshes the Progress gauges. Caller holds s.mu.
+func (s *Service) updateGauges() {
+	if s.cfg.Progress == nil {
+		return
+	}
+	s.cfg.Progress.JobsQueued.Store(int64(len(s.pending)))
+	open := 0
+	for _, b := range s.breakers {
+		if b.isOpen {
+			open++
+		}
+	}
+	s.cfg.Progress.BreakersOpen.Store(int64(open))
+}
+
+// count bumps a service counter when a registry is attached. Caller
+// holds s.mu (obs counters are goroutine-safe; the lock is incidental).
+func (s *Service) count(name string) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter(name).Inc()
+	}
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

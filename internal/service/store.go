@@ -1,0 +1,98 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// The durable half of the service: every job transition rewrites
+// jobs.json in the state directory through obs.WriteFileAtomic (temp file
+// + rename), so a killed daemon always finds either the previous or the
+// next consistent state — never a torn one. Campaign progress itself
+// lives in the per-job checkpoint files the fault engine maintains; the
+// store only needs to remember which jobs exist and where they stood.
+
+const stateFileVersion = 1
+
+// stateFile is the on-disk layout of jobs.json.
+type stateFile struct {
+	Version int    `json:"version"`
+	NextID  int    `json:"next_id"`
+	Jobs    []*Job `json:"jobs"`
+}
+
+func (s *Service) statePath() string { return filepath.Join(s.cfg.StateDir, "jobs.json") }
+
+// persistLocked rewrites the state file; the caller holds s.mu.
+func (s *Service) persistLocked() error {
+	sf := stateFile{Version: stateFileVersion, NextID: s.nextID}
+	for _, id := range s.order {
+		sf.Jobs = append(sf.Jobs, s.jobs[id])
+	}
+	err := obs.WriteFileAtomic(s.statePath(), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sf)
+	})
+	if err != nil {
+		return fmt.Errorf("service: persist state: %w", err)
+	}
+	return nil
+}
+
+// loadState restores jobs from a previous daemon life. A missing file is
+// a fresh service. A file that does not parse is moved aside (never
+// deleted — it may be wanted for a post-mortem) and the service starts
+// fresh with a warning, mirroring the fault engine's
+// ErrCheckpointCorrupt convention rather than refusing to boot. Open
+// jobs (queued/running/retrying) are re-queued; their campaign
+// checkpoints make the resume cheap and their results byte-identical.
+func (s *Service) loadState() error {
+	path := s.statePath()
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: load state: %w", err)
+	}
+	var sf stateFile
+	if err := json.Unmarshal(b, &sf); err != nil {
+		aside := path + ".corrupt"
+		if mvErr := os.Rename(path, aside); mvErr != nil {
+			return fmt.Errorf("service: state file %s: %w (and moving it aside failed: %v)",
+				path, fault.ErrCheckpointCorrupt, mvErr)
+		}
+		s.logf("warning: %v: state file %s does not parse (%v); moved to %s, starting fresh",
+			fault.ErrCheckpointCorrupt, path, err, aside)
+		return nil
+	}
+	if sf.Version != stateFileVersion {
+		return fmt.Errorf("service: state file %s is version %d, this daemon speaks %d",
+			path, sf.Version, stateFileVersion)
+	}
+	s.nextID = sf.NextID
+	for _, j := range sf.Jobs {
+		if j == nil || j.ID == "" {
+			continue
+		}
+		if j.State.open() {
+			// The previous life never finished this job. Running jobs go
+			// back to queued (their checkpoint holds the watermark);
+			// retrying jobs re-enter the queue immediately — the process
+			// death already consumed any backoff the failure deserved.
+			j.State = StateQueued
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	}
+	return nil
+}

@@ -221,6 +221,13 @@ type FaultCampaignConfig struct {
 	// Checkpoint, when non-empty, checkpoints completed trials to this
 	// file so an interrupted campaign resumes from its watermark.
 	Checkpoint string
+	// CheckpointEvery is the completed-trial cadence between checkpoint
+	// rewrites (default 64); campaign services lower it so a drained or
+	// killed job loses at most a few trials. See fault.Config.
+	CheckpointEvery int
+	// Warnf, when non-nil, receives non-fatal campaign warnings (today: a
+	// corrupt checkpoint file being discarded for a fresh run).
+	Warnf func(format string, args ...any)
 	// Adversary, when non-nil, switches the campaign to the
 	// imperfect-mesh fault model: dead sensors, detections beyond the
 	// WCDL, fault bursts, and false positives. See fault.Adversary.
@@ -298,15 +305,17 @@ func InjectFaultsContext(ctx context.Context, bench string, scheme Scheme, cfg F
 		return nil, err
 	}
 	return fault.CampaignContext(ctx, prog, fault.Config{
-		Trials:        cfg.Trials,
-		Seed:          cfg.Seed,
-		Sim:           sim,
-		Metrics:       cfg.Metrics,
-		Progress:      cfg.Progress,
-		Workers:       cfg.Workers,
-		FailureBudget: cfg.FailureBudget,
-		Checkpoint:    cfg.Checkpoint,
-		Adversary:     cfg.Adversary,
+		Trials:          cfg.Trials,
+		Seed:            cfg.Seed,
+		Sim:             sim,
+		Metrics:         cfg.Metrics,
+		Progress:        cfg.Progress,
+		Workers:         cfg.Workers,
+		FailureBudget:   cfg.FailureBudget,
+		Checkpoint:      cfg.Checkpoint,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Adversary:       cfg.Adversary,
+		Warnf:           cfg.Warnf,
 	}, seedMem)
 }
 
