@@ -29,6 +29,7 @@ import (
 
 	turnpike "repro"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 func main() {
@@ -36,12 +37,20 @@ func main() {
 }
 
 // benchResult is one cell of the matrix, stored under
-// Extra["results"]["<bench>/<scheme>"] in the manifest.
+// Extra["results"]["<bench>/<scheme>"] in the manifest. The campaign
+// cost metrics (trials/sec, ns/trial, allocs/trial) are measured only
+// for the resilient schemes — they run a small fault campaign — and are
+// zero in cells (and old manifests) that never measured them, which the
+// diff treats as "no prior data", not a regression.
 type benchResult struct {
 	Cycles   uint64  `json:"cycles"`
 	Insts    uint64  `json:"insts"`
 	IPC      float64 `json:"ipc"`
 	Overhead float64 `json:"overhead"` // cycles / baseline cycles
+
+	TrialsPerSec   float64 `json:"trials_per_sec,omitempty"`
+	NsPerTrial     float64 `json:"ns_per_trial,omitempty"`
+	AllocsPerTrial float64 `json:"allocs_per_trial,omitempty"`
 }
 
 // schemeByName maps the CLI spelling to the library scheme.
@@ -69,6 +78,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tolCycles   = fs.Float64("tol-cycles", 1.0, "max cycle-count growth before regression (percent)")
 		tolIPC      = fs.Float64("tol-ipc", 1.0, "max IPC loss before regression (percent)")
 		tolOverhead = fs.Float64("tol-overhead", 1.0, "max overhead growth before regression (percent)")
+		trials      = fs.Int("trials", 32, "fault-campaign trials per resilient cell for the cost metrics (0 skips them)")
+		tolAllocs   = fs.Float64("tol-allocs", 25.0, "max allocs/trial growth before regression (percent)")
+		tolTrialSec = fs.Float64("tol-trialsec", 0, "max trials/sec loss before regression (percent); 0 disables the gate (wall-clock is machine-dependent)")
+		profileDir  = fs.String("profile", "", "directory for pprof profiles + cost report bracketing the campaign cells (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	man.Config["sb_size"] = *sb
 	man.Config["wcdl"] = *wcdl
 	man.Config["schemes"] = schemeNames
+	man.Config["trials"] = *trials
 	man.Workloads = benches
 	results := map[string]benchResult{}
 	for _, b := range benches {
@@ -111,6 +125,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				IPC:      ipc,
 				Overhead: res.Overhead,
 			}
+		}
+	}
+	if *trials > 0 {
+		if err := measureCampaignCost(benches, schemeNames, *trials, *scale, *sb, *wcdl,
+			*profileDir, results, stdout); err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 1
 		}
 	}
 	man.Extra["results"] = results
@@ -148,7 +169,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	tols := tolerances{cycles: *tolCycles, ipc: *tolIPC, overhead: *tolOverhead}
+	tols := tolerances{cycles: *tolCycles, ipc: *tolIPC, overhead: *tolOverhead,
+		allocs: *tolAllocs, trialsec: *tolTrialSec}
 	table, regressions := diffResults(filepath.Base(priorPath), priorResults, results, tols)
 	fmt.Fprint(stdout, table.Render())
 	if regressions > 0 {
@@ -161,9 +183,76 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// measureCampaignCost fills in the per-trial cost metrics for the
+// resilient schemes by running a small deterministic fault campaign per
+// cell and bracketing each with an alloc/wall measurement. Workers is
+// pinned to 1 and the seed to 1 so allocs/trial is stable run to run;
+// trials/sec remains machine-dependent, which is why its gate defaults
+// off. With profileDir set, one CPU+heap profile pair brackets all the
+// campaign cells and a cost report totalling them is written next to it.
+func measureCampaignCost(benches, schemeNames []string, trials, scale, sb, wcdl int,
+	profileDir string, results map[string]benchResult, stdout io.Writer) error {
+	var cap *profile.Capture
+	if profileDir != "" {
+		var err error
+		if cap, err = profile.Start(profileDir, "bench", true); err != nil {
+			return err
+		}
+	}
+	var total profile.Usage
+	totalTrials := 0
+	for _, b := range benches {
+		for _, sn := range schemeNames {
+			if sn == "baseline" {
+				continue // no detection, no campaign to cost
+			}
+			u, err := profile.Measure(func() error {
+				_, err := turnpike.InjectFaults(b, schemeByName[sn], turnpike.FaultCampaignConfig{
+					Trials: trials, Seed: 1, Workers: 1, FailureBudget: -1,
+					ScalePct: scale, SBSize: sb, WCDL: wcdl,
+				})
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s campaign: %w", b, sn, err)
+			}
+			rep := u.Report(trials)
+			cell := results[b+"/"+sn]
+			cell.TrialsPerSec = rep.TrialsPerSec
+			cell.NsPerTrial = rep.NsPerTrial
+			cell.AllocsPerTrial = rep.AllocsPerTrial
+			results[b+"/"+sn] = cell
+			total.Wall += u.Wall
+			total.Allocs += u.Allocs
+			total.AllocBytes += u.AllocBytes
+			totalTrials += trials
+		}
+	}
+	if cap != nil {
+		if _, err := cap.Stop(); err != nil {
+			return err
+		}
+		rep := total.Report(totalTrials)
+		rep.Workload = "matrix"
+		rep.Scheme = strings.Join(schemeNames, ",")
+		rep.CPUProfile = cap.CPUProfilePath()
+		rep.HeapProfile = cap.HeapProfilePath()
+		costPath := filepath.Join(profileDir, "bench.cost.json")
+		if err := rep.WriteFile(costPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "campaign cost: %s\nprofiles: %s %s\ncost report: %s\n",
+			rep, cap.CPUProfilePath(), cap.HeapProfilePath(), costPath)
+	}
+	return nil
+}
+
 // tolerances are per-metric relative thresholds in percent.
 type tolerances struct {
 	cycles, ipc, overhead float64
+	// allocs gates allocs/trial growth; trialsec gates trials/sec loss
+	// and is 0 (off) by default because wall-clock differs by machine.
+	allocs, trialsec float64
 }
 
 // latestManifest scans dir for BENCH_<n>.json files and returns the path
@@ -217,7 +306,7 @@ func readResults(path string) (*obs.Manifest, map[string]benchResult, error) {
 // comparableConfigs reports whether two runs used the same simulation
 // knobs, i.e. whether diffing their cycle counts is meaningful.
 func comparableConfigs(prior, cur map[string]any) bool {
-	for _, k := range []string{"scale_pct", "sb_size", "wcdl"} {
+	for _, k := range []string{"scale_pct", "sb_size", "wcdl", "trials"} {
 		if fmt.Sprint(prior[k]) != fmt.Sprint(cur[k]) {
 			return false
 		}
@@ -239,7 +328,7 @@ func diffResults(priorName string, prior, cur map[string]benchResult, tol tolera
 
 	t := &obs.Table{
 		Title:  "benchmark trajectory vs " + priorName,
-		Header: []string{"CONFIG", "CYCLES", "ΔCYCLES", "ΔIPC", "ΔOVERHEAD", "STATUS"},
+		Header: []string{"CONFIG", "CYCLES", "ΔCYCLES", "ΔIPC", "ΔOVERHEAD", "ΔALLOCS/TRIAL", "ΔTRIALS/S", "STATUS"},
 	}
 	regressions := 0
 	pct := func(old, new float64) float64 {
@@ -248,19 +337,36 @@ func diffResults(priorName string, prior, cur map[string]benchResult, tol tolera
 		}
 		return (new - old) / old * 100
 	}
+	// fmtDelta renders a cost-metric delta, or "-" when either side
+	// lacks the measurement (old manifest, baseline scheme, -trials 0):
+	// absent data is not a regression.
+	fmtDelta := func(old, new float64) string {
+		if old == 0 || new == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%+.2f%%", pct(old, new))
+	}
 	for _, k := range keys {
 		c := cur[k]
 		p, ok := prior[k]
 		if !ok {
-			t.Rows = append(t.Rows, []string{k, fmt.Sprint(c.Cycles), "-", "-", "-", "new"})
+			t.Rows = append(t.Rows, []string{k, fmt.Sprint(c.Cycles), "-", "-", "-", "-", "-", "new"})
 			continue
 		}
 		dc := pct(float64(p.Cycles), float64(c.Cycles))
 		di := pct(p.IPC, c.IPC)
 		do := pct(p.Overhead, c.Overhead)
+		var da, dt float64
+		if p.AllocsPerTrial > 0 && c.AllocsPerTrial > 0 {
+			da = pct(p.AllocsPerTrial, c.AllocsPerTrial)
+		}
+		if p.TrialsPerSec > 0 && c.TrialsPerSec > 0 {
+			dt = pct(p.TrialsPerSec, c.TrialsPerSec)
+		}
 		status := "ok"
 		switch {
-		case dc > tol.cycles || do > tol.overhead || di < -tol.ipc:
+		case dc > tol.cycles || do > tol.overhead || di < -tol.ipc ||
+			da > tol.allocs || (tol.trialsec > 0 && dt < -tol.trialsec):
 			status = "REGRESSED"
 			regressions++
 		case dc < -tol.cycles || di > tol.ipc || do < -tol.overhead:
@@ -272,6 +378,8 @@ func diffResults(priorName string, prior, cur map[string]benchResult, tol tolera
 			fmt.Sprintf("%+.2f%%", dc),
 			fmt.Sprintf("%+.2f%%", di),
 			fmt.Sprintf("%+.2f%%", do),
+			fmtDelta(p.AllocsPerTrial, c.AllocsPerTrial),
+			fmtDelta(p.TrialsPerSec, c.TrialsPerSec),
 			status,
 		})
 	}
@@ -283,10 +391,14 @@ func diffResults(priorName string, prior, cur map[string]benchResult, tol tolera
 	}
 	sort.Strings(dropped)
 	for _, k := range dropped {
-		t.Rows = append(t.Rows, []string{k, "-", "-", "-", "-", "dropped"})
+		t.Rows = append(t.Rows, []string{k, "-", "-", "-", "-", "-", "-", "dropped"})
+	}
+	trialsecNote := "trials/sec gate off"
+	if tol.trialsec > 0 {
+		trialsecNote = fmt.Sprintf("trials/sec -%.2f%%", tol.trialsec)
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("tolerances: cycles +%.2f%%, ipc -%.2f%%, overhead +%.2f%%; simulation is deterministic",
-			tol.cycles, tol.ipc, tol.overhead))
+		fmt.Sprintf("tolerances: cycles +%.2f%%, ipc -%.2f%%, overhead +%.2f%%, allocs/trial +%.2f%%, %s; cycle counts are deterministic",
+			tol.cycles, tol.ipc, tol.overhead, tol.allocs, trialsecNote))
 	return t, regressions
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs/profile"
 )
 
 // runBench invokes run with a small, fast matrix rooted at dir.
@@ -146,6 +148,89 @@ func TestIncomparableKnobsSkipDiff(t *testing.T) {
 	}
 	if !strings.Contains(out, "different knobs") {
 		t.Errorf("expected trajectory restart notice; got:\n%s", out)
+	}
+}
+
+// TestCampaignCostMetricsRecorded: resilient cells carry trials/sec,
+// ns/trial, and allocs/trial; the baseline cell (no campaign) does not.
+func TestCampaignCostMetricsRecorded(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, errOut := runBench(t, dir, "-trials", "8"); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	_, res, err := readResults(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := res["gcc/turnpike"]
+	if tp.TrialsPerSec <= 0 || tp.NsPerTrial <= 0 || tp.AllocsPerTrial <= 0 {
+		t.Errorf("gcc/turnpike cost metrics missing: %+v", tp)
+	}
+	base := res["gcc/baseline"]
+	if base.TrialsPerSec != 0 || base.AllocsPerTrial != 0 {
+		t.Errorf("baseline should have no campaign cost: %+v", base)
+	}
+}
+
+// TestAllocsRegressionTripsGate: an allocs/trial explosion beyond
+// -tol-allocs fails the build even when cycle counts are unchanged.
+func TestAllocsRegressionTripsGate(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, errOut := runBench(t, dir, "-trials", "8"); code != 0 {
+		t.Fatalf("seed run failed: exit %d, %s", code, errOut)
+	}
+	// Make the prior look far leaner than the present.
+	doctorPrior(t, filepath.Join(dir, "BENCH_1.json"), "gcc/turnpike", func(r *benchResult) {
+		r.AllocsPerTrial = r.AllocsPerTrial / 10
+	})
+	code, out, _ := runBench(t, dir, "-trials", "8")
+	if code == 0 {
+		t.Fatalf("allocs/trial regression must trip the gate; got exit 0:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("regression verdict missing; got:\n%s", out)
+	}
+}
+
+// TestTrialsPerSecGateOffByDefault: a huge trials/sec "loss" against the
+// prior passes unless -tol-trialsec opts in, because wall-clock speed is
+// a property of the machine, not the code.
+func TestTrialsPerSecGateOffByDefault(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, errOut := runBench(t, dir, "-trials", "8"); code != 0 {
+		t.Fatalf("seed run failed: exit %d, %s", code, errOut)
+	}
+	doctorPrior(t, filepath.Join(dir, "BENCH_1.json"), "gcc/turnpike", func(r *benchResult) {
+		r.TrialsPerSec = r.TrialsPerSec * 100
+	})
+	if code, out, _ := runBench(t, dir, "-trials", "8"); code != 0 {
+		t.Fatalf("trials/sec gate should default off; got exit %d:\n%s", code, out)
+	}
+}
+
+// TestProfileFlagWritesArtifacts: -profile leaves CPU + heap profiles
+// and a cost report totalling the campaign cells.
+func TestProfileFlagWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "prof")
+	code, out, errOut := runBench(t, dir, "-trials", "8", "-profile", prof)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, f := range []string{"bench.cpu.pprof", "bench.heap.pprof", "bench.cost.json"} {
+		if fi, err := os.Stat(filepath.Join(prof, f)); err != nil || fi.Size() == 0 {
+			t.Errorf("%s missing or empty (err=%v)", f, err)
+		}
+	}
+	rep, err := profile.ReadCostReport(filepath.Join(prof, "bench.cost.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 8 || rep.TrialsPerSec <= 0 || rep.AllocsPerTrial <= 0 {
+		t.Errorf("implausible cost report: %+v", rep)
+	}
+	if !strings.Contains(out, "campaign cost:") {
+		t.Errorf("cost summary missing from stdout:\n%s", out)
 	}
 }
 

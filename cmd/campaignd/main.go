@@ -14,6 +14,13 @@
 // permanently -breaker-threshold times in a row has its circuit breaker
 // opened and submissions fail fast until the cool-down elapses.
 //
+// The daemon logs structured records (-log-format json|text, -log-level)
+// where every line carries the request → job → shard → trial correlation
+// chain, and keeps a bounded flight-recorder ring (-recorder) of recent
+// events at Debug detail regardless of the terminal level. The ring is
+// served per job at /jobs/{id}/events, dumped to the state dir when a
+// job fails permanently, and dumped to stderr on SIGQUIT.
+//
 // Every job transition is persisted atomically under -state, and each
 // campaign checkpoints its completed trials there too. SIGTERM and
 // SIGINT drain: in-flight campaigns get up to -drain to finish, then
@@ -28,14 +35,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	turnpike "repro"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/pipeline"
 	"repro/internal/service"
 )
@@ -51,17 +61,35 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "SIGTERM/SIGINT drain window before in-flight jobs are checkpointed for the next life")
 		brThreshold = flag.Int("breaker-threshold", 3, "consecutive permanent failures that open a workload's circuit breaker")
 		brCooldown  = flag.Duration("breaker-cooldown", time.Minute, "breaker open time before one probe job is admitted")
+		logFormat   = flag.String("log-format", "json", "structured log format: json (machine-readable, pinned schema) or text")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug (per-trial campaign events), info, warn, error")
+		recorder    = flag.Int("recorder", 4096, "flight-recorder ring capacity (events); 0 disables the ring, /jobs/{id}/events, and SIGQUIT dumps")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("campaignd: ")
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The terminal leg honors -log-level; the flight recorder always
+	// keeps Debug (per-trial events) so a post-mortem has the detail the
+	// terminal suppressed.
+	var rec *olog.Recorder
+	legs := []slog.Handler{olog.NewHandler(os.Stderr, olog.Options{Format: *logFormat, Level: level})}
+	if *recorder > 0 {
+		rec = olog.NewRecorder(*recorder)
+		legs = append(legs, rec.Handler(slog.LevelDebug))
+	}
+	logger := olog.Attach(legs...)
 
 	reg := obs.NewRegistry()
 	progress := &pipeline.Progress{}
 
 	svc, err := service.New(service.Config{
 		StateDir:         *state,
-		Runner:           campaignRunner(reg, progress),
+		Runner:           campaignRunner(reg, progress, logger),
 		QueueDepth:       *queue,
 		Concurrency:      *concurrency,
 		MaxAttempts:      *attempts,
@@ -70,13 +98,14 @@ func main() {
 		BreakerCooldown:  *brCooldown,
 		Progress:         progress,
 		Metrics:          reg,
-		Logf:             log.Printf,
+		Logger:           logger,
+		Events:           rec,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv := obs.NewServer(obs.ServerConfig{Snapshot: reg.Snapshot, RunsDir: *state})
+	srv := obs.NewServer(obs.ServerConfig{Snapshot: reg.Snapshot, RunsDir: *state, Instrument: reg})
 	svc.Mount(srv)
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -93,8 +122,26 @@ func main() {
 	svc.Start()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	var got os.Signal
+	for got = range sig {
+		if got != syscall.SIGQUIT {
+			break
+		}
+		// SIGQUIT is the flight-recorder tap: dump the ring to stderr and
+		// keep serving. kill -QUIT $(pidof campaignd) is the "what has
+		// this daemon been doing" question, answered without restarting.
+		if rec == nil {
+			log.Printf("SIGQUIT: flight recorder disabled (-recorder 0)")
+			continue
+		}
+		n, err := rec.Dump(os.Stderr)
+		if err != nil {
+			log.Printf("SIGQUIT: flight recorder dump failed: %v", err)
+			continue
+		}
+		log.Printf("SIGQUIT: dumped %d flight-recorder event(s) (%d dropped since start)", n, rec.Dropped())
+	}
 	log.Printf("received %s; draining (window %s)", got, *drain)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -111,10 +158,26 @@ func main() {
 	log.Printf("drained; state persisted under %s — restart with the same -state to resume unfinished jobs", *state)
 }
 
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("campaignd: unknown -log-level %q (want debug, info, warn, or error)", s)
+}
+
 // campaignRunner adapts the fault-campaign engine to service.Runner,
-// threading the service's registry and live-progress gauges into every
-// campaign so /metrics and /live cover the jobs as they run.
-func campaignRunner(reg *obs.Registry, progress *pipeline.Progress) service.Runner {
+// threading the service's registry, live-progress gauges, and structured
+// logger into every campaign so /metrics, /live, and the correlated log
+// cover the jobs as they run.
+func campaignRunner(reg *obs.Registry, progress *pipeline.Progress, logger *slog.Logger) service.Runner {
 	return func(ctx context.Context, spec service.JobSpec, checkpoint string) (*fault.Result, error) {
 		var sc turnpike.Scheme
 		switch spec.Scheme {
@@ -137,7 +200,7 @@ func campaignRunner(reg *obs.Registry, progress *pipeline.Progress) service.Runn
 			CheckpointEvery: spec.CheckpointEvery,
 			Metrics:         reg,
 			Progress:        progress,
-			Warnf:           log.Printf,
+			Logger:          logger,
 		})
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"text/tabwriter"
@@ -42,6 +43,7 @@ import (
 	turnpike "repro"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/pipeline"
 )
 
@@ -64,6 +66,7 @@ func main() {
 		burst       = flag.Int("burst", 0, "adversary: max strikes per trial (burst size drawn uniform in [1, burst])")
 		latefactor  = flag.Float64("latefactor", 0, "adversary: late detections bounded at latefactor x WCDL (0 = default 4)")
 		containment = flag.Bool("containment", true, "abort as DUE when a detection arrives after its region verified (off = unsafe, demonstrates SDC)")
+		profileDir  = flag.String("profile", "", "directory for pprof profiles (CPU + heap) and a per-trial cost report bracketing the whole campaign (empty = off)")
 	)
 	cli := obs.RegisterCLI(flag.CommandLine, "faultcampaign")
 	flag.Parse()
@@ -143,9 +146,21 @@ func main() {
 		}()
 	}
 
+	// -profile: one CPU + heap capture brackets every campaign below; the
+	// cost report divides the usage over all completed trials.
+	var capture *profile.Capture
+	if *profileDir != "" {
+		var err error
+		if capture, err = profile.Start(*profileDir, "faultcampaign", true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "BENCHMARK\tMASKED\tRECOVERED\tSDC\tCRASH\tDUE\tAVG RECOVERY (cyc)\tP50 SLOWDOWN\tP99 SLOWDOWN")
 	totalSDC := 0
+	completedTrials := 0
 	var coverage []string
 	interrupted := false
 	for _, b := range benches {
@@ -175,6 +190,7 @@ func main() {
 			res.AvgRecoveryCycles,
 			res.SlowdownPercentile(50), res.SlowdownPercentile(99))
 		totalSDC += res.Outcomes[fault.SDC]
+		completedTrials += res.CompletedTrials
 		if adv != nil {
 			coverage = append(coverage, fmt.Sprintf(
 				"%s: coverage %.1f%% [%.1f%%, %.1f%%] (%d/%d strikes), DUE rate %.1f%% [%.1f%%, %.1f%%], SDC rate %.1f%% [%.1f%%, %.1f%%]",
@@ -197,6 +213,25 @@ func main() {
 		}
 	}
 	w.Flush()
+	if capture != nil {
+		usage, err := capture.Stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep := usage.Report(completedTrials)
+		rep.Workload = fmt.Sprint(benches)
+		rep.Scheme = *scheme
+		rep.CPUProfile = capture.CPUProfilePath()
+		rep.HeapProfile = capture.HeapProfilePath()
+		costPath := filepath.Join(*profileDir, "faultcampaign.cost.json")
+		if err := rep.WriteFile(costPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncampaign cost: %s\nprofiles: %s %s\ncost report: %s\n",
+			rep, capture.CPUProfilePath(), capture.HeapProfilePath(), costPath)
+	}
 	if len(coverage) > 0 {
 		fmt.Println("\nadversarial mesh (Wilson 95% intervals):")
 		for _, line := range coverage {

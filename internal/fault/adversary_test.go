@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -204,7 +205,7 @@ func TestAdversarialReplayAndResume(t *testing.T) {
 // including the golden-run-derived injection window.
 func planFor(t *testing.T, prog *isa.Program, cfg Config, seedMem func(*isa.Memory), trial int) Injection {
 	t.Helper()
-	golden, goldenStats, err := run(prog, cfg, seedMem, nil)
+	golden, goldenStats, err := run(context.Background(), prog, cfg, seedMem, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

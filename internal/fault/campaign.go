@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/sensor"
@@ -58,11 +60,28 @@ type engine struct {
 }
 
 // warnf reports a non-fatal campaign condition (today: a corrupt
-// checkpoint being discarded) through cfg.Warnf, discarding when unset.
+// checkpoint being discarded). The structured logger is the primary
+// sink; the legacy printf hook still fires when set, so existing
+// callers keep their warnings. Nothing set discards.
 func (e *engine) warnf(format string, args ...any) {
 	if e.cfg.Warnf != nil {
 		e.cfg.Warnf(format, args...)
 	}
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.Warn(fmt.Sprintf(format, args...))
+	}
+}
+
+// logTrial emits one trial's Debug record. The Enabled check is hoisted
+// by the caller (debugOn) so a disabled logger costs nothing per trial.
+func (e *engine) logTrial(ctx context.Context, rec *trialRecord) {
+	e.cfg.Logger.LogAttrs(ctx, slog.LevelDebug, "trial complete",
+		slog.String("outcome", rec.Outcome.String()),
+		slog.Int("reg", int(rec.Inj.Reg)),
+		slog.Uint64("at_inst", rec.Inj.AtInst),
+		slog.Int("latency", rec.Inj.Latency),
+		slog.Uint64("cycles", rec.Stats.Cycles),
+	)
 }
 
 func (e *engine) resolveSampler() error {
@@ -160,10 +179,11 @@ func (e *engine) plan(trial int) Injection {
 }
 
 // runTrial executes one planned injection and classifies it against the
-// golden memory.
-func (e *engine) runTrial(trial int) *trialRecord {
+// golden memory. ctx carries the worker's shard correlation; the trial
+// index is added here so the simulator's rare-event lines name it.
+func (e *engine) runTrial(ctx context.Context, trial int) *trialRecord {
 	inj := e.plan(trial)
-	mem, st, err := run(e.prog, e.cfg, e.seedMem, &inj)
+	mem, st, err := run(ctx, e.prog, e.cfg, e.seedMem, &inj)
 	rec := &trialRecord{Trial: trial, Inj: inj, Stats: st}
 	rec.Outcome = classify(e.golden, mem, st, err)
 	if err != nil {
@@ -292,7 +312,7 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 		every = 64
 	}
 
-	golden, goldenStats, err := run(prog, cfg, seedMem, nil)
+	golden, goldenStats, err := run(ctx, prog, cfg, seedMem, nil)
 	if err != nil {
 		// The simulator is deterministic: a golden run that fails now will
 		// fail on every retry, so the error is marked permanent.
@@ -341,6 +361,20 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 		}
 	}
 
+	log := cfg.Logger
+	if log != nil {
+		log.LogAttrs(ctx, slog.LevelInfo, "campaign start",
+			slog.Int("trials", cfg.Trials),
+			slog.Int64("seed", cfg.Seed),
+			slog.Int("workers", workers),
+			slog.Int("resumed", cfg.Trials-len(pending)),
+			slog.Bool("adversarial", cfg.Adversary != nil),
+		)
+	}
+	// Hoisted per-trial guard: with Debug disabled, the worker loop pays
+	// one cached bool, not an Enabled call plus attr building per trial.
+	debugOn := log != nil && log.Enabled(ctx, slog.LevelDebug)
+
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -364,17 +398,28 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
 			if cfg.Progress != nil {
 				cfg.Progress.Workers.Add(1)
 				defer cfg.Progress.Workers.Add(-1)
 			}
+			wctx := runCtx
+			if log != nil {
+				wctx = olog.WithShard(runCtx, shard)
+			}
 			for t := range work {
 				if runCtx.Err() != nil {
 					return
 				}
-				rec := e.runTrial(t)
+				tctx := wctx
+				if log != nil {
+					tctx = olog.WithTrial(wctx, t)
+				}
+				rec := e.runTrial(tctx, t)
+				if debugOn {
+					e.logTrial(tctx, rec)
+				}
 				mu.Lock()
 				records[t] = rec
 				sinceCkpt++
@@ -393,7 +438,7 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -404,6 +449,16 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 	}
 
 	res := e.merge(records, goldenStats)
+	if log != nil {
+		log.LogAttrs(ctx, slog.LevelInfo, "campaign complete",
+			slog.Int("completed", res.CompletedTrials),
+			slog.Int("trials", cfg.Trials),
+			slog.Int("recovered", res.Outcomes[Recovered]),
+			slog.Int("masked", res.Outcomes[Masked]),
+			slog.Int("due", res.Outcomes[DUE]),
+			slog.Int("failures", len(res.Failures)),
+		)
+	}
 	switch {
 	case ckptErr != nil:
 		return res, fmt.Errorf("fault: checkpoint: %w", ckptErr)
@@ -412,6 +467,14 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 			res.CompletedTrials, cfg.Trials, ctx.Err())
 	case budget > 0 && len(res.Failures) >= budget:
 		f := res.Failures[0]
+		if log != nil {
+			log.LogAttrs(ctx, slog.LevelWarn, "failure budget exhausted",
+				slog.Int("budget", budget),
+				slog.Int("failures", len(res.Failures)),
+				slog.Int("first_trial", f.Trial),
+				slog.String("first_outcome", f.Outcome.String()),
+			)
+		}
 		return res, fmt.Errorf("fault: failure budget (%d) exhausted with %d failure(s); first: trial %d %s (%+v)%s",
 			budget, len(res.Failures), f.Trial, f.Outcome, f.Inj, errSuffix(f.Err))
 	}
@@ -430,11 +493,12 @@ func errSuffix(s string) string {
 // classification. On Crash the simulator's error is returned alongside the
 // outcome; any golden-run failure is an error with outcome Crash.
 func Replay(prog *isa.Program, cfg Config, seedMem func(*isa.Memory), inj Injection) (Outcome, pipeline.Stats, error) {
-	golden, _, err := run(prog, cfg, seedMem, nil)
+	ctx := context.Background()
+	golden, _, err := run(ctx, prog, cfg, seedMem, nil)
 	if err != nil {
 		return Crash, pipeline.Stats{}, fmt.Errorf("fault: golden run failed: %w", err)
 	}
-	mem, st, err := run(prog, cfg, seedMem, &inj)
+	mem, st, err := run(ctx, prog, cfg, seedMem, &inj)
 	out := classify(golden, mem, st, err)
 	if out == DUE {
 		err = nil // the containment abort is the classification, not a failure

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -126,7 +127,7 @@ func FuzzInjectNoSDC(f *testing.F) {
 		}
 		cfg := pipeline.TurnpikeConfig(4, wcdl)
 		seedMem := func(m *isa.Memory) { workload.FuzzSeedMemory(m, seed) }
-		golden, _, err := run(compiled.Prog, Config{Sim: cfg}, seedMem, nil)
+		golden, _, err := run(context.Background(), compiled.Prog, Config{Sim: cfg}, seedMem, nil)
 		if err != nil {
 			t.Fatalf("seed %d: golden: %v", seed, err)
 		}
@@ -137,7 +138,7 @@ func FuzzInjectNoSDC(f *testing.F) {
 				AtInst:  uint64(rng.Intn(600) + 1),
 				Latency: 1 + rng.Intn(wcdl),
 			}
-			mem, _, err := run(compiled.Prog, Config{Sim: cfg}, seedMem, &inj)
+			mem, _, err := run(context.Background(), compiled.Prog, Config{Sim: cfg}, seedMem, &inj)
 			if err != nil {
 				t.Fatalf("seed %d trial %d (%+v): crash: %v", seed, trial, inj, err)
 			}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -20,12 +21,12 @@ func TestDebugSDC2(t *testing.T) {
 	prog := c.Prog
 	cfg := pipeline.TurnpikeConfig(4, 10)
 
-	golden, _, err := run(prog, Config{Sim: cfg}, p.SeedMemory, nil)
+	golden, _, err := run(context.Background(), prog, Config{Sim: cfg}, p.SeedMemory, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	inj := Injection{Reg: 4, Bit: 48, AtInst: 632, Latency: 1}
-	mem, st, err := run(prog, Config{Sim: cfg}, p.SeedMemory, &inj)
+	mem, st, err := run(context.Background(), prog, Config{Sim: cfg}, p.SeedMemory, &inj)
 	if err != nil {
 		t.Fatal(err)
 	}

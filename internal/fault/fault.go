@@ -8,7 +8,9 @@
 package fault
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 
@@ -109,8 +111,18 @@ type Config struct {
 	Adversary *Adversary
 	// Warnf, when set, receives non-fatal campaign warnings — today, a
 	// corrupt checkpoint file being discarded in favour of a fresh run.
-	// Nil discards.
+	// Nil discards. Kept as the legacy printf hook; new call sites should
+	// prefer Logger (when both are set, warnings go to both).
 	Warnf func(format string, args ...any)
+	// Logger, when set, receives the campaign's structured log:
+	// lifecycle events at Info (start, resume, completion, budget
+	// exhaustion), per-trial outcomes at Debug, and the simulator's rare
+	// events (recoveries, containment aborts, degrade transitions). Every
+	// record is stamped with the correlation chain of the campaign's
+	// context — job ID from the service, plus the shard (worker) and
+	// trial indices the engine adds — so one job's story can be filtered
+	// out of a shared stream. Nil disables at zero hot-loop cost.
+	Logger *slog.Logger
 }
 
 // Adversary parameterizes the imperfect-mesh fault model. The nominal
@@ -358,14 +370,18 @@ type TrialFailure struct {
 // run executes prog once, optionally injecting inj, and returns the output
 // memory (with private regions masked) and the run's statistics. Each
 // completed run counts toward cfg.Progress.Runs, so a live campaign's
-// trial count ticks on the /live stream.
-func run(prog *isa.Program, cfg Config, seedMem func(*isa.Memory), inj *Injection) (*isa.Memory, pipeline.Stats, error) {
+// trial count ticks on the /live stream. ctx carries the correlation
+// chain the simulator's rare-event log lines are stamped with.
+func run(ctx context.Context, prog *isa.Program, cfg Config, seedMem func(*isa.Memory), inj *Injection) (*isa.Memory, pipeline.Stats, error) {
 	s, err := pipeline.New(prog, cfg.Sim)
 	if err != nil {
 		return nil, pipeline.Stats{}, err
 	}
 	if cfg.Progress != nil {
 		s.AttachProgress(cfg.Progress)
+	}
+	if cfg.Logger != nil {
+		s.AttachLogger(ctx, cfg.Logger)
 	}
 	if seedMem != nil {
 		seedMem(s.Mem)

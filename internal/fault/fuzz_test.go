@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -50,7 +51,7 @@ func TestQuickFuzzNoSDC(t *testing.T) {
 		}
 		seedMem := func(m *isa.Memory) { workload.FuzzSeedMemory(m, seed) }
 
-		golden, _, err := run(compiled.Prog, Config{Sim: cfg}, seedMem, nil)
+		golden, _, err := run(context.Background(), compiled.Prog, Config{Sim: cfg}, seedMem, nil)
 		if err != nil {
 			t.Logf("seed %d: golden: %v", seed, err)
 			return false
@@ -62,7 +63,7 @@ func TestQuickFuzzNoSDC(t *testing.T) {
 				AtInst:  uint64(rng.Intn(600) + 1),
 				Latency: 1 + rng.Intn(wcdl),
 			}
-			mem, _, err := run(compiled.Prog, Config{Sim: cfg}, seedMem, &inj)
+			mem, _, err := run(context.Background(), compiled.Prog, Config{Sim: cfg}, seedMem, &inj)
 			if err != nil {
 				t.Logf("seed %d trial %d (%+v): crash: %v", seed, trial, inj, err)
 				return false

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RED instrumentation for HTTP routes: request rate, error rate, and
+// duration per route. The Registry has no label dimension, so the route
+// is encoded into the metric name — "GET /jobs/{id}" becomes the
+// metrics
+//
+//	http.requests.get_jobs_id         (counter)
+//	http.errors.get_jobs_id           (counter, status >= 400)
+//	http.request_duration_us.get_jobs_id  (histogram, microseconds)
+//
+// plus the cross-route totals http.requests and http.errors.
+
+// RouteLabel sanitizes a net/http route pattern ("GET /jobs/{id}") into
+// a metric-name segment ("get_jobs_id"). Wildcard braces and slashes
+// collapse to underscores; the bare root pattern becomes "root".
+func RouteLabel(pattern string) string {
+	var b strings.Builder
+	us := true // swallow leading/duplicate underscores
+	for _, r := range strings.ToLower(pattern) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			us = false
+		default:
+			if !us {
+				b.WriteByte('_')
+				us = true
+			}
+		}
+	}
+	out := strings.TrimRight(b.String(), "_")
+	if out == "" {
+		return "root"
+	}
+	return out
+}
+
+// durationBuckets spans 1µs..~4s in powers of 4 — wide enough for both
+// in-memory queue hops and multi-second campaign submissions.
+func durationBuckets() []uint64 { return ExpBuckets(1, 4, 12) }
+
+// ResponseRecorder wraps a ResponseWriter to capture the status code and
+// body size for metrics and access logging. It forwards Flush so SSE
+// handlers (/live) keep streaming through it.
+type ResponseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// NewResponseRecorder wraps w; Status reports 200 until a handler says
+// otherwise, matching net/http's implicit WriteHeader.
+func NewResponseRecorder(w http.ResponseWriter) *ResponseRecorder {
+	return &ResponseRecorder{ResponseWriter: w, status: http.StatusOK}
+}
+
+func (w *ResponseRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *ResponseRecorder) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *ResponseRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status returns the response status code (200 if never set explicitly).
+func (w *ResponseRecorder) Status() int { return w.status }
+
+// Bytes returns the body bytes written so far.
+func (w *ResponseRecorder) Bytes() int64 { return w.bytes }
+
+// Instrument wraps next with RED metrics for the route label (use
+// RouteLabel to derive one from a pattern). A nil registry returns next
+// unchanged — the disabled path costs nothing.
+func Instrument(reg *Registry, route string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	reqs := reg.Counter("http.requests." + route)
+	errs := reg.Counter("http.errors." + route)
+	dur := reg.Histogram("http.request_duration_us."+route, durationBuckets())
+	allReqs := reg.Counter("http.requests")
+	allErrs := reg.Counter("http.errors")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := w.(*ResponseRecorder)
+		if !ok {
+			// Outermost instrumented layer: wrap once; nested middleware
+			// reuses the same recorder.
+			rec = NewResponseRecorder(w)
+		}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		us := uint64(time.Since(start).Microseconds())
+		reqs.Inc()
+		allReqs.Inc()
+		dur.Observe(us)
+		if rec.Status() >= 400 {
+			errs.Inc()
+			allErrs.Inc()
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"GET /jobs/{id}":        "get_jobs_id",
+		"GET /jobs/{id}/events": "get_jobs_id_events",
+		"POST /jobs":            "post_jobs",
+		"DELETE /jobs/{id}":     "delete_jobs_id",
+		"/metrics":              "metrics",
+		"/snapshot.json":        "snapshot_json",
+		"/":                     "root",
+		"":                      "root",
+	}
+	for in, want := range cases {
+		if got := RouteLabel(in); got != want {
+			t.Errorf("RouteLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestInstrumentRecordsRED(t *testing.T) {
+	reg := NewRegistry()
+	h := Instrument(reg, "get_jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "boom", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	for _, path := range []string{"/jobs", "/jobs", "/jobs?fail=1"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["http.requests.get_jobs"]; got != 3 {
+		t.Errorf("route requests = %d, want 3", got)
+	}
+	if got := snap.Counters["http.errors.get_jobs"]; got != 1 {
+		t.Errorf("route errors = %d, want 1", got)
+	}
+	if got := snap.Counters["http.requests"]; got != 3 {
+		t.Errorf("total requests = %d, want 3", got)
+	}
+	if got := snap.Counters["http.errors"]; got != 1 {
+		t.Errorf("total errors = %d, want 1", got)
+	}
+	d, ok := snap.Histograms["http.request_duration_us.get_jobs"]
+	if !ok || d.Count != 3 {
+		t.Errorf("duration histogram count = %+v, want 3 observations", d)
+	}
+}
+
+func TestInstrumentNilRegistryIsPassthrough(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := Instrument(nil, "x", next); got == nil {
+		t.Fatal("nil registry must still return the handler")
+	}
+}
+
+// TestInstrumentNestedReusesRecorder: stacking two instrumented layers
+// (server route wrap + service middleware) must not double-wrap the
+// ResponseWriter, so the inner layer sees the status the handler set.
+func TestInstrumentNestedReusesRecorder(t *testing.T) {
+	reg := NewRegistry()
+	inner := Instrument(reg, "inner", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	outer := Instrument(reg, "outer", inner)
+	rr := httptest.NewRecorder()
+	outer.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	snap := reg.Snapshot()
+	if snap.Counters["http.errors.inner"] != 1 || snap.Counters["http.errors.outer"] != 1 {
+		t.Errorf("both layers must see the 418: %v", snap.Counters)
+	}
+	if rr.Code != http.StatusTeapot {
+		t.Errorf("status = %d, want 418", rr.Code)
+	}
+}
+
+func TestResponseRecorder(t *testing.T) {
+	rr := httptest.NewRecorder()
+	w := NewResponseRecorder(rr)
+	if w.Status() != http.StatusOK {
+		t.Errorf("implicit status = %d, want 200", w.Status())
+	}
+	w.WriteHeader(http.StatusAccepted)
+	w.Write([]byte("hello"))
+	w.Flush()
+	if w.Status() != http.StatusAccepted || w.Bytes() != 5 {
+		t.Errorf("recorder status/bytes = %d/%d", w.Status(), w.Bytes())
+	}
+	if !rr.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	var _ http.Flusher = w // SSE handlers type-assert this
+}
+
+// TestServerRoutesInstrumented: with ServerConfig.Instrument set, both
+// built-in and Handle-registered routes produce RED metrics that then
+// appear in the /metrics exposition itself.
+func TestServerRoutesInstrumented(t *testing.T) {
+	reg := NewRegistry()
+	srv := NewServer(ServerConfig{Snapshot: reg.Snapshot, Instrument: reg})
+	srv.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(r.PathValue("id")))
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, err := http.Get(ts.URL + "/jobs/abc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(ts.URL + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"http_requests_get_jobs_id_total 1",
+		"http_requests_metrics_total",
+		"http_requests_total",
+		"http_request_duration_us_get_jobs_id_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package olog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 7; i++ {
+		r.Append(Event{Msg: string(rune('a' + i)), Shard: -1, Trial: -1})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	got := ""
+	for _, e := range evs {
+		got += e.Msg
+	}
+	if got != "defg" {
+		t.Errorf("ring order = %q, want oldest-first defg", got)
+	}
+	if r.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", r.Dropped())
+	}
+}
+
+func TestRecorderJobTimeline(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 3; i++ {
+		r.Append(Event{Msg: "a", JobID: "job-1", Shard: -1, Trial: -1})
+		r.Append(Event{Msg: "b", JobID: "job-2", Shard: -1, Trial: -1})
+	}
+	if got := len(r.JobEvents("job-1")); got != 3 {
+		t.Errorf("job-1 timeline has %d events, want 3", got)
+	}
+	if got := len(r.JobEvents("job-404")); got != 0 {
+		t.Errorf("unknown job timeline has %d events, want 0", got)
+	}
+}
+
+// TestRecorderHandlerCapturesCorrelation proves the recorder leg of an
+// Attach fanout absorbs the correlation chain into typed Event fields
+// and keeps everything else as attrs.
+func TestRecorderHandlerCapturesCorrelation(t *testing.T) {
+	r := NewRecorder(16)
+	var term bytes.Buffer
+	// Terminal log at Info; ring keeps Debug detail too.
+	l := Attach(NewHandler(&term, Options{Level: slog.LevelInfo}), r.Handler(slog.LevelDebug))
+	ctx := WithTrial(WithShard(WithJobID(WithRequestID(context.Background(),
+		"req-1"), "job-9"), 2), 40)
+	l.LogAttrs(ctx, slog.LevelDebug, "trial", slog.String("outcome", "masked"))
+
+	if strings.Contains(term.String(), "trial") {
+		t.Errorf("debug line leaked to the Info terminal log: %s", term.String())
+	}
+	evs := r.JobEvents("job-9")
+	if len(evs) != 1 {
+		t.Fatalf("ring events = %d, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.RequestID != "req-1" || e.JobID != "job-9" || e.Shard != 2 || e.Trial != 40 {
+		t.Errorf("correlation not absorbed: %+v", e)
+	}
+	if e.Msg != "trial" || e.Level != "DEBUG" || e.Attrs["outcome"] != "masked" {
+		t.Errorf("event payload wrong: %+v", e)
+	}
+	if e.Time.IsZero() {
+		t.Error("event time not stamped")
+	}
+}
+
+func TestDumpJSONL(t *testing.T) {
+	r := NewRecorder(8)
+	r.Append(Event{Time: time.Unix(1, 0).UTC(), Msg: "one", JobID: "job-1", Shard: -1, Trial: -1})
+	r.Append(Event{Time: time.Unix(2, 0).UTC(), Msg: "two", JobID: "job-2", Shard: -1, Trial: -1})
+	var buf bytes.Buffer
+	n, err := r.Dump(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("dump: n=%d err=%v", n, err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump lines = %d, want 2", len(lines))
+	}
+	for _, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("dump line not JSON: %v\n%s", err, ln)
+		}
+	}
+	buf.Reset()
+	if n, _ := r.DumpJob(&buf, "job-2"); n != 1 || !strings.Contains(buf.String(), "two") {
+		t.Errorf("job dump: n=%d out=%s", n, buf.String())
+	}
+}

@@ -1,0 +1,198 @@
+// Package profile is the automated pprof capture harness: it brackets a
+// campaign (or any measured region) with a CPU profile, a heap profile,
+// and allocation accounting, and reduces the bracket to a per-trial cost
+// report — ns/trial, allocs/trial, trials/sec — the number the ROADMAP's
+// trial-throughput campaign is judged against. cmd/bench and
+// cmd/faultcampaign -profile wire it in; the resulting .pprof files load
+// straight into `go tool pprof`.
+//
+// Only one CPU profile can run per process (a runtime/pprof
+// restriction), so captures are sequential: Start a capture, run the
+// campaign, Stop it, then start the next.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Capture is one in-flight profiling bracket.
+type Capture struct {
+	dir     string
+	name    string
+	cpu     *os.File
+	started time.Time
+	before  runtime.MemStats
+
+	cpuPath  string
+	heapPath string
+}
+
+// Start opens a profiling bracket named name under dir (created if
+// missing). When cpu is true a CPU profile streams to
+// <dir>/<name>.cpu.pprof until Stop; the heap profile and allocation
+// deltas are always captured. Allocation numbers count the whole
+// process, so keep the bracket quiet: nothing else should run.
+func Start(dir, name string, cpu bool) (*Capture, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	c := &Capture{dir: dir, name: name}
+	if cpu {
+		path := filepath.Join(dir, name+".cpu.pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, fmt.Errorf("profile: start cpu: %w", err)
+		}
+		c.cpu = f
+		c.cpuPath = path
+	}
+	// A GC before reading the baseline keeps dead garbage from a prior
+	// phase out of the bracket's alloc-bytes delta (Mallocs is
+	// monotonic and unaffected).
+	runtime.GC()
+	runtime.ReadMemStats(&c.before)
+	c.started = time.Now()
+	return c, nil
+}
+
+// Usage is the measured cost of one bracket.
+type Usage struct {
+	Wall       time.Duration
+	Allocs     uint64 // heap allocations (objects) inside the bracket
+	AllocBytes uint64 // heap bytes allocated inside the bracket
+}
+
+// Stop closes the bracket: the CPU profile is finalized, a heap profile
+// is written to <dir>/<name>.heap.pprof, and the wall/allocation deltas
+// are returned.
+func (c *Capture) Stop() (Usage, error) {
+	wall := time.Since(c.started)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if c.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpu.Close(); err != nil {
+			return Usage{}, fmt.Errorf("profile: close cpu: %w", err)
+		}
+		c.cpu = nil
+	}
+	heapPath := filepath.Join(c.dir, c.name+".heap.pprof")
+	f, err := os.Create(heapPath)
+	if err != nil {
+		return Usage{}, fmt.Errorf("profile: %w", err)
+	}
+	// The allocs profile keeps cumulative allocation sites (what the
+	// trial loop allocates), which is what a throughput campaign tunes;
+	// the live-heap view is derivable from the same file.
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return Usage{}, fmt.Errorf("profile: write heap: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return Usage{}, fmt.Errorf("profile: %w", err)
+	}
+	c.heapPath = heapPath
+	return Usage{
+		Wall:       wall,
+		Allocs:     after.Mallocs - c.before.Mallocs,
+		AllocBytes: after.TotalAlloc - c.before.TotalAlloc,
+	}, nil
+}
+
+// CPUProfilePath and HeapProfilePath return the written artifact paths
+// ("" when not captured / not yet stopped).
+func (c *Capture) CPUProfilePath() string  { return c.cpuPath }
+func (c *Capture) HeapProfilePath() string { return c.heapPath }
+
+// CostReport is the per-trial cost summary of a measured campaign — the
+// unit the bench regression gate and the trial-throughput speed campaign
+// trade in.
+type CostReport struct {
+	Workload string `json:"workload,omitempty"`
+	Scheme   string `json:"scheme,omitempty"`
+	Trials   int    `json:"trials"`
+
+	WallSeconds        float64 `json:"wall_seconds"`
+	TrialsPerSec       float64 `json:"trials_per_sec"`
+	NsPerTrial         float64 `json:"ns_per_trial"`
+	AllocsPerTrial     float64 `json:"allocs_per_trial"`
+	AllocBytesPerTrial float64 `json:"alloc_bytes_per_trial"`
+
+	CPUProfile  string `json:"cpu_profile,omitempty"`
+	HeapProfile string `json:"heap_profile,omitempty"`
+}
+
+// Report reduces a bracket to its per-trial cost.
+func (u Usage) Report(trials int) CostReport {
+	r := CostReport{
+		Trials:      trials,
+		WallSeconds: u.Wall.Seconds(),
+	}
+	if trials > 0 {
+		r.NsPerTrial = float64(u.Wall.Nanoseconds()) / float64(trials)
+		r.AllocsPerTrial = float64(u.Allocs) / float64(trials)
+		r.AllocBytesPerTrial = float64(u.AllocBytes) / float64(trials)
+	}
+	if u.Wall > 0 {
+		r.TrialsPerSec = float64(trials) / u.Wall.Seconds()
+	}
+	return r
+}
+
+// WriteFile writes the report as indented JSON, atomically.
+func (r CostReport) WriteFile(path string) error {
+	return obs.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	})
+}
+
+// ReadCostReport loads a report written by WriteFile.
+func ReadCostReport(path string) (CostReport, error) {
+	var r CostReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	err = json.Unmarshal(b, &r)
+	return r, err
+}
+
+// String renders the one-line human summary the tools print.
+func (r CostReport) String() string {
+	return fmt.Sprintf("%d trials in %.2fs: %.1f trials/sec, %.0f ns/trial, %.0f allocs/trial, %.0f B/trial",
+		r.Trials, r.WallSeconds, r.TrialsPerSec, r.NsPerTrial, r.AllocsPerTrial, r.AllocBytesPerTrial)
+}
+
+// Measure brackets fn with allocation and wall accounting only (no
+// pprof files) — the cheap path cmd/bench uses on every run to keep
+// trials/sec and allocs/trial in the regression-gated matrix.
+func Measure(fn func() error) (Usage, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Usage{
+		Wall:       wall,
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}, err
+}

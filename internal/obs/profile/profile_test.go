@@ -1,0 +1,128 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCaptureWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Start(dir, "camp", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do a little allocating work inside the bracket.
+	var sink [][]byte
+	for i := 0; i < 100; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	u, err := c.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Wall <= 0 {
+		t.Errorf("wall = %v, want > 0", u.Wall)
+	}
+	if u.Allocs < 100 {
+		t.Errorf("allocs = %d, want >= 100", u.Allocs)
+	}
+	if u.AllocBytes < 100*1024 {
+		t.Errorf("alloc bytes = %d, want >= 100KiB", u.AllocBytes)
+	}
+	for _, p := range []string{c.CPUProfilePath(), c.HeapProfilePath()} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile artifact missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile artifact %s is empty", p)
+		}
+	}
+	if !strings.HasSuffix(c.CPUProfilePath(), "camp.cpu.pprof") ||
+		!strings.HasSuffix(c.HeapProfilePath(), "camp.heap.pprof") {
+		t.Errorf("artifact names: cpu=%s heap=%s", c.CPUProfilePath(), c.HeapProfilePath())
+	}
+}
+
+func TestCaptureWithoutCPU(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Start(dir, "noncpu", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CPUProfilePath() != "" {
+		t.Errorf("cpu profile path = %q, want empty", c.CPUProfilePath())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "noncpu.heap.pprof")); err != nil {
+		t.Errorf("heap profile missing: %v", err)
+	}
+}
+
+func TestReportPerTrialMath(t *testing.T) {
+	u := Usage{Wall: 2 * time.Second, Allocs: 1000, AllocBytes: 64000}
+	r := u.Report(500)
+	if r.TrialsPerSec != 250 {
+		t.Errorf("trials/sec = %v, want 250", r.TrialsPerSec)
+	}
+	if r.NsPerTrial != 4e6 {
+		t.Errorf("ns/trial = %v, want 4e6", r.NsPerTrial)
+	}
+	if r.AllocsPerTrial != 2 {
+		t.Errorf("allocs/trial = %v, want 2", r.AllocsPerTrial)
+	}
+	if r.AllocBytesPerTrial != 128 {
+		t.Errorf("alloc bytes/trial = %v, want 128", r.AllocBytesPerTrial)
+	}
+	// Degenerate inputs must not divide by zero.
+	z := Usage{}.Report(0)
+	if z.TrialsPerSec != 0 || z.NsPerTrial != 0 {
+		t.Errorf("zero usage report = %+v", z)
+	}
+}
+
+func TestCostReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cost.json")
+	want := Usage{Wall: time.Second, Allocs: 10, AllocBytes: 100}.Report(10)
+	want.Workload = "matmul"
+	want.Scheme = "turnpike"
+	want.CPUProfile = "camp.cpu.pprof"
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCostReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if s := got.String(); !strings.Contains(s, "trials/sec") || !strings.Contains(s, "allocs/trial") {
+		t.Errorf("summary line missing fields: %s", s)
+	}
+}
+
+func TestMeasureBracketsWork(t *testing.T) {
+	u, err := Measure(func() error {
+		s := make([]int, 1<<16)
+		s[0] = 1
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Wall < time.Millisecond {
+		t.Errorf("wall = %v, want >= 1ms", u.Wall)
+	}
+	if u.AllocBytes < 1<<16 {
+		t.Errorf("alloc bytes = %d, want >= 64KiB", u.AllocBytes)
+	}
+}

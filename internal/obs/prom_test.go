@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
@@ -185,6 +187,104 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	// Family count matches: no extra or dropped metrics.
 	if want := len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms); len(fams) != want {
 		t.Errorf("rendered %d families, want %d", len(fams), want)
+	}
+}
+
+// TestPromEmptyHistogram: a histogram that was created but never
+// observed must still render as a complete, parseable family — all
+// buckets zero, sum and count zero — not be dropped or emit bare lines.
+func TestPromEmptyHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("service.queue_wait_us", []uint64{1, 4, 16})
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePrometheus(t, buf.String())
+	f, ok := fams["service_queue_wait_us"]
+	if !ok || f.typ != "histogram" {
+		t.Fatalf("empty histogram missing from exposition: %+v", fams)
+	}
+	if f.sum != 0 || f.count != 0 {
+		t.Errorf("empty histogram sum/count = %d/%d, want 0/0", f.sum, f.count)
+	}
+	for _, le := range []string{"1", "4", "16", "+Inf"} {
+		if v, seen := f.samples[le]; !seen || v != 0 {
+			t.Errorf("empty histogram bucket le=%s = %d (seen=%v), want 0", le, v, seen)
+		}
+	}
+}
+
+// TestPromEmptySnapshot: no metrics, no output — not a partial header.
+func TestPromEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Snapshot{}).WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", buf.String())
+	}
+}
+
+// TestPromRouteLabelEscaping: the RED metric names are built from HTTP
+// route patterns; even a raw, unsanitized pattern leaking into a metric
+// name must come out as a valid exposition name with the label-ish
+// characters ({, }, /, space) collapsed.
+func TestPromRouteLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http.requests." + RouteLabel("GET /jobs/{id}/events")).Add(2)
+	reg.Counter(`http.requests.GET /jobs/{id}`).Add(1) // hostile: raw pattern
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePrometheus(t, buf.String()) // parser rejects invalid names
+	if f := fams["http_requests_get_jobs_id_events_total"]; f.samples[""] != 2 {
+		t.Errorf("route-labeled counter missing: %+v", fams)
+	}
+	// PromName collapses each invalid run to one underscore but does not
+	// trim the trailing one from "}", hence the double underscore.
+	if f := fams["http_requests_GET_jobs_id__total"]; f.samples[""] != 1 {
+		t.Errorf("raw pattern not escaped: %+v", fams)
+	}
+}
+
+// TestPromREDRoundTrip drives real requests through the instrumented
+// middleware and round-trips the resulting RED histograms through the
+// exposition parser.
+func TestPromREDRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := Instrument(reg, "post_jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("full") != "" {
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	}))
+	for _, q := range []string{"", "", "", "?full=1"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("POST", "/jobs"+q, nil))
+	}
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePrometheus(t, buf.String())
+	if f := fams["http_requests_post_jobs_total"]; f.typ != "counter" || f.samples[""] != 4 {
+		t.Errorf("requests family = %+v, want counter 4", f)
+	}
+	if f := fams["http_errors_post_jobs_total"]; f.samples[""] != 1 {
+		t.Errorf("errors family = %+v, want 1 (the 429)", f)
+	}
+	d, ok := fams["http_request_duration_us_post_jobs"]
+	if !ok || d.typ != "histogram" {
+		t.Fatalf("duration histogram missing: %+v", fams)
+	}
+	if d.count != 4 {
+		t.Errorf("duration count = %d, want 4", d.count)
+	}
+	if d.samples["+Inf"] != 4 {
+		t.Errorf("duration +Inf = %d, want 4", d.samples["+Inf"])
 	}
 }
 

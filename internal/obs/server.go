@@ -45,6 +45,11 @@ type ServerConfig struct {
 	// RunsDir is scanned for *.json run manifests by /runs. Empty means
 	// the current directory.
 	RunsDir string
+	// Instrument, when non-nil, wraps every route (built-in and
+	// Handle-registered, except /debug/pprof/*) with per-route RED
+	// metrics in this registry: http.requests.<route>,
+	// http.errors.<route>, http.request_duration_us.<route>.
+	Instrument *Registry
 }
 
 // liveFrame is one queued SSE frame.
@@ -62,18 +67,19 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg.RunsDir = "."
 	}
 	s := &Server{cfg: cfg, subs: map[chan liveFrame]struct{}{}}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
-	mux.HandleFunc("/runs", s.handleRuns)
-	mux.HandleFunc("/live", s.handleLive)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.mux = mux
+	s.mux = http.NewServeMux()
+	s.Handle("/", http.HandlerFunc(s.handleIndex))
+	s.Handle("/metrics", http.HandlerFunc(s.handleMetrics))
+	s.Handle("/snapshot.json", http.HandlerFunc(s.handleSnapshot))
+	s.Handle("/runs", http.HandlerFunc(s.handleRuns))
+	s.Handle("/live", http.HandlerFunc(s.handleLive))
+	// pprof stays uninstrumented: profiling requests should not skew the
+	// RED metrics they are used to investigate.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -83,12 +89,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Handle registers an additional route on the server's mux — the hook the
 // campaign service daemon uses to mount its job API next to /metrics and
 // /live. Register before Start; the pattern syntax is net/http's
-// (method-and-wildcard patterns included).
-func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+// (method-and-wildcard patterns included). With cfg.Instrument set the
+// route is wrapped in RED metrics, labeled by its pattern — the wrap
+// happens here, at registration time, because the stdlib in go.mod's
+// declared version does not expose the matched pattern on the request.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, Instrument(s.cfg.Instrument, RouteLabel(pattern), h))
+}
 
 // HandleFunc is Handle for a plain handler function.
 func (s *Server) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
-	s.mux.HandleFunc(pattern, h)
+	s.Handle(pattern, http.HandlerFunc(h))
 }
 
 // Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves in a

@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"context"
+	"log/slog"
+)
+
+// Structured logging attachment. The simulator logs only rare events —
+// recovery episodes, containment aborts (DUEs), degradation-controller
+// transitions — never per-cycle or per-instruction work, so an attached
+// logger costs one nil check at each rare site and nothing in the hot
+// loop (BenchmarkSimLogDisabled pins that). The context carries the
+// correlation chain (request → job → shard → trial) a campaign worker
+// established, so every recovery line in the terminal log names the
+// exact trial that recovered.
+
+// AttachLogger makes the simulator log rare events through l with ctx's
+// correlation chain; nil l detaches. Attach before stepping.
+func (s *Sim) AttachLogger(ctx context.Context, l *slog.Logger) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.log, s.logCtx = l, ctx
+}
+
+// logRecovery reports one completed recovery episode. Debug level: a
+// healthy campaign recovers on most trials, and the flight recorder can
+// keep Debug while the terminal log stays at Info.
+func (s *Sim) logRecovery(startCycle uint64, restartID, squashed, discarded int) {
+	if s.log == nil {
+		return
+	}
+	s.log.LogAttrs(s.logCtx, slog.LevelDebug, "recovery",
+		slog.Uint64("cycle", startCycle),
+		slog.Int("region", restartID),
+		slog.Int("squashed_regions", squashed),
+		slog.Int("discarded_stores", discarded),
+		slog.Uint64("recovery_cycles", s.cycle-startCycle),
+	)
+}
+
+// logDUE reports a containment abort — the machine-check path.
+func (s *Sim) logDUE(uncontained int, late bool) {
+	if s.log == nil {
+		return
+	}
+	s.log.LogAttrs(s.logCtx, slog.LevelInfo, "containment abort",
+		slog.Uint64("cycle", s.cycle),
+		slog.Int("uncontained", uncontained),
+		slog.Bool("late", late),
+	)
+}
+
+// logDegradeEnter reports the degradation controller suspending fast
+// release after a late detection.
+func (s *Sim) logDegradeEnter() {
+	if s.log == nil {
+		return
+	}
+	s.log.LogAttrs(s.logCtx, slog.LevelDebug, "degrade enter",
+		slog.Uint64("cycle", s.cycle),
+		slog.Uint64("window", s.Cfg.DegradeWindow),
+	)
+}

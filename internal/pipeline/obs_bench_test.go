@@ -1,11 +1,13 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 )
 
 // benchProg compiles the standard test kernel once per benchmark.
@@ -69,3 +71,45 @@ type discardSink struct{}
 
 func (discardSink) Emit(obs.Event) error { return nil }
 func (discardSink) Close() error         { return nil }
+
+// BenchmarkSimLogDisabled measures the simulator with no logger
+// attached — the default. Compare against BenchmarkSimObsDisabled: the
+// two must be indistinguishable, because rare-event logging costs one
+// nil check at sites the hot loop never reaches.
+func BenchmarkSimLogDisabled(b *testing.B) {
+	prog := benchProg(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(prog, TurnpikeConfig(4, 10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed(s.Mem, 200)
+		s.AttachLogger(context.Background(), nil)
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimLogNop attaches a never-enabled logger — the cost when a
+// caller hands every simulator a shared disabled logger instead of nil.
+func BenchmarkSimLogNop(b *testing.B) {
+	prog := benchProg(b)
+	l := olog.Nop()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(prog, TurnpikeConfig(4, 10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed(s.Mem, 200)
+		s.AttachLogger(ctx, l)
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

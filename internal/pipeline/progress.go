@@ -30,6 +30,7 @@ type Progress struct {
 	SBOcc        atomic.Int64 // store-buffer entries at last publication
 	CLQOcc       atomic.Int64 // CLQ occupancy at last publication (-1: no CLQ)
 	JobsQueued   atomic.Int64 // campaign-service jobs waiting in the bounded queue
+	JobsRunning  atomic.Int64 // campaign-service jobs currently executing
 	BreakersOpen atomic.Int64 // campaign-service circuit breakers currently open
 }
 
@@ -81,6 +82,7 @@ type ProgressSample struct {
 	SBOcc           int64   `json:"sb_occupancy"`
 	CLQOcc          int64   `json:"clq_occupancy"`
 	JobsQueued      int64   `json:"jobs_queued"`
+	JobsRunning     int64   `json:"jobs_running"`
 	BreakersOpen    int64   `json:"breakers_open"`
 }
 
@@ -165,6 +167,7 @@ func (sp *Sampler) sample() ProgressSample {
 		SBOcc:           p.SBOcc.Load(),
 		CLQOcc:          p.CLQOcc.Load(),
 		JobsQueued:      p.JobsQueued.Load(),
+		JobsRunning:     p.JobsRunning.Load(),
 		BreakersOpen:    p.BreakersOpen.Load(),
 	}
 	if s.Cycles > 0 {
@@ -188,6 +191,7 @@ func (sp *Sampler) sample() ProgressSample {
 		sp.reg.Gauge("live.sb_occupancy").Set(s.SBOcc)
 		sp.reg.Gauge("live.clq_occupancy").Set(s.CLQOcc)
 		sp.reg.Gauge("live.jobs_queued").Set(s.JobsQueued)
+		sp.reg.Gauge("live.jobs_running").Set(s.JobsRunning)
 		sp.reg.Gauge("live.breakers_open").Set(s.BreakersOpen)
 	}
 	if sp.onSample != nil {

@@ -76,6 +76,7 @@ func (s *Sim) enterDegraded() {
 			s.obs.Tracer.Instant(trackSensor, "mesh", "degrade-enter", s.cycle,
 				map[string]any{"window": s.Cfg.DegradeWindow})
 		}
+		s.logDegradeEnter()
 	}
 	s.degradedUntil = s.cycle + s.Cfg.DegradeWindow
 }
@@ -263,6 +264,7 @@ func (s *Sim) fireDetections() error {
 				s.obs.Tracer.Instant(trackSensor, "sensor", "due", s.cycle,
 					map[string]any{"uncontained": uncontained})
 			}
+			s.logDUE(uncontained, hasLate)
 			return &DUEError{Cycle: s.cycle, Late: hasLate}
 		}
 		s.Stats.DroppedDetections += uint64(uncontained)
@@ -367,6 +369,7 @@ func (s *Sim) recover() error {
 				"squashed_regions": squashed, "discarded_stores": discarded, "recovery_pc": rpc,
 			})
 	}
+	s.logRecovery(startCycle, restartID, squashed, discarded)
 	return nil
 }
 

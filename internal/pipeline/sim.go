@@ -1,7 +1,9 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 
 	"repro/internal/cache"
 	"repro/internal/isa"
@@ -71,6 +73,12 @@ type Sim struct {
 	// obs is the optional observability attachment (AttachObs). Nil means
 	// disabled; every instrumentation site is guarded by one nil check.
 	obs *Obs
+
+	// log is the optional structured-logging attachment (AttachLogger);
+	// logCtx carries its correlation chain. Nil log disables; only rare
+	// events (recovery, DUE, degrade transitions) are logged.
+	log    *slog.Logger
+	logCtx context.Context
 
 	// progress is the optional live-progress attachment (AttachProgress);
 	// published remembers the counter values already pushed into it so

@@ -9,26 +9,58 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 )
 
 // Mount registers the job API and the probe endpoints on an obs.Server's
 // mux, next to /metrics and /live:
 //
-//	POST   /jobs        submit a JobSpec; 202 + Job, 429 when the queue
-//	                    is full (Retry-After set), 503 when draining or
-//	                    the workload's breaker is open
-//	GET    /jobs        every job, submission order
-//	GET    /jobs/{id}   one job
-//	DELETE /jobs/{id}   cancel one job
-//	GET    /healthz     liveness: 200 while the process serves
-//	GET    /readyz      readiness: 503 while draining or queue-saturated
+//	POST   /jobs               submit a JobSpec; 202 + Job, 429 when the
+//	                           queue is full (Retry-After set), 503 when
+//	                           draining or the workload's breaker is open
+//	GET    /jobs               every job, submission order
+//	GET    /jobs/{id}          one job
+//	GET    /jobs/{id}/events   the job's flight-recorder timeline
+//	DELETE /jobs/{id}          cancel one job
+//	GET    /healthz            liveness: 200 while the process serves
+//	GET    /readyz             readiness: 503 while draining or saturated
+//
+// Every handler runs behind the access middleware: the request gets a
+// correlation ID (the caller's X-Request-ID, or a fresh one), the ID is
+// echoed on the response, and exactly one access-log line is emitted per
+// request — rejections (429/503) included.
 func (s *Service) Mount(srv *obs.Server) {
-	srv.HandleFunc("POST /jobs", s.handleSubmit)
-	srv.HandleFunc("GET /jobs", s.handleList)
-	srv.HandleFunc("GET /jobs/{id}", s.handleJob)
-	srv.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
-	srv.HandleFunc("GET /healthz", s.handleHealthz)
-	srv.HandleFunc("GET /readyz", s.handleReadyz)
+	srv.HandleFunc("POST /jobs", s.access(s.handleSubmit))
+	srv.HandleFunc("GET /jobs", s.access(s.handleList))
+	srv.HandleFunc("GET /jobs/{id}", s.access(s.handleJob))
+	srv.HandleFunc("GET /jobs/{id}/events", s.access(s.handleEvents))
+	srv.HandleFunc("DELETE /jobs/{id}", s.access(s.handleCancel))
+	srv.HandleFunc("GET /healthz", s.access(s.handleHealthz))
+	srv.HandleFunc("GET /readyz", s.access(s.handleReadyz))
+}
+
+// access is the correlation + access-log middleware. It reuses the RED
+// middleware's response recorder when the obs.Server layer already
+// installed one, so both layers agree on the status code.
+func (s *Service) access(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = olog.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := olog.WithRequestID(r.Context(), reqID)
+		rec, ok := w.(*obs.ResponseRecorder)
+		if !ok {
+			rec = obs.NewResponseRecorder(w)
+		}
+		start := time.Now()
+		next(rec, r.WithContext(ctx))
+		s.log.InfoContext(ctx, "http request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.Status(), "bytes", rec.Bytes(),
+			"duration_us", time.Since(start).Microseconds())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -49,7 +81,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
 		return
 	}
-	j, err := s.Submit(spec)
+	j, err := s.SubmitCtx(r.Context(), spec)
 	if err == nil {
 		writeJSON(w, http.StatusAccepted, j)
 		return
@@ -83,6 +115,26 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
+}
+
+// handleEvents serves the flight recorder's timeline for one job: every
+// retained log record whose correlation chain names the job, oldest
+// first — the post-mortem view without grepping the terminal log.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Job(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if s.cfg.Events == nil {
+		writeError(w, http.StatusNotFound, errors.New("service: no flight recorder attached"))
+		return
+	}
+	evs := s.cfg.Events.JobEvents(id)
+	if evs == nil {
+		evs = []olog.Event{}
+	}
+	writeJSON(w, http.StatusOK, evs)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

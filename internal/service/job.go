@@ -87,6 +87,11 @@ type Job struct {
 	ID    string  `json:"id"`
 	Spec  JobSpec `json:"spec"`
 	State State   `json:"state"`
+	// RequestID is the correlation ID of the HTTP request that submitted
+	// the job — the key that joins the access log, the job's lifecycle
+	// records, and its campaign's per-trial lines. Persisted so log
+	// correlation survives a daemon restart.
+	RequestID string `json:"request_id,omitempty"`
 	// Attempts counts started runs of this job (retries included).
 	Attempts int `json:"attempts,omitempty"`
 	// Error is the most recent failure, kept across retries until a
@@ -101,6 +106,12 @@ type Job struct {
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
 	FinishedAt  time.Time `json:"finished_at"`
+
+	// queuedAt is when the job last entered the queue (submission,
+	// requeue after backoff, or restore). It feeds the queue-wait
+	// histogram and is deliberately not persisted: a wait that spans a
+	// daemon restart is a restart artifact, not queue pressure.
+	queuedAt time.Time
 }
 
 // clone returns a copy safe to serve to HTTP handlers after the service

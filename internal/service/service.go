@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/pipeline"
 )
 
@@ -60,10 +62,24 @@ type Config struct {
 	// daemon wires it into campaign configs).
 	Progress *pipeline.Progress
 	// Metrics, when set, receives service counters (submitted, done,
-	// failed, retried, rejected, breaker trips).
+	// failed, retried, rejected, breaker trips) and the RED latency
+	// histograms (queue wait, attempt latency).
 	Metrics *obs.Registry
-	// Logf receives operational log lines; nil discards.
+	// Logger, when set, receives the service's structured log: one
+	// record per job state transition, breaker/retry events, and the
+	// operational warnings, each stamped with the request/job correlation
+	// chain. Supersedes Logf as the primary sink.
+	Logger *slog.Logger
+	// Logf is the legacy printf hook. When Logger is nil, every
+	// structured record (Info and up) is rendered "msg key=value ..."
+	// through it, so existing callers keep their log lines. Nil discards
+	// (unless Logger is set).
 	Logf func(format string, args ...any)
+	// Events, when set, is the flight recorder whose ring backs the
+	// GET /jobs/{id}/events timeline and the on-failure dumps. Wire the
+	// same Recorder as a fanout leg of Logger (olog.Attach) so every
+	// logged record lands in the ring with its correlation intact.
+	Events *olog.Recorder
 }
 
 func (c *Config) fillDefaults() error {
@@ -140,6 +156,14 @@ func (e *BreakerOpenError) Error() string {
 // daemon resumes where it stood.
 type Service struct {
 	cfg Config
+	// log is the resolved structured logger: cfg.Logger, else cfg.Logf
+	// through the olog.Logf adapter, else a nop. Never nil.
+	log *slog.Logger
+	// queueWait and attemptLat are the service's RED histograms (nil
+	// without cfg.Metrics): how long jobs sit queued before a worker
+	// picks them up, and how long one runner attempt takes.
+	queueWait  *obs.Histogram
+	attemptLat *obs.Histogram
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -176,6 +200,21 @@ func New(cfg Config) (*Service, error) {
 		nextID:   1,
 		now:      time.Now,
 	}
+	switch {
+	case cfg.Logger != nil:
+		s.log = cfg.Logger
+	case cfg.Logf != nil:
+		s.log = olog.Logf(cfg.Logf)
+	default:
+		s.log = olog.Nop()
+	}
+	if cfg.Metrics != nil {
+		// Microsecond buckets spanning 1µs..~17min: queue waits are
+		// milliseconds under light load but reach minutes behind a
+		// saturated queue or a long backoff.
+		s.queueWait = cfg.Metrics.Histogram("service.queue_wait_us", obs.ExpBuckets(1, 4, 16))
+		s.attemptLat = cfg.Metrics.Histogram("service.attempt_latency_us", obs.ExpBuckets(1, 4, 16))
+	}
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.loadState(); err != nil {
 		return nil, err
@@ -183,6 +222,7 @@ func New(cfg Config) (*Service, error) {
 	restored := 0
 	for _, id := range s.order {
 		if s.jobs[id].State == StateQueued {
+			s.jobs[id].queuedAt = s.now()
 			s.pending = append(s.pending, id)
 			restored++
 		}
@@ -211,10 +251,18 @@ func (s *Service) Start() {
 	}
 }
 
-// Submit validates, admits, persists, and queues one job. Rejections:
-// ErrDraining, *BreakerOpenError (the workload is failing permanently),
-// *QueueFullError (backpressure).
+// Submit validates, admits, persists, and queues one job with no
+// request correlation. Rejections: ErrDraining, *BreakerOpenError (the
+// workload is failing permanently), *QueueFullError (backpressure).
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit plus correlation: the request ID carried by ctx
+// (olog.WithRequestID — the HTTP layer stamps it) is recorded on the
+// job, so the access log, the job's lifecycle records, and its
+// campaign's trial lines all join on one ID.
+func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -247,8 +295,10 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		ID:          id,
 		Spec:        spec,
 		State:       StateQueued,
+		RequestID:   olog.FromContext(ctx).RequestID,
 		Checkpoint:  id + ".ckpt.json",
 		SubmittedAt: now,
+		queuedAt:    now,
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
@@ -264,6 +314,9 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.updateGauges()
 	s.cond.Signal()
+	s.log.InfoContext(olog.WithJobID(ctx, id), "job submitted",
+		"workload", spec.Workload(), "trials", spec.Trials, "seed", spec.Seed,
+		"queue_depth", len(s.pending))
 	return j.clone(), nil
 }
 
@@ -444,22 +497,40 @@ func (s *Service) runJob(id string) {
 	j.State = StateRunning
 	j.Attempts++
 	j.StartedAt = s.now()
-	runCtx, cancel := context.WithCancel(context.Background())
+	if s.queueWait != nil && !j.queuedAt.IsZero() {
+		s.queueWait.Observe(uint64(j.StartedAt.Sub(j.queuedAt).Microseconds()))
+	}
+	// jobCtx re-roots the correlation chain recorded at submission: the
+	// runner's campaign inherits it, so every trial line a campaign logs
+	// joins the submitting request's access-log line on request_id.
+	jobCtx := context.Background()
+	if j.RequestID != "" {
+		jobCtx = olog.WithRequestID(jobCtx, j.RequestID)
+	}
+	jobCtx = olog.WithJobID(jobCtx, id)
+	runCtx, cancel := context.WithCancel(jobCtx)
 	if s.cfg.JobDeadline > 0 {
-		runCtx, cancel = context.WithTimeout(context.Background(), s.cfg.JobDeadline)
+		runCtx, cancel = context.WithTimeout(jobCtx, s.cfg.JobDeadline)
 	}
 	s.running[id] = cancel
 	ckpt := filepath.Join(s.cfg.StateDir, j.Checkpoint)
 	spec := j.Spec
 	attempt := j.Attempts
 	if err := s.persistLocked(); err != nil {
-		s.logf("warning: %v", err)
+		s.warn(jobCtx, err)
 	}
 	s.mu.Unlock()
-	s.logf("%s attempt %d: %s (trials=%d seed=%d)", id, attempt, spec.Workload(), spec.Trials, spec.Seed)
+	s.log.InfoContext(jobCtx, "attempt start",
+		"attempt", attempt, "workload", spec.Workload(),
+		"trials", spec.Trials, "seed", spec.Seed)
 
+	started := time.Now()
 	res, err := s.cfg.Runner(runCtx, spec, ckpt)
+	elapsed := time.Since(started)
 	cancel()
+	if s.attemptLat != nil {
+		s.attemptLat.Observe(uint64(elapsed.Microseconds()))
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -476,16 +547,24 @@ func (s *Service) runJob(id string) {
 		j.Result = res
 		j.Error = ""
 		j.FinishedAt = now
-		s.breakerFor(spec.Workload()).success()
+		b := s.breakerFor(spec.Workload())
+		if b.isOpen {
+			s.log.InfoContext(jobCtx, "breaker closed", "workload", spec.Workload())
+		}
+		b.success()
 		s.count("service.jobs_done")
 		os.Remove(ckpt) // the result is in the state file; the watermark is spent
-		s.logf("%s done: %d/%d trials", id, res.CompletedTrials, spec.Trials)
+		s.log.InfoContext(jobCtx, "job done",
+			"completed", res.CompletedTrials, "trials", spec.Trials,
+			"attempt", attempt, "elapsed_ms", elapsed.Milliseconds())
 	case s.draining:
 		// The drain cut this attempt short; that is not a failure. The
 		// checkpoint holds the watermark — re-queue for the next life.
 		j.State = StateQueued
 		j.Attempts--
 		persist = !s.aborted
+		s.log.InfoContext(jobCtx, "attempt interrupted by drain; requeued for next life",
+			"attempt", attempt)
 	default:
 		j.Error = err.Error()
 		class := Classify(err)
@@ -496,7 +575,9 @@ func (s *Service) runJob(id string) {
 				s.cfg.Progress.Retries.Add(1)
 			}
 			s.count("service.retries")
-			s.logf("%s attempt %d failed (transient): %v — retrying in %s", id, attempt, err, delay.Round(time.Millisecond))
+			s.log.WarnContext(jobCtx, "attempt failed (transient); retrying",
+				"attempt", attempt, "error", err.Error(),
+				"retry_in_ms", delay.Round(time.Millisecond).Milliseconds())
 			s.timers[id] = time.AfterFunc(delay, func() { s.requeue(id) })
 		} else {
 			j.State = StateFailed
@@ -507,21 +588,49 @@ func (s *Service) runJob(id string) {
 				b.failure(now)
 				if b.isOpen {
 					s.count("service.breaker_trips")
-					s.logf("%s failed permanently: %v — breaker OPEN for %s", id, err, spec.Workload())
+					s.log.ErrorContext(jobCtx, "job failed permanently; breaker open",
+						"attempt", attempt, "error", err.Error(), "workload", spec.Workload())
 				} else {
-					s.logf("%s failed permanently: %v", id, err)
+					s.log.ErrorContext(jobCtx, "job failed permanently",
+						"attempt", attempt, "error", err.Error())
 				}
 			} else {
-				s.logf("%s failed after %d attempts: %v", id, j.Attempts, err)
+				s.log.ErrorContext(jobCtx, "job failed; attempts exhausted",
+					"attempts", j.Attempts, "error", err.Error())
 			}
+			s.dumpEvents(jobCtx, id)
 		}
 	}
 	if persist {
 		if err := s.persistLocked(); err != nil {
-			s.logf("warning: %v", err)
+			s.warn(jobCtx, err)
 		}
 	}
 	s.updateGauges()
+}
+
+// dumpEvents writes the flight recorder's timeline for one failed job to
+// <StateDir>/<id>.events.jsonl — the post-mortem a bounded ring exists
+// for. Best-effort: a dump failure is itself only worth a warning.
+func (s *Service) dumpEvents(ctx context.Context, id string) {
+	if s.cfg.Events == nil {
+		return
+	}
+	path := filepath.Join(s.cfg.StateDir, id+".events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		s.warn(ctx, fmt.Errorf("service: event dump: %w", err))
+		return
+	}
+	n, err := s.cfg.Events.DumpJob(f, id)
+	if cErr := f.Close(); err == nil {
+		err = cErr
+	}
+	if err != nil {
+		s.warn(ctx, fmt.Errorf("service: event dump: %w", err))
+		return
+	}
+	s.log.InfoContext(ctx, "flight recorder dumped", "events", n, "path", path)
 }
 
 // requeue moves a retrying job back into the queue once its backoff
@@ -535,9 +644,15 @@ func (s *Service) requeue(id string) {
 		return
 	}
 	j.State = StateQueued
+	j.queuedAt = s.now()
 	s.pending = append(s.pending, id)
+	ctx := olog.WithJobID(context.Background(), id)
+	if j.RequestID != "" {
+		ctx = olog.WithRequestID(ctx, j.RequestID)
+	}
+	s.log.InfoContext(ctx, "backoff elapsed; requeued", "attempt", j.Attempts)
 	if err := s.persistLocked(); err != nil {
-		s.logf("warning: %v", err)
+		s.warn(ctx, err)
 	}
 	s.updateGauges()
 	s.cond.Signal()
@@ -576,6 +691,7 @@ func (s *Service) updateGauges() {
 		return
 	}
 	s.cfg.Progress.JobsQueued.Store(int64(len(s.pending)))
+	s.cfg.Progress.JobsRunning.Store(int64(len(s.running)))
 	open := 0
 	for _, b := range s.breakers {
 		if b.isOpen {
@@ -593,8 +709,16 @@ func (s *Service) count(name string) {
 	}
 }
 
+// logf renders a legacy printf-style line through the structured logger
+// at Info. With only cfg.Logf configured the olog.Logf adapter hands the
+// rendered text straight back to it, so pre-structured callers see the
+// exact lines they always did.
 func (s *Service) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
+	s.log.Info(fmt.Sprintf(format, args...))
+}
+
+// warn reports an operational error (persist failure, event-dump
+// failure) that the service survives.
+func (s *Service) warn(ctx context.Context, err error) {
+	s.log.WarnContext(ctx, "warning", "error", err.Error())
 }

@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -226,8 +227,14 @@ type FaultCampaignConfig struct {
 	// killed job loses at most a few trials. See fault.Config.
 	CheckpointEvery int
 	// Warnf, when non-nil, receives non-fatal campaign warnings (today: a
-	// corrupt checkpoint file being discarded for a fresh run).
+	// corrupt checkpoint file being discarded for a fresh run). The
+	// legacy printf hook; prefer Logger.
 	Warnf func(format string, args ...any)
+	// Logger, when non-nil, receives the campaign's structured log —
+	// lifecycle events, per-trial Debug records, and the simulator's
+	// rare events — stamped with the caller context's correlation chain.
+	// See fault.Config.Logger.
+	Logger *slog.Logger
 	// Adversary, when non-nil, switches the campaign to the
 	// imperfect-mesh fault model: dead sensors, detections beyond the
 	// WCDL, fault bursts, and false positives. See fault.Adversary.
@@ -316,6 +323,7 @@ func InjectFaultsContext(ctx context.Context, bench string, scheme Scheme, cfg F
 		CheckpointEvery: cfg.CheckpointEvery,
 		Adversary:       cfg.Adversary,
 		Warnf:           cfg.Warnf,
+		Logger:          cfg.Logger,
 	}, seedMem)
 }
 
