@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	turnpike "repro"
 	"repro/internal/obs"
 	"repro/internal/obs/profile"
+	"repro/internal/obs/span"
 )
 
 func main() {
@@ -82,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tolAllocs   = fs.Float64("tol-allocs", 25.0, "max allocs/trial growth before regression (percent)")
 		tolTrialSec = fs.Float64("tol-trialsec", 0, "max trials/sec loss before regression (percent); 0 disables the gate (wall-clock is machine-dependent)")
 		profileDir  = fs.String("profile", "", "directory for pprof profiles + cost report bracketing the campaign cells (empty = off)")
+		spansOut    = fs.String("spans", "", "wall-clock span trace file for the campaign cells (.jsonl = JSON lines, else Chrome trace JSON) plus a phase-budget table (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -128,10 +131,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *trials > 0 {
-		if err := measureCampaignCost(benches, schemeNames, *trials, *scale, *sb, *wcdl,
+		// -spans: the campaign cells run under a wall-clock tracer; the
+		// trace file and a phase-budget table land after the matrix. Note
+		// the recorded spans add a handful of allocations per *campaign*
+		// (not per trial), so the allocs/trial gate is unaffected at
+		// default tolerances.
+		ctx := context.Background()
+		var tracer *span.Tracer
+		var spanFile *os.File
+		if *spansOut != "" {
+			var err error
+			spanFile, err = os.Create(*spansOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "bench: %v\n", err)
+				return 1
+			}
+			tracer = span.New(span.Config{Sink: obs.SinkForPath(spanFile, *spansOut)})
+			ctx = span.Into(ctx, tracer)
+		}
+		if err := measureCampaignCost(ctx, benches, schemeNames, *trials, *scale, *sb, *wcdl,
 			*profileDir, results, stdout); err != nil {
 			fmt.Fprintf(stderr, "bench: %v\n", err)
 			return 1
+		}
+		if tracer != nil {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(stderr, "bench: span trace: %v\n", err)
+			}
+			if err := spanFile.Close(); err != nil {
+				fmt.Fprintf(stderr, "bench: span trace: %v\n", err)
+			}
+			fmt.Fprint(stdout, span.Analyze("", tracer.Spans()).Table("phase budget (wall clock)").Render())
+			fmt.Fprintf(stdout, "span trace written to %s\n", *spansOut)
 		}
 	}
 	man.Extra["results"] = results
@@ -190,7 +221,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // trials/sec remains machine-dependent, which is why its gate defaults
 // off. With profileDir set, one CPU+heap profile pair brackets all the
 // campaign cells and a cost report totalling them is written next to it.
-func measureCampaignCost(benches, schemeNames []string, trials, scale, sb, wcdl int,
+func measureCampaignCost(ctx context.Context, benches, schemeNames []string, trials, scale, sb, wcdl int,
 	profileDir string, results map[string]benchResult, stdout io.Writer) error {
 	var cap *profile.Capture
 	if profileDir != "" {
@@ -206,13 +237,16 @@ func measureCampaignCost(benches, schemeNames []string, trials, scale, sb, wcdl 
 			if sn == "baseline" {
 				continue // no detection, no campaign to cost
 			}
+			cctx, csp := span.Start(ctx, "cli", "campaign")
+			csp.SetArg("cell", b+"/"+sn)
 			u, err := profile.Measure(func() error {
-				_, err := turnpike.InjectFaults(b, schemeByName[sn], turnpike.FaultCampaignConfig{
+				_, err := turnpike.InjectFaultsContext(cctx, b, schemeByName[sn], turnpike.FaultCampaignConfig{
 					Trials: trials, Seed: 1, Workers: 1, FailureBudget: -1,
 					ScalePct: scale, SBSize: sb, WCDL: wcdl,
 				})
 				return err
 			})
+			csp.End()
 			if err != nil {
 				return fmt.Errorf("%s/%s campaign: %w", b, sn, err)
 			}

@@ -21,6 +21,15 @@
 // served per job at /jobs/{id}/events, dumped to the state dir when a
 // job fails permanently, and dumped to stderr on SIGQUIT.
 //
+// A wall-clock span tracer (-spans ring capacity, 0 disables) records
+// each job's lifecycle phases — queue wait, attempt, golden run,
+// per-shard execution, checkpoint writes, merge, persists — stamped with
+// the same correlation chain. The retained spans are served per job at
+// /jobs/{id}/trace (Chrome trace JSON, loadable in Perfetto) and rolled
+// into a phase-budget report at /jobs/{id}/phases; span.* duration
+// histograms land in /metrics. -span-file streams every completed span
+// to a file (.jsonl = JSON lines, anything else = Chrome trace JSON).
+//
 // Every job transition is persisted atomically under -state, and each
 // campaign checkpoints its completed trials there too. SIGTERM and
 // SIGINT drain: in-flight campaigns get up to -drain to finish, then
@@ -46,6 +55,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/span"
 	"repro/internal/pipeline"
 	"repro/internal/service"
 )
@@ -64,6 +74,8 @@ func main() {
 		logFormat   = flag.String("log-format", "json", "structured log format: json (machine-readable, pinned schema) or text")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug (per-trial campaign events), info, warn, error")
 		recorder    = flag.Int("recorder", 4096, "flight-recorder ring capacity (events); 0 disables the ring, /jobs/{id}/events, and SIGQUIT dumps")
+		spans       = flag.Int("spans", 8192, "wall-clock span ring capacity backing /jobs/{id}/trace and /jobs/{id}/phases; 0 disables span tracing")
+		spanFile    = flag.String("span-file", "", "stream completed spans to this file (.jsonl = JSON lines, else Chrome trace JSON for Perfetto)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -87,6 +99,23 @@ func main() {
 	reg := obs.NewRegistry()
 	progress := &pipeline.Progress{}
 
+	// The span tracer's ring backs the per-job HTTP endpoints; -span-file
+	// adds a streaming sink behind the tracer's flusher. The service owns
+	// the tracer's shutdown (Service.Shutdown closes it).
+	var tracer *span.Tracer
+	var spanOut *os.File
+	if *spans > 0 {
+		scfg := span.Config{Capacity: *spans, Metrics: reg}
+		if *spanFile != "" {
+			spanOut, err = os.Create(*spanFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			scfg.Sink = obs.SinkForPath(spanOut, *spanFile)
+		}
+		tracer = span.New(scfg)
+	}
+
 	svc, err := service.New(service.Config{
 		StateDir:         *state,
 		Runner:           campaignRunner(reg, progress, logger),
@@ -100,6 +129,7 @@ func main() {
 		Metrics:          reg,
 		Logger:           logger,
 		Events:           rec,
+		Spans:            tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -149,6 +179,15 @@ func main() {
 		log.Printf("warning: final state persist: %v", err)
 	}
 	cancel()
+	if spanOut != nil {
+		// Shutdown already closed the tracer (final flush + sink Close);
+		// only the file handle remains ours.
+		if err := spanOut.Close(); err != nil {
+			log.Printf("warning: span file: %v", err)
+		} else {
+			log.Printf("spans written to %s", *spanFile)
+		}
+	}
 	sampler.Stop()
 	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	if err := srv.Shutdown(httpCtx); err != nil {

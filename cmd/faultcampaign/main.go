@@ -18,6 +18,7 @@
 //	faultcampaign -resume ckpt -trials 10000 gcc # checkpoint to ckpt-gcc.json; re-run resumes
 //	faultcampaign -manifest run.json gcc   # write a JSON run manifest
 //	faultcampaign -serve :9090 -all        # live /metrics + /live SSE mid-campaign
+//	faultcampaign -spans trace.json gcc    # wall-clock spans (Perfetto) + phase budget
 //
 // Adversarial campaigns replace the perfect sensor mesh with an imperfect
 // one — dead sensors, detections beyond the WCDL, multi-strike bursts, and
@@ -44,6 +45,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obs/profile"
+	"repro/internal/obs/span"
 	"repro/internal/pipeline"
 )
 
@@ -67,6 +69,7 @@ func main() {
 		latefactor  = flag.Float64("latefactor", 0, "adversary: late detections bounded at latefactor x WCDL (0 = default 4)")
 		containment = flag.Bool("containment", true, "abort as DUE when a detection arrives after its region verified (off = unsafe, demonstrates SDC)")
 		profileDir  = flag.String("profile", "", "directory for pprof profiles (CPU + heap) and a per-trial cost report bracketing the whole campaign (empty = off)")
+		spansOut    = flag.String("spans", "", "wall-clock span trace file (.jsonl = JSON lines, else Chrome trace JSON for Perfetto) plus a phase-budget table (empty = off)")
 	)
 	cli := obs.RegisterCLI(flag.CommandLine, "faultcampaign")
 	flag.Parse()
@@ -146,6 +149,23 @@ func main() {
 		}()
 	}
 
+	// -spans: a wall-clock tracer rides the context into every campaign;
+	// each benchmark runs under one "campaign" root span, the engine's
+	// phases (golden run, shard execution, checkpoints, merge) nest under
+	// it, and the file + phase-budget table are written at the end.
+	var tracer *span.Tracer
+	var spanFile *os.File
+	if *spansOut != "" {
+		var err error
+		spanFile, err = os.Create(*spansOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tracer = span.New(span.Config{Metrics: reg, Sink: obs.SinkForPath(spanFile, *spansOut)})
+		ctx = span.Into(ctx, tracer)
+	}
+
 	// -profile: one CPU + heap capture brackets every campaign below; the
 	// cost report divides the usage over all completed trials.
 	var capture *profile.Capture
@@ -168,12 +188,15 @@ func main() {
 		if *resume != "" {
 			ckpt = fmt.Sprintf("%s-%s.json", *resume, b)
 		}
-		res, err := turnpike.InjectFaultsContext(ctx, b, sc, turnpike.FaultCampaignConfig{
+		bctx, bspan := span.Start(ctx, "cli", "campaign")
+		bspan.SetArg("bench", b)
+		res, err := turnpike.InjectFaultsContext(bctx, b, sc, turnpike.FaultCampaignConfig{
 			Trials: *trials, Seed: *seed, SBSize: *sb, WCDL: *wcdl, ScalePct: *scale,
 			Metrics: reg, Progress: progress,
 			Workers: *workers, FailureBudget: *budget, Checkpoint: ckpt,
 			Adversary: adv, Containment: containment,
 		})
+		bspan.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b, err)
 			if res == nil || ctx.Err() == nil {
@@ -237,6 +260,17 @@ func main() {
 		for _, line := range coverage {
 			fmt.Println("  " + line)
 		}
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "span trace: %v\n", err)
+		}
+		if err := spanFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "span trace: %v\n", err)
+		}
+		fmt.Println()
+		fmt.Print(span.Analyze("", tracer.Spans()).Table("phase budget (wall clock)").Render())
+		fmt.Printf("span trace written to %s (open in https://ui.perfetto.dev)\n", *spansOut)
 	}
 	printFailures(failures)
 	switch {

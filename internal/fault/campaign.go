@@ -7,10 +7,12 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/span"
 	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/sensor"
@@ -312,7 +314,13 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 		every = 64
 	}
 
-	golden, goldenStats, err := run(ctx, prog, cfg, seedMem, nil)
+	// The golden run is often the single biggest serial phase of a
+	// campaign; the span (with its nested pipeline setup) makes that
+	// visible in the per-job trace.
+	gctx, goldenSpan := span.Start(ctx, "fault", "golden_run")
+	golden, goldenStats, err := run(gctx, prog, cfg, seedMem, nil)
+	goldenSpan.SetArg("trials", cfg.Trials)
+	goldenSpan.End()
 	if err != nil {
 		// The simulator is deterministic: a golden run that fails now will
 		// fail on every retry, so the error is marked permanent.
@@ -326,14 +334,25 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 		}
 	}
 
+	// Plan derivation: resolving the sampler fixes the injection plan as
+	// a pure function of (seed, trial) — cheap for native samplers, a
+	// pre-draw of every trial for non-forkable ones.
+	planStart := time.Now()
 	e := &engine{prog: prog, cfg: cfg, seedMem: seedMem, golden: golden, maxAt: maxAt}
 	if err := e.resolveSampler(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
+	span.RecordCtx(ctx, "fault", "plan_derive", planStart, time.Now(),
+		map[string]any{"trials": cfg.Trials})
 
 	records := make([]*trialRecord, cfg.Trials)
 	if cfg.Checkpoint != "" {
-		if err := e.restore(records, goldenStats); err != nil {
+		// Restore covers reading the watermark file and re-deriving every
+		// completed trial's injection plan for validation.
+		restoreStart := time.Now()
+		err := e.restore(records, goldenStats)
+		span.RecordCtx(ctx, "fault", "checkpoint_restore", restoreStart, time.Now(), nil)
+		if err != nil {
 			if !errors.Is(err, ErrCheckpointCorrupt) {
 				return nil, err
 			}
@@ -404,19 +423,24 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 				cfg.Progress.Workers.Add(1)
 				defer cfg.Progress.Workers.Add(-1)
 			}
-			wctx := runCtx
-			if log != nil {
-				wctx = olog.WithShard(runCtx, shard)
-			}
+			wctx := olog.WithShard(runCtx, shard)
+			// One span per worker covers its whole trial stream; the
+			// per-trial loop runs with the tracer detached, so the hot
+			// path records nothing and the ring holds per-worker phases,
+			// not tens of thousands of per-trial slivers.
+			sctx, shardSpan := span.Start(wctx, "fault", "shard_exec")
+			loopCtx := span.Detach(sctx)
+			executed := 0
 			for t := range work {
 				if runCtx.Err() != nil {
-					return
+					break
 				}
-				tctx := wctx
+				tctx := loopCtx
 				if log != nil {
-					tctx = olog.WithTrial(wctx, t)
+					tctx = olog.WithTrial(loopCtx, t)
 				}
 				rec := e.runTrial(tctx, t)
+				executed++
 				if debugOn {
 					e.logTrial(tctx, rec)
 				}
@@ -431,24 +455,37 @@ func CampaignContext(ctx context.Context, prog *isa.Program, cfg Config, seedMem
 				}
 				if cfg.Checkpoint != "" && sinceCkpt >= every {
 					sinceCkpt = 0
-					if err := e.save(records, goldenStats); err != nil && ckptErr == nil {
+					ckptStart := time.Now()
+					err := e.save(records, goldenStats)
+					span.RecordCtx(sctx, "fault", "checkpoint_write", ckptStart, time.Now(),
+						map[string]any{"trial": t})
+					if err != nil && ckptErr == nil {
 						ckptErr = err
 						cancel()
 					}
 				}
 				mu.Unlock()
 			}
+			shardSpan.SetArg("trials", executed)
+			shardSpan.End()
 		}(w)
 	}
 	wg.Wait()
 
 	if cfg.Checkpoint != "" {
-		if err := e.save(records, goldenStats); err != nil && ckptErr == nil {
+		ckptStart := time.Now()
+		err := e.save(records, goldenStats)
+		span.RecordCtx(ctx, "fault", "checkpoint_write", ckptStart, time.Now(),
+			map[string]any{"final": true})
+		if err != nil && ckptErr == nil {
 			ckptErr = err
 		}
 	}
 
+	mergeStart := time.Now()
 	res := e.merge(records, goldenStats)
+	span.RecordCtx(ctx, "fault", "merge", mergeStart, time.Now(),
+		map[string]any{"completed": res.CompletedTrials})
 	if log != nil {
 		log.LogAttrs(ctx, slog.LevelInfo, "campaign complete",
 			slog.Int("completed", res.CompletedTrials),

@@ -373,7 +373,10 @@ type TrialFailure struct {
 // trial count ticks on the /live stream. ctx carries the correlation
 // chain the simulator's rare-event log lines are stamped with.
 func run(ctx context.Context, prog *isa.Program, cfg Config, seedMem func(*isa.Memory), inj *Injection) (*isa.Memory, pipeline.Stats, error) {
-	s, err := pipeline.New(prog, cfg.Sim)
+	// NewContext records a pipeline/setup span when ctx carries a span
+	// tracer. Per-trial contexts are span-detached by the campaign
+	// worker, so only the golden run (and direct callers) pay or log it.
+	s, err := pipeline.NewContext(ctx, prog, cfg.Sim)
 	if err != nil {
 		return nil, pipeline.Stats{}, err
 	}

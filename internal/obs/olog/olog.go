@@ -61,6 +61,14 @@ func FromContext(ctx context.Context) Corr {
 	return emptyCorr()
 }
 
+// WithCorr returns a context carrying exactly c as its correlation
+// chain, replacing any chain already present — the re-rooting primitive
+// for deriving a fresh job context from a stored record. Callers must
+// set unused Shard/Trial to -1 (0 is a valid index for both).
+func WithCorr(ctx context.Context, c Corr) context.Context {
+	return context.WithValue(ctx, corrKey{}, c)
+}
+
 // WithRequestID returns a context whose correlation chain carries the
 // HTTP request ID.
 func WithRequestID(ctx context.Context, id string) context.Context {

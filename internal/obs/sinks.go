@@ -7,11 +7,18 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// Sinks are safe for concurrent emitters: campaign shard workers emit
+// wall-clock spans from multiple goroutines into one sink, so Emit and
+// Close serialize on a per-sink mutex (one line / one buffered event at
+// a time; the underlying writer sees no interleaving).
 
 // JSONLSink writes one JSON object per event per line — the streaming
 // format for programmatic consumers (round-trips through encoding/json).
 type JSONLSink struct {
+	mu  sync.Mutex
 	enc *json.Encoder
 }
 
@@ -21,14 +28,19 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 }
 
 // Emit writes the event as one JSON line.
-func (s *JSONLSink) Emit(ev Event) error { return s.enc.Encode(ev) }
+func (s *JSONLSink) Emit(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(ev)
+}
 
 // Close is a no-op (the caller owns the writer).
 func (s *JSONLSink) Close() error { return nil }
 
 // TextSink writes human-readable lines, for quick eyeballing and tests.
 type TextSink struct {
-	w io.Writer
+	mu sync.Mutex
+	w  io.Writer
 }
 
 // NewTextSink wraps w.
@@ -36,6 +48,8 @@ func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
 
 // Emit writes one aligned text line.
 func (s *TextSink) Emit(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var args string
 	if len(ev.Args) > 0 {
 		parts := make([]string, 0, len(ev.Args))
@@ -62,6 +76,7 @@ func (s *TextSink) Close() error { return nil }
 // Simulated cycles map 1:1 to trace microseconds; tracks map to threads of
 // a single process, named via thread_name metadata.
 type ChromeSink struct {
+	mu     sync.Mutex
 	w      io.Writer
 	events []chromeEvent
 	tids   map[string]int
@@ -97,6 +112,8 @@ func (s *ChromeSink) tid(track string) int {
 
 // Emit buffers one event.
 func (s *ChromeSink) Emit(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	name := ev.Name
 	if name == "" {
 		name = "(unnamed)"
@@ -126,6 +143,8 @@ func (s *ChromeSink) Emit(ev Event) error {
 
 // Close writes the buffered trace as one JSON document.
 func (s *ChromeSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	all := make([]chromeEvent, 0, len(s.events)+len(s.order))
 	// thread_name metadata gives each track a labeled lane; sort_index
 	// keeps lane order stable across loads.

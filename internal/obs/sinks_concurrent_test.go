@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Campaign shard workers emit wall-clock spans into one sink from many
+// goroutines; Emit/Close must serialize internally. Run under -race.
+func TestSinksConcurrentEmit(t *testing.T) {
+	const goroutines, perG = 8, 200
+
+	hammer := func(s Sink) {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					ev := Event{
+						Kind: KindSpan, Track: fmt.Sprintf("track-%d", g),
+						Cat: "test", Name: fmt.Sprintf("ev-%d-%d", g, i),
+						Start: uint64(i), Dur: 1,
+					}
+					if err := s.Emit(ev); err != nil {
+						t.Errorf("Emit: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	t.Run("jsonl", func(t *testing.T) {
+		var buf bytes.Buffer
+		s := NewJSONLSink(&buf)
+		hammer(s)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != goroutines*perG {
+			t.Fatalf("got %d lines, want %d", len(lines), goroutines*perG)
+		}
+		for _, ln := range lines { // no interleaved/torn lines
+			var ev Event
+			if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+				t.Fatalf("torn JSONL line %q: %v", ln, err)
+			}
+		}
+	})
+
+	t.Run("chrome", func(t *testing.T) {
+		var buf bytes.Buffer
+		s := NewChromeSink(&buf)
+		hammer(s)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("not valid Chrome trace JSON: %v", err)
+		}
+		// goroutines thread_name metadata records + all emitted events
+		if got, want := len(doc.TraceEvents), goroutines*perG+goroutines; got != want {
+			t.Fatalf("trace has %d events, want %d", got, want)
+		}
+	})
+
+	t.Run("text", func(t *testing.T) {
+		var buf bytes.Buffer
+		s := NewTextSink(&buf)
+		hammer(s)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != goroutines*perG {
+			t.Fatalf("got %d lines, want %d", len(lines), goroutines*perG)
+		}
+	})
+}

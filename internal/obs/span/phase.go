@@ -1,0 +1,194 @@
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Phase-budget analysis: roll a job's completed spans into wall-time per
+// named phase, the fraction of the job window attributed to any phase,
+// and the critical path (the chain of longest spans from the dominant
+// root down). This is the answer to "where did this job's real time go"
+// — the measurement the trial-throughput speed campaign starts from.
+
+// PhaseStat is the aggregate for one layer/name phase.
+type PhaseStat struct {
+	Layer   string  `json:"layer"`
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalUS int64   `json:"total_us"`
+	Pct     float64 `json:"pct"` // of the job window
+}
+
+// PathStep is one hop on the critical path, root first.
+type PathStep struct {
+	Layer string  `json:"layer"`
+	Name  string  `json:"name"`
+	DurUS int64   `json:"dur_us"`
+	Pct   float64 `json:"pct"` // of the job window
+}
+
+// Report is the phase budget for one span set.
+type Report struct {
+	JobID         string      `json:"job_id,omitempty"`
+	Spans         int         `json:"spans"`
+	WindowUS      int64       `json:"window_us"`      // first span start → last span end
+	AttributedUS  int64       `json:"attributed_us"`  // union of root-span intervals
+	AttributedPct float64     `json:"attributed_pct"` // attributed / window
+	Phases        []PhaseStat `json:"phases"`
+	CriticalPath  []PathStep  `json:"critical_path"`
+}
+
+// Analyze rolls completed spans into a phase budget. The window is the
+// hull [min start, max end]; attribution is the interval union of root
+// spans (spans whose parent is absent from the set), so nested children
+// never double-count; phases group by layer+name; the critical path
+// starts at the longest root and repeatedly descends into the longest
+// child.
+func Analyze(jobID string, recs []Record) *Report {
+	rep := &Report{JobID: jobID, Spans: len(recs)}
+	if len(recs) == 0 {
+		return rep
+	}
+
+	present := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		present[r.ID] = true
+	}
+	children := map[uint64][]Record{}
+	var roots []Record
+	minStart := recs[0].Start
+	maxEnd := recs[0].End()
+	for _, r := range recs {
+		if r.Start.Before(minStart) {
+			minStart = r.Start
+		}
+		if e := r.End(); e.After(maxEnd) {
+			maxEnd = e
+		}
+		if r.Parent != 0 && present[r.Parent] {
+			children[r.Parent] = append(children[r.Parent], r)
+		} else {
+			roots = append(roots, r)
+		}
+	}
+	window := maxEnd.Sub(minStart)
+	rep.WindowUS = window.Microseconds()
+
+	// Attribution: sweep the union of root intervals.
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+	var attributed time.Duration
+	curStart, curEnd := roots[0].Start, roots[0].End()
+	for _, r := range roots[1:] {
+		if !r.Start.After(curEnd) {
+			if e := r.End(); e.After(curEnd) {
+				curEnd = e
+			}
+			continue
+		}
+		attributed += curEnd.Sub(curStart)
+		curStart, curEnd = r.Start, r.End()
+	}
+	attributed += curEnd.Sub(curStart)
+	rep.AttributedUS = attributed.Microseconds()
+	if window > 0 {
+		rep.AttributedPct = 100 * float64(attributed) / float64(window)
+	}
+
+	// Phase totals by layer/name.
+	type key struct{ layer, name string }
+	totals := map[key]*PhaseStat{}
+	for _, r := range recs {
+		k := key{r.Layer, r.Name}
+		st := totals[k]
+		if st == nil {
+			st = &PhaseStat{Layer: r.Layer, Name: r.Name}
+			totals[k] = st
+		}
+		st.Count++
+		st.TotalUS += r.Dur.Microseconds()
+	}
+	for _, st := range totals {
+		if rep.WindowUS > 0 {
+			st.Pct = 100 * float64(st.TotalUS) / float64(rep.WindowUS)
+		}
+		rep.Phases = append(rep.Phases, *st)
+	}
+	sort.Slice(rep.Phases, func(i, j int) bool {
+		if rep.Phases[i].TotalUS != rep.Phases[j].TotalUS {
+			return rep.Phases[i].TotalUS > rep.Phases[j].TotalUS
+		}
+		if rep.Phases[i].Layer != rep.Phases[j].Layer {
+			return rep.Phases[i].Layer < rep.Phases[j].Layer
+		}
+		return rep.Phases[i].Name < rep.Phases[j].Name
+	})
+
+	// Critical path: longest root, then repeatedly the longest child.
+	longest := func(rs []Record) Record {
+		best := rs[0]
+		for _, r := range rs[1:] {
+			if r.Dur > best.Dur {
+				best = r
+			}
+		}
+		return best
+	}
+	cur := longest(roots)
+	for depth := 0; depth < 64; depth++ {
+		step := PathStep{Layer: cur.Layer, Name: cur.Name, DurUS: cur.Dur.Microseconds()}
+		if rep.WindowUS > 0 {
+			step.Pct = 100 * float64(step.DurUS) / float64(rep.WindowUS)
+		}
+		rep.CriticalPath = append(rep.CriticalPath, step)
+		kids := children[cur.ID]
+		if len(kids) == 0 {
+			break
+		}
+		cur = longest(kids)
+	}
+	return rep
+}
+
+// fmtUS renders microseconds as a human duration.
+func fmtUS(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+// Table renders the report as an obs.Table: one row per phase sorted by
+// wall time, with the window, attribution, and critical path as notes.
+func (r *Report) Table(title string) *obs.Table {
+	t := &obs.Table{
+		Title:  title,
+		Header: []string{"PHASE", "LAYER", "COUNT", "WALL", "% OF WINDOW"},
+	}
+	for _, p := range r.Phases {
+		t.Rows = append(t.Rows, []string{
+			p.Name, p.Layer, fmt.Sprintf("%d", p.Count),
+			fmtUS(p.TotalUS), fmt.Sprintf("%.1f%%", p.Pct),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"window %s across %d spans; %.1f%% attributed to named phases",
+		fmtUS(r.WindowUS), r.Spans, r.AttributedPct))
+	if len(r.CriticalPath) > 0 {
+		steps := make([]string, len(r.CriticalPath))
+		for i, s := range r.CriticalPath {
+			steps[i] = fmt.Sprintf("%s %s", s.Name, fmtUS(s.DurUS))
+		}
+		t.Notes = append(t.Notes, "critical path: "+strings.Join(steps, " → "))
+	}
+	return t
+}

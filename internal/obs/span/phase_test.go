@@ -1,0 +1,116 @@
+package span
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mk builds a record spanning [start, start+dur] ms after a fixed epoch.
+func mk(id, parent uint64, layer, name string, startMS, durMS int64) Record {
+	epoch := time.Unix(1_700_000_000, 0)
+	return Record{
+		ID: id, Parent: parent, Layer: layer, Name: name,
+		Start: epoch.Add(time.Duration(startMS) * time.Millisecond),
+		Dur:   time.Duration(durMS) * time.Millisecond,
+		Shard: -1, Trial: -1,
+	}
+}
+
+func TestAnalyzeAttributionAndCriticalPath(t *testing.T) {
+	// Window [0, 100]: queue_wait [0,10], attempt [10,95] with children
+	// golden_run [12,30] and shard_exec [30,90] (which has a
+	// checkpoint_write [50,60] child), persist [95,100]. Roots cover
+	// [0,100] fully → 100% attributed.
+	recs := []Record{
+		mk(1, 0, "service", "queue_wait", 0, 10),
+		mk(2, 0, "service", "attempt", 10, 85),
+		mk(3, 2, "fault", "golden_run", 12, 18),
+		mk(4, 2, "fault", "shard_exec", 30, 60),
+		mk(5, 4, "fault", "checkpoint_write", 50, 10),
+		mk(6, 0, "service", "persist", 95, 5),
+	}
+	rep := Analyze("job-1", recs)
+
+	if rep.Spans != 6 || rep.JobID != "job-1" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if rep.WindowUS != 100_000 {
+		t.Fatalf("WindowUS = %d, want 100000", rep.WindowUS)
+	}
+	if rep.AttributedUS != 100_000 || rep.AttributedPct != 100 {
+		t.Fatalf("attribution = %dus (%.1f%%), want 100000us (100%%)",
+			rep.AttributedUS, rep.AttributedPct)
+	}
+	if rep.Phases[0].Name != "attempt" || rep.Phases[0].TotalUS != 85_000 {
+		t.Fatalf("dominant phase = %+v, want attempt 85ms", rep.Phases[0])
+	}
+	if got := int(rep.Phases[0].Pct); got != 85 {
+		t.Fatalf("attempt pct = %d, want 85", got)
+	}
+
+	want := []string{"attempt", "shard_exec", "checkpoint_write"}
+	if len(rep.CriticalPath) != len(want) {
+		t.Fatalf("critical path = %+v, want %v", rep.CriticalPath, want)
+	}
+	for i, name := range want {
+		if rep.CriticalPath[i].Name != name {
+			t.Fatalf("critical path step %d = %q, want %q", i, rep.CriticalPath[i].Name, name)
+		}
+	}
+}
+
+func TestAnalyzeGapsReduceAttribution(t *testing.T) {
+	// Two 10ms roots inside a 100ms window: 20% attributed.
+	recs := []Record{
+		mk(1, 0, "a", "x", 0, 10),
+		mk(2, 0, "a", "y", 90, 10),
+	}
+	rep := Analyze("", recs)
+	if rep.AttributedUS != 20_000 {
+		t.Fatalf("AttributedUS = %d, want 20000", rep.AttributedUS)
+	}
+	if rep.AttributedPct < 19.9 || rep.AttributedPct > 20.1 {
+		t.Fatalf("AttributedPct = %.2f, want 20", rep.AttributedPct)
+	}
+}
+
+func TestAnalyzeOrphanParentIsRoot(t *testing.T) {
+	// A span whose parent was evicted from the ring counts as a root —
+	// attribution must not silently drop it.
+	recs := []Record{mk(7, 99, "fault", "merge", 0, 50)}
+	rep := Analyze("", recs)
+	if rep.AttributedPct != 100 {
+		t.Fatalf("orphan attribution = %.1f%%, want 100", rep.AttributedPct)
+	}
+	if rep.CriticalPath[0].Name != "merge" {
+		t.Fatalf("critical path = %+v", rep.CriticalPath)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze("j", nil)
+	if rep.Spans != 0 || rep.WindowUS != 0 || rep.AttributedPct != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+	if out := rep.Table("t").Render(); !strings.Contains(out, "0 spans") {
+		t.Fatalf("empty table render:\n%s", out)
+	}
+}
+
+func TestReportTableRender(t *testing.T) {
+	recs := []Record{
+		mk(1, 0, "service", "attempt", 0, 90),
+		mk(2, 1, "fault", "shard_exec", 5, 80),
+	}
+	out := Analyze("j", recs).Table("phase budget").Render()
+	for _, want := range []string{
+		"phase budget", "attempt", "shard_exec",
+		"critical path: attempt 90.00ms → shard_exec 80.00ms",
+		"attributed to named phases",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/olog"
+)
+
+func TestSpanTreeAndCorrelation(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New(Config{Metrics: reg})
+	defer tr.Close()
+
+	ctx := olog.WithCorr(context.Background(), olog.Corr{
+		RequestID: "req-1", JobID: "job-1", Shard: -1, Trial: -1,
+	})
+	ctx = Into(ctx, tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not return the installed tracer")
+	}
+
+	pctx, parent := Start(ctx, "service", "attempt")
+	if parent == nil {
+		t.Fatal("Start returned nil span with a tracer installed")
+	}
+	sctx := olog.WithShard(pctx, 3)
+	_, child := Start(sctx, "fault", "shard_exec")
+	child.SetArg("trials", 42)
+	child.End()
+	parent.End()
+
+	recs := tr.JobSpans("job-1")
+	if len(recs) != 2 {
+		t.Fatalf("JobSpans = %d records, want 2", len(recs))
+	}
+	// Ring order is completion order: child first.
+	c, p := recs[0], recs[1]
+	if c.Name != "shard_exec" || p.Name != "attempt" {
+		t.Fatalf("unexpected order: %q then %q", c.Name, p.Name)
+	}
+	if c.Parent != p.ID {
+		t.Fatalf("child.Parent = %d, want parent ID %d", c.Parent, p.ID)
+	}
+	if p.Parent != 0 {
+		t.Fatalf("root span has Parent = %d, want 0", p.Parent)
+	}
+	if c.RequestID != "req-1" || c.JobID != "job-1" || c.Shard != 3 {
+		t.Fatalf("child correlation not captured: %+v", c)
+	}
+	if p.Shard != -1 {
+		t.Fatalf("parent shard = %d, want -1 (unset)", p.Shard)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"span.service.attempt_us", "span.fault.shard_exec_us"} {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("histogram %q missing from snapshot", name)
+		}
+	}
+	if got := tr.JobSpans("absent"); got != nil {
+		t.Fatalf("JobSpans(absent) = %v, want nil", got)
+	}
+}
+
+func TestRetroactiveRecord(t *testing.T) {
+	tr := New(Config{})
+	ctx := Into(olog.WithJobID(context.Background(), "j1"), tr)
+	ctx, sp := Start(ctx, "service", "attempt")
+
+	start := time.Now().Add(-50 * time.Millisecond)
+	tr.Record(ctx, "service", "queue_wait", start, time.Now(), map[string]any{"depth": 2})
+	RecordCtx(ctx, "fault", "checkpoint_write", time.Now(), time.Now(), nil)
+	// end before start clamps, never panics or goes negative
+	tr.Record(ctx, "service", "weird", time.Now(), time.Now().Add(-time.Hour), nil)
+	sp.End()
+
+	recs := tr.Spans()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	qw := recs[0]
+	if qw.Name != "queue_wait" || qw.Dur < 40*time.Millisecond {
+		t.Fatalf("queue_wait = %+v", qw)
+	}
+	if qw.Parent == 0 {
+		t.Fatal("retroactive record should nest under the context's span")
+	}
+	if qw.JobID != "j1" || qw.Args["depth"] != 2 {
+		t.Fatalf("queue_wait correlation/args = %+v", qw)
+	}
+	if recs[2].Dur != 0 {
+		t.Fatalf("clamped duration = %v, want 0", recs[2].Dur)
+	}
+}
+
+func TestDisabledSpanZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	start := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, s := Start(ctx, "service", "attempt")
+		s.SetArg("k", 1)
+		s.End()
+		RecordCtx(c, "service", "queue_wait", start, start, nil)
+		var nilT *Tracer
+		nilT.Record(c, "service", "x", start, start, nil)
+		nilT.Close()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestDetachStopsRecording(t *testing.T) {
+	tr := New(Config{})
+	ctx := Into(context.Background(), tr)
+	dctx := Detach(ctx)
+	if FromContext(dctx) != nil {
+		t.Fatal("Detach left a tracer in the context")
+	}
+	_, s := Start(dctx, "fault", "trial")
+	if s != nil {
+		t.Fatal("Start on detached context returned a live span")
+	}
+	// Detach without a tracer is the identity.
+	base := context.Background()
+	if Detach(base) != base {
+		t.Fatal("Detach allocated a new context with no tracer present")
+	}
+}
+
+func TestRingEvictionAndDropped(t *testing.T) {
+	tr := New(Config{Capacity: 4})
+	ctx := Into(context.Background(), tr)
+	for i := 0; i < 6; i++ {
+		_, s := Start(ctx, "l", "n")
+		s.SetArg("i", i)
+		s.End()
+	}
+	recs := tr.Spans()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d, want 4", len(recs))
+	}
+	if recs[0].Args["i"] != 2 || recs[3].Args["i"] != 5 {
+		t.Fatalf("ring kept wrong window: first=%v last=%v", recs[0].Args["i"], recs[3].Args["i"])
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestFlusherStreamsJSONL(t *testing.T) {
+	var buf syncBuffer
+	tr := New(Config{Sink: obs.NewJSONLSink(&buf), FlushEvery: time.Millisecond})
+	ctx := Into(olog.WithRequestID(context.Background(), "req-9"), tr)
+	_, s := Start(ctx, "service", "attempt")
+	s.End()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("flusher wrote nothing before Close")
+	}
+	var ev obs.Event
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &ev); err != nil {
+		t.Fatalf("flushed line is not an obs.Event: %v", err)
+	}
+	if ev.Name != "attempt" || ev.Args["request_id"] != "req-9" {
+		t.Fatalf("flushed event = %+v", ev)
+	}
+	// Close is idempotent, and the ring outlives it.
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if len(tr.Spans()) != 1 {
+		t.Fatal("retention ring did not survive Close")
+	}
+}
+
+func TestWriteChromeIsValidTrace(t *testing.T) {
+	tr := New(Config{})
+	ctx := Into(olog.WithCorr(context.Background(), olog.Corr{
+		RequestID: "r", JobID: "j", Shard: -1, Trial: -1,
+	}), tr)
+	_, a := Start(ctx, "service", "attempt")
+	a.End()
+	_, b := Start(ctx, "fault", "golden_run")
+	b.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Epoch(), tr.Spans()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not Chrome trace JSON: %v", err)
+	}
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.Args["request_id"] != "r" || ev.Args["job_id"] != "j" {
+			t.Fatalf("span %q missing correlation args: %+v", ev.Name, ev.Args)
+		}
+		if _, ok := ev.Args["span_id"]; !ok {
+			t.Fatalf("span %q missing span_id", ev.Name)
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("trace has %d complete spans, want 2", spans)
+	}
+}
+
+func BenchmarkDisabledSpans(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "service", "attempt")
+		s.End()
+	}
+}
+
+func BenchmarkEnabledSpans(b *testing.B) {
+	tr := New(Config{Capacity: 1024})
+	ctx := Into(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "service", "attempt")
+		s.End()
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for flusher tests.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/obs/span"
 )
 
 // regionInst is one dynamic region (an RBB entry): the instance of a
@@ -90,6 +91,18 @@ type Sim struct {
 
 	Stats  Stats
 	halted bool
+}
+
+// NewContext is New under a wall-clock span: when ctx carries a span
+// tracer (internal/obs/span), simulator construction — config/program
+// validation, cache hierarchy build, memory image — is recorded as a
+// "pipeline"/"setup" span nested under the caller's current span.
+// Without a tracer it is exactly New.
+func NewContext(ctx context.Context, prog *isa.Program, cfg Config) (*Sim, error) {
+	_, sp := span.Start(ctx, "pipeline", "setup")
+	s, err := New(prog, cfg)
+	sp.End()
+	return s, err
 }
 
 // New builds a simulator. The program must validate; resilient configs

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/span"
 )
 
 // Mount registers the job API and the probe endpoints on an obs.Server's
@@ -21,6 +22,10 @@ import (
 //	GET    /jobs               every job, submission order
 //	GET    /jobs/{id}          one job
 //	GET    /jobs/{id}/events   the job's flight-recorder timeline
+//	GET    /jobs/{id}/trace    the job's wall-clock spans as Chrome trace
+//	                           JSON (open in Perfetto / chrome://tracing)
+//	GET    /jobs/{id}/phases   the job's phase-budget report (wall time
+//	                           per phase, % of job, critical path)
 //	DELETE /jobs/{id}          cancel one job
 //	GET    /healthz            liveness: 200 while the process serves
 //	GET    /readyz             readiness: 503 while draining or saturated
@@ -34,6 +39,8 @@ func (s *Service) Mount(srv *obs.Server) {
 	srv.HandleFunc("GET /jobs", s.access(s.handleList))
 	srv.HandleFunc("GET /jobs/{id}", s.access(s.handleJob))
 	srv.HandleFunc("GET /jobs/{id}/events", s.access(s.handleEvents))
+	srv.HandleFunc("GET /jobs/{id}/trace", s.access(s.handleTrace))
+	srv.HandleFunc("GET /jobs/{id}/phases", s.access(s.handlePhases))
 	srv.HandleFunc("DELETE /jobs/{id}", s.access(s.handleCancel))
 	srv.HandleFunc("GET /healthz", s.access(s.handleHealthz))
 	srv.HandleFunc("GET /readyz", s.access(s.handleReadyz))
@@ -135,6 +142,41 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		evs = []olog.Event{}
 	}
 	writeJSON(w, http.StatusOK, evs)
+}
+
+// handleTrace serves one job's wall-clock spans as Chrome trace-event
+// JSON, loadable directly in Perfetto. Unknown job IDs and a tracer-less
+// service both 404 with a JSON error body, mirroring handleEvents.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Job(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !s.cfg.Spans.Enabled() {
+		writeError(w, http.StatusNotFound, errors.New("service: no span tracer attached"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// An emit error after the body started is not reportable to the
+	// client; the access log carries the status either way.
+	span.WriteChrome(w, s.cfg.Spans.Epoch(), s.cfg.Spans.JobSpans(id)) //nolint:errcheck
+}
+
+// handlePhases serves one job's phase-budget report: wall time per named
+// phase, the fraction of the job window attributed, and the critical
+// path.
+func (s *Service) handlePhases(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Job(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !s.cfg.Spans.Enabled() {
+		writeError(w, http.StatusNotFound, errors.New("service: no span tracer attached"))
+		return
+	}
+	writeJSON(w, http.StatusOK, span.Analyze(id, s.cfg.Spans.JobSpans(id)))
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -112,6 +112,10 @@ type Job struct {
 	// histogram and is deliberately not persisted: a wait that spans a
 	// daemon restart is a restart artifact, not queue pressure.
 	queuedAt time.Time
+	// backoffAt is when the job entered its current backoff wait; it
+	// bounds the retroactive "backoff" span recorded at requeue time.
+	// Not persisted for the same reason queuedAt isn't.
+	backoffAt time.Time
 }
 
 // clone returns a copy safe to serve to HTTP handlers after the service

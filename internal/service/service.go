@@ -14,6 +14,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/span"
 	"repro/internal/pipeline"
 )
 
@@ -80,6 +81,15 @@ type Config struct {
 	// same Recorder as a fanout leg of Logger (olog.Attach) so every
 	// logged record lands in the ring with its correlation intact.
 	Events *olog.Recorder
+	// Spans, when set, is the wall-clock span tracer. The service records
+	// the job lifecycle phases (queue wait, attempt, backoff, breaker
+	// wait, persist, drain requeue) onto it, threads it through each
+	// job's context so the campaign engine's phases nest under the
+	// attempt span, and its retention ring backs GET /jobs/{id}/trace and
+	// /jobs/{id}/phases. The service owns its shutdown: Shutdown and
+	// Abort close the tracer (stopping its flusher goroutine; the ring
+	// keeps serving queries).
+	Spans *span.Tracer
 }
 
 func (c *Config) fillDefaults() error {
@@ -281,9 +291,16 @@ func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 	}
 	now := s.now()
 	b := s.breakerFor(spec.Workload())
+	wasOpen := b.isOpen
 	if !b.allow(now) {
 		s.count("service.rejected_breaker")
 		return nil, &BreakerOpenError{Workload: spec.Workload(), RetryAfter: b.retryAfter(now)}
+	}
+	if wasOpen {
+		// This admission is the half-open probe: the breaker held the
+		// workload's submissions from openSince until now.
+		s.cfg.Spans.Record(ctx, "service", "breaker_wait", b.openSince, now,
+			map[string]any{"workload": spec.Workload()})
 	}
 	if len(s.pending) >= s.cfg.QueueDepth {
 		s.count("service.rejected_backpressure")
@@ -304,6 +321,7 @@ func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 	s.order = append(s.order, id)
 	s.pending = append(s.pending, id)
 	s.count("service.jobs_submitted")
+	pstart := time.Now()
 	if err := s.persistLocked(); err != nil {
 		// Roll the admission back: a job we cannot persist is a job we
 		// would silently lose on restart.
@@ -311,6 +329,10 @@ func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 		s.order = s.order[:len(s.order)-1]
 		s.pending = s.pending[:len(s.pending)-1]
 		return nil, err
+	}
+	if s.cfg.Spans.Enabled() {
+		s.cfg.Spans.Record(olog.WithJobID(ctx, id), "service", "persist",
+			pstart, time.Now(), map[string]any{"at": "submit"})
 	}
 	s.updateGauges()
 	s.cond.Signal()
@@ -442,8 +464,15 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.persistLocked()
+	err := s.persistLocked()
+	s.mu.Unlock()
+	// The service owns the tracer's lifecycle: stop its flusher goroutine
+	// now that no worker can record. The retention ring survives, so the
+	// HTTP layer keeps answering /jobs/{id}/trace for a drained daemon.
+	if cErr := s.cfg.Spans.Close(); err == nil {
+		err = cErr
+	}
+	return err
 }
 
 // Abort is the simulated crash used by tests and nothing else: every
@@ -465,6 +494,9 @@ func (s *Service) Abort() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	// A crash still must not leak the flusher goroutine inside this
+	// process; an uncontrolled daemon death would take it down anyway.
+	s.cfg.Spans.Close()
 }
 
 // pop blocks until a job is available or the service drains.
@@ -502,12 +534,17 @@ func (s *Service) runJob(id string) {
 	}
 	// jobCtx re-roots the correlation chain recorded at submission: the
 	// runner's campaign inherits it, so every trial line a campaign logs
-	// joins the submitting request's access-log line on request_id.
-	jobCtx := context.Background()
-	if j.RequestID != "" {
-		jobCtx = olog.WithRequestID(jobCtx, j.RequestID)
+	// joins the submitting request's access-log line on request_id — and
+	// the span tracer rides the same context, so the campaign's phases
+	// nest under this job's attempt span.
+	jobCtx := olog.WithCorr(context.Background(), olog.Corr{
+		RequestID: j.RequestID, JobID: id, Shard: -1, Trial: -1,
+	})
+	jobCtx = span.Into(jobCtx, s.cfg.Spans)
+	if !j.queuedAt.IsZero() {
+		s.cfg.Spans.Record(jobCtx, "service", "queue_wait", j.queuedAt, j.StartedAt,
+			map[string]any{"attempt": j.Attempts})
 	}
-	jobCtx = olog.WithJobID(jobCtx, id)
 	runCtx, cancel := context.WithCancel(jobCtx)
 	if s.cfg.JobDeadline > 0 {
 		runCtx, cancel = context.WithTimeout(jobCtx, s.cfg.JobDeadline)
@@ -516,17 +553,24 @@ func (s *Service) runJob(id string) {
 	ckpt := filepath.Join(s.cfg.StateDir, j.Checkpoint)
 	spec := j.Spec
 	attempt := j.Attempts
+	pstart := time.Now()
 	if err := s.persistLocked(); err != nil {
 		s.warn(jobCtx, err)
 	}
+	s.cfg.Spans.Record(jobCtx, "service", "persist", pstart, time.Now(),
+		map[string]any{"at": "attempt-start"})
 	s.mu.Unlock()
 	s.log.InfoContext(jobCtx, "attempt start",
 		"attempt", attempt, "workload", spec.Workload(),
 		"trials", spec.Trials, "seed", spec.Seed)
 
+	runCtx, attemptSpan := span.Start(runCtx, "service", "attempt")
+	attemptSpan.SetArg("attempt", attempt)
+	attemptSpan.SetArg("workload", spec.Workload())
 	started := time.Now()
 	res, err := s.cfg.Runner(runCtx, spec, ckpt)
 	elapsed := time.Since(started)
+	attemptSpan.End()
 	cancel()
 	if s.attemptLat != nil {
 		s.attemptLat.Observe(uint64(elapsed.Microseconds()))
@@ -563,6 +607,8 @@ func (s *Service) runJob(id string) {
 		j.State = StateQueued
 		j.Attempts--
 		persist = !s.aborted
+		s.cfg.Spans.Record(jobCtx, "service", "drain_requeue", now, now,
+			map[string]any{"attempt": attempt})
 		s.log.InfoContext(jobCtx, "attempt interrupted by drain; requeued for next life",
 			"attempt", attempt)
 	default:
@@ -570,6 +616,7 @@ func (s *Service) runJob(id string) {
 		class := Classify(err)
 		if class == Transient && j.Attempts < s.cfg.MaxAttempts {
 			j.State = StateRetrying
+			j.backoffAt = now
 			delay := s.backoff(j.Attempts)
 			if s.cfg.Progress != nil {
 				s.cfg.Progress.Retries.Add(1)
@@ -602,9 +649,12 @@ func (s *Service) runJob(id string) {
 		}
 	}
 	if persist {
+		pstart := time.Now()
 		if err := s.persistLocked(); err != nil {
 			s.warn(jobCtx, err)
 		}
+		s.cfg.Spans.Record(jobCtx, "service", "persist", pstart, time.Now(),
+			map[string]any{"at": "outcome"})
 	}
 	s.updateGauges()
 }
@@ -646,9 +696,13 @@ func (s *Service) requeue(id string) {
 	j.State = StateQueued
 	j.queuedAt = s.now()
 	s.pending = append(s.pending, id)
-	ctx := olog.WithJobID(context.Background(), id)
-	if j.RequestID != "" {
-		ctx = olog.WithRequestID(ctx, j.RequestID)
+	ctx := olog.WithCorr(context.Background(), olog.Corr{
+		RequestID: j.RequestID, JobID: id, Shard: -1, Trial: -1,
+	})
+	if !j.backoffAt.IsZero() {
+		s.cfg.Spans.Record(ctx, "service", "backoff", j.backoffAt, j.queuedAt,
+			map[string]any{"attempt": j.Attempts})
+		j.backoffAt = time.Time{}
 	}
 	s.log.InfoContext(ctx, "backoff elapsed; requeued", "attempt", j.Attempts)
 	if err := s.persistLocked(); err != nil {
