@@ -234,6 +234,7 @@ func campaignRunner(reg *obs.Registry, progress *pipeline.Progress, logger *slog
 			WCDL:            spec.WCDL,
 			ScalePct:        spec.ScalePct,
 			Workers:         spec.Workers,
+			Lease:           spec.Lease,
 			FailureBudget:   spec.FailureBudget,
 			Checkpoint:      checkpoint,
 			CheckpointEvery: spec.CheckpointEvery,

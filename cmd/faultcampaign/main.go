@@ -59,6 +59,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "campaign seed")
 		all     = flag.Bool("all", false, "run every benchmark")
 		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the result is identical for every value")
+		lease   = flag.Int("lease", 0, "consecutive trials per worker dispatch (0 = automatic); the result is identical for every value")
 		budget  = flag.Int("budget", 0, "failure budget: abort after this many SDC/crash trials (0 = first failure, -1 = record all, never abort)")
 		resume  = flag.String("resume", "", "checkpoint path prefix; completed trials persist to <prefix>-<bench>.json and a re-run resumes from them")
 
@@ -110,6 +111,7 @@ func main() {
 	man.Config["sb_size"] = *sb
 	man.Config["scale_pct"] = *scale
 	man.Config["workers"] = *workers
+	man.Config["lease"] = *lease
 	man.Config["failure_budget"] = *budget
 	man.Config["containment"] = *containment
 	if adv != nil {
@@ -193,7 +195,7 @@ func main() {
 		res, err := turnpike.InjectFaultsContext(bctx, b, sc, turnpike.FaultCampaignConfig{
 			Trials: *trials, Seed: *seed, SBSize: *sb, WCDL: *wcdl, ScalePct: *scale,
 			Metrics: reg, Progress: progress,
-			Workers: *workers, FailureBudget: *budget, Checkpoint: ckpt,
+			Workers: *workers, Lease: *lease, FailureBudget: *budget, Checkpoint: ckpt,
 			Adversary: adv, Containment: containment,
 		})
 		bspan.End()

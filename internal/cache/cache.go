@@ -123,6 +123,64 @@ func (c *Cache) Reset() {
 	c.stamp, c.Hits, c.Misses = 0, 0, 0
 }
 
+// levelImage is one cache level's captured replacement state, flattened
+// to [set*assoc] so a snapshot is two copies, not thousands of slices.
+type levelImage struct {
+	tags, lru []uint64
+	stamp     uint64
+}
+
+func (c *Cache) snapshotInto(img *levelImage) {
+	n := c.sets * c.cfg.Assoc
+	if cap(img.tags) < n {
+		img.tags = make([]uint64, n)
+		img.lru = make([]uint64, n)
+	}
+	img.tags = img.tags[:n]
+	img.lru = img.lru[:n]
+	for s := range c.tags {
+		copy(img.tags[s*c.cfg.Assoc:], c.tags[s])
+		copy(img.lru[s*c.cfg.Assoc:], c.lru[s])
+	}
+	img.stamp = c.stamp
+}
+
+// restoreFrom primes the level's contents from img and zeroes the
+// hit/miss counters; img must come from a level with the same geometry.
+func (c *Cache) restoreFrom(img *levelImage) {
+	for s := range c.tags {
+		copy(c.tags[s], img.tags[s*c.cfg.Assoc:(s+1)*c.cfg.Assoc])
+		copy(c.lru[s], img.lru[s*c.cfg.Assoc:(s+1)*c.cfg.Assoc])
+	}
+	c.stamp = img.stamp
+	c.Hits, c.Misses = 0, 0
+}
+
+// Image is a reusable snapshot of a hierarchy's full replacement state
+// (tags, LRU stamps, clock). Fault campaigns capture the golden run's
+// warmed hierarchy once and restore every trial's simulator from it —
+// after the first Snapshot into an Image, both directions are
+// allocation-free.
+type Image struct {
+	l1i, l1d, l2 levelImage
+}
+
+// Snapshot captures the hierarchy's replacement state into img.
+func (h *Hierarchy) Snapshot(img *Image) {
+	h.L1I.snapshotInto(&img.l1i)
+	h.L1D.snapshotInto(&img.l1d)
+	h.L2.snapshotInto(&img.l2)
+}
+
+// Restore primes the hierarchy from img and zeroes the per-level
+// hit/miss counters, so a restored simulator's statistics count only
+// its own run. img must come from a hierarchy with the same geometry.
+func (h *Hierarchy) Restore(img *Image) {
+	h.L1I.restoreFrom(&img.l1i)
+	h.L1D.restoreFrom(&img.l1d)
+	h.L2.restoreFrom(&img.l2)
+}
+
 // Hierarchy is the two-level hierarchy with a flat memory behind it.
 type Hierarchy struct {
 	L1I, L1D, L2 *Cache

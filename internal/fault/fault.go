@@ -86,6 +86,12 @@ type Config struct {
 	// plan is a pure function of (Seed, trial) and per-trial results are
 	// merged in trial order.
 	Workers int
+	// Lease is the number of consecutive trials a worker takes per
+	// dispatch, amortizing channel traffic over batches of trials; <=0
+	// picks an automatic batch from Trials and Workers. Any lease size
+	// produces byte-identical results — the plan stays a pure function
+	// of (Seed, trial) and the merge stays trial-index-ordered.
+	Lease int
 	// FailureBudget caps recorded SDC/crash trials before the campaign
 	// cancels its remaining work. 0 keeps the historical fail-fast
 	// behaviour (budget of one); a negative budget never aborts, so a
@@ -317,29 +323,38 @@ type FalsePositive struct {
 	Latency int    `json:"latency"`
 }
 
-// injEvent is one scheduled fault event in a trial; strike is nil for a
-// false positive.
+// injEvent is one scheduled fault event in a trial; fp marks a spurious
+// detection with no strike.
 type injEvent struct {
 	atInst uint64
-	strike *Strike
+	strike Strike
+	fp     bool
 	fpLat  int
 }
 
-// events flattens the injection into an instruction-ordered schedule.
-// Ordering is deterministic: by instruction point, primaries before
-// extras before false positives on ties (stable sort over that layout).
-func (inj *Injection) events() []injEvent {
-	evs := make([]injEvent, 0, 1+len(inj.Extra)+len(inj.FalsePositives))
-	primary := Strike{Reg: inj.Reg, Bit: inj.Bit, AtInst: inj.AtInst, Latency: inj.Latency, Missed: inj.Missed}
-	evs = append(evs, injEvent{atInst: primary.AtInst, strike: &primary})
+// appendEvents appends the injection's instruction-ordered schedule to
+// evs — normally a worker's scratch resliced to [:0], so steady-state
+// planning allocates nothing. Ordering is deterministic: by instruction
+// point, primaries before extras before false positives on ties (stable
+// sort over that layout). The single-event common case skips the sort.
+func (inj *Injection) appendEvents(evs []injEvent) []injEvent {
+	evs = append(evs, injEvent{atInst: inj.AtInst, strike: Strike{
+		Reg: inj.Reg, Bit: inj.Bit, AtInst: inj.AtInst, Latency: inj.Latency, Missed: inj.Missed}})
 	for i := range inj.Extra {
-		evs = append(evs, injEvent{atInst: inj.Extra[i].AtInst, strike: &inj.Extra[i]})
+		evs = append(evs, injEvent{atInst: inj.Extra[i].AtInst, strike: inj.Extra[i]})
 	}
 	for i := range inj.FalsePositives {
-		evs = append(evs, injEvent{atInst: inj.FalsePositives[i].AtInst, fpLat: inj.FalsePositives[i].Latency})
+		evs = append(evs, injEvent{atInst: inj.FalsePositives[i].AtInst, fp: true, fpLat: inj.FalsePositives[i].Latency})
 	}
-	sort.SliceStable(evs, func(a, b int) bool { return evs[a].atInst < evs[b].atInst })
+	if len(evs) > 1 {
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].atInst < evs[b].atInst })
+	}
 	return evs
+}
+
+// events flattens the injection into a freshly allocated schedule.
+func (inj *Injection) events() []injEvent {
+	return inj.appendEvents(make([]injEvent, 0, 1+len(inj.Extra)+len(inj.FalsePositives)))
 }
 
 // CountStrikes returns the number of strikes (1 + burst extras) and how
@@ -399,10 +414,10 @@ func run(ctx context.Context, prog *isa.Program, cfg Config, seedMem func(*isa.M
 			ev := evs[next]
 			next++
 			var err error
-			if ev.strike != nil {
-				err = s.InjectBitFlip(ev.strike.Reg, ev.strike.Bit, ev.strike.Latency)
-			} else {
+			if ev.fp {
 				err = s.InjectFalseDetection(ev.fpLat)
+			} else {
+				err = s.InjectBitFlip(ev.strike.Reg, ev.strike.Bit, ev.strike.Latency)
 			}
 			if err != nil {
 				return nil, s.Stats, err

@@ -83,15 +83,49 @@ func (m *Memory) Diff(o *Memory, max int) string {
 	return s
 }
 
+// MemEntry is one address/value pair of a memory image snapshot.
+type MemEntry = struct{ Addr, Val uint64 }
+
 // Snapshot returns addr->value pairs sorted by address, for hashing and
 // deterministic comparison in tests.
-func (m *Memory) Snapshot() []struct{ Addr, Val uint64 } {
-	out := make([]struct{ Addr, Val uint64 }, 0, len(m.words))
+func (m *Memory) Snapshot() []MemEntry {
+	out := make([]MemEntry, 0, len(m.words))
 	for a, v := range m.words {
-		out = append(out, struct{ Addr, Val uint64 }{a, v})
+		out = append(out, MemEntry{a, v})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
+}
+
+// ResetTo restores m to exactly the contents of snap (as returned by
+// Snapshot). The map's buckets are retained across calls, so once a
+// memory has grown to a campaign trial's footprint, resetting it to the
+// golden image allocates nothing.
+func (m *Memory) ResetTo(snap []MemEntry) {
+	clear(m.words)
+	for _, e := range snap {
+		m.words[e.Addr] = e.Val
+	}
+}
+
+// EqualMasked reports whether m and o hold identical contents outside
+// the two masked address ranges [aLo,aHi) and [bLo,bHi). o must already
+// be masked (hold no words in either range) — campaign golden images
+// are; entries of m inside the ranges are skipped. It is the
+// allocation-free equivalent of copying m minus the masked ranges into
+// a fresh image and calling Equal.
+func (m *Memory) EqualMasked(o *Memory, aLo, aHi, bLo, bHi uint64) bool {
+	n := 0
+	for a, v := range m.words {
+		if (a >= aLo && a < aHi) || (a >= bLo && a < bHi) {
+			continue
+		}
+		if o.words[a] != v {
+			return false
+		}
+		n++
+	}
+	return n == len(o.words)
 }
 
 // Machine is the functional reference implementation of the ISA. It has no

@@ -26,6 +26,19 @@ func newColorMaps() *colorMaps {
 	return cm
 }
 
+// reset returns every color to the free pool in newColorMaps order and
+// clears the verified map, reusing the free-list backing arrays.
+func (cm *colorMaps) reset() {
+	for r := range cm.free {
+		fl := cm.free[r][:0]
+		for c := 0; c < isa.NumColors; c++ {
+			fl = append(fl, c)
+		}
+		cm.free[r] = fl
+		cm.vc[r] = -1
+	}
+}
+
 // acquire takes a free color for reg, or returns -1 when the pool is dry.
 func (cm *colorMaps) acquire(r isa.Reg) int {
 	fl := cm.free[r]

@@ -1,0 +1,226 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// captureBench compiles the standard test kernel and captures its golden
+// state at the given scale. testing.TB so fuzz targets can share it.
+func captureBench(t testing.TB, n int) *GoldenState {
+	t.Helper()
+	c, err := core.Compile(buildBench(int64(n)), core.TurnpikeAll(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(c.Prog, TurnpikeConfig(4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(s.Mem, n)
+	gs, err := CaptureGolden(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs
+}
+
+// trialResult is one injected run's complete observable outcome.
+type trialResult struct {
+	Stats Stats
+	Mem   []isa.MemEntry
+	Err   string
+}
+
+// runInjected drives s to halt, injecting one bit flip when the
+// instruction count reaches atInst, and returns everything a campaign
+// would observe from the trial.
+func runInjected(s *Sim, reg isa.Reg, bit uint, atInst uint64, lat int) trialResult {
+	injected := false
+	for !s.Halted() {
+		if !injected && s.Stats.Insts >= atInst {
+			injected = true
+			if err := s.InjectBitFlip(reg, bit, lat); err != nil {
+				return trialResult{Stats: s.Stats, Err: err.Error()}
+			}
+		}
+		if err := s.Step(); err != nil {
+			return trialResult{Stats: s.Stats, Err: err.Error()}
+		}
+	}
+	return trialResult{Stats: s.Stats, Mem: s.OutputMemory().Snapshot()}
+}
+
+// TestSimResetMatchesFresh is the Reset path's contract: a single
+// simulator Reset between injected trials produces byte-identical
+// results to a fresh Fork per trial, across trials that recover, mask,
+// and corrupt state.
+func TestSimResetMatchesFresh(t *testing.T) {
+	gs := captureBench(t, 60)
+	reused, err := gs.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := gs.Stats().Insts
+	for i := 0; i < 24; i++ {
+		reg := isa.Reg(1 + i%31)
+		bit := uint((i * 7) % 64)
+		at := 1 + uint64(i)*insts/25
+		lat := 1 + i%10
+
+		gs.Reset(reused)
+		got := runInjected(reused, reg, bit, at, lat)
+
+		fresh, err := gs.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runInjected(fresh, reg, bit, at, lat)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (r%d bit %d at %d lat %d): reused Reset diverged from fresh fork\nreused: %+v\nfresh:  %+v",
+				i, reg, bit, at, lat, got, want)
+		}
+	}
+}
+
+// TestGoldenForkIsolation: corrupting or running one fork must not leak
+// into a sibling fork or into the snapshot itself, and Reset must fully
+// recover the corrupted fork.
+func TestGoldenForkIsolation(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, s *Sim)
+	}{
+		{"registers", func(t *testing.T, s *Sim) {
+			for r := range s.Regs {
+				s.Regs[r] = 0xDEADBEEF
+				s.Taint[r] = true
+			}
+		}},
+		{"memory", func(t *testing.T, s *Sim) {
+			s.Mem.Store(isa.DataBase, 0xBAD)
+			s.Mem.Store(isa.DataBase+8, 0)
+			s.Mem.Store(isa.StackBase, 0xBAD)
+		}},
+		{"run-to-halt", func(t *testing.T, s *Sim) {
+			if _, err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"injected-run", func(t *testing.T, s *Sim) {
+			runInjected(s, 3, 17, 40, 5)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gs := captureBench(t, 60)
+			goldenImage := gs.Output().Snapshot()
+			goldenStats := gs.Stats()
+
+			// Warm reference: what any clean fork run must reproduce.
+			// (Forks start from the warmed cache snapshot, so their cycle
+			// counts differ from the cold capture run's — deterministically.)
+			ref, err := gs.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refStats, err := ref.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref.OutputMemory().Snapshot(), goldenImage) {
+				t.Fatal("clean fork run does not reproduce the golden output")
+			}
+
+			a, err := gs.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := gs.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, a)
+
+			// The sibling fork is untouched: its clean run reproduces the
+			// reference output and statistics exactly.
+			st, err := b.Run()
+			if err != nil {
+				t.Fatalf("sibling run: %v", err)
+			}
+			if !reflect.DeepEqual(b.OutputMemory().Snapshot(), goldenImage) {
+				t.Error("sibling fork output diverged after corrupting its sibling")
+			}
+			if st != refStats {
+				t.Errorf("sibling stats diverged: %+v vs %+v", st, refStats)
+			}
+
+			// The snapshot itself is immutable.
+			if !reflect.DeepEqual(gs.Output().Snapshot(), goldenImage) {
+				t.Error("golden output mutated by a fork")
+			}
+			if gs.Stats() != goldenStats {
+				t.Error("golden stats mutated by a fork")
+			}
+
+			// Reset recovers the corrupted fork completely.
+			gs.Reset(a)
+			st, err = a.Run()
+			if err != nil {
+				t.Fatalf("post-Reset run: %v", err)
+			}
+			if !reflect.DeepEqual(a.OutputMemory().Snapshot(), goldenImage) {
+				t.Error("Reset did not recover the corrupted fork")
+			}
+			if st != refStats {
+				t.Errorf("post-Reset stats diverged: %+v vs %+v", st, refStats)
+			}
+		})
+	}
+}
+
+// FuzzGoldenFork fuzzes the Reset-vs-fresh-fork equivalence over the
+// whole injection parameter space: for any strike, a reused simulator
+// that has already executed a prior corrupting trial must reproduce a
+// fresh fork's result bit for bit.
+func FuzzGoldenFork(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint16(1), uint8(1))
+	f.Add(uint8(3), uint8(17), uint16(40), uint8(5))
+	f.Add(uint8(31), uint8(63), uint16(500), uint8(10))
+	f.Add(uint8(7), uint8(32), uint16(65535), uint8(3))
+
+	gs := captureBench(f, 40)
+	reused, err := gs.Fork()
+	if err != nil {
+		f.Fatal(err)
+	}
+	insts := gs.Stats().Insts
+
+	f.Fuzz(func(t *testing.T, regRaw, bitRaw uint8, atRaw uint16, latRaw uint8) {
+		reg := isa.Reg(1 + int(regRaw)%(isa.NumRegs-1))
+		bit := uint(bitRaw) % 64
+		at := 1 + uint64(atRaw)%insts
+		lat := 1 + int(latRaw)%10
+
+		// Dirty the reused simulator with a fixed corrupting trial first,
+		// so Reset always starts from non-trivial residue.
+		gs.Reset(reused)
+		runInjected(reused, 5, 11, at/2+1, 2)
+
+		gs.Reset(reused)
+		got := runInjected(reused, reg, bit, at, lat)
+
+		fresh, err := gs.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runInjected(fresh, reg, bit, at, lat)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("reused Reset diverged from fresh fork for r%d bit %d at %d lat %d",
+				reg, bit, at, lat)
+		}
+	})
+}

@@ -70,6 +70,14 @@ func newStoreBuffer(capacity int) *storeBuffer {
 	return &storeBuffer{cap: capacity}
 }
 
+// reset returns the buffer to its initial empty state, keeping the
+// entries backing array so campaign trials reuse it allocation-free.
+func (sb *storeBuffer) reset() {
+	sb.entries = sb.entries[:0]
+	sb.lastDrain = 0
+	sb.seq = 0
+}
+
 func (sb *storeBuffer) full() bool { return len(sb.entries) >= sb.cap }
 func (sb *storeBuffer) len() int   { return len(sb.entries) }
 

@@ -71,6 +71,14 @@ type Sim struct {
 	// regionLog records per-region events when Cfg.RecordRegions is set.
 	regionLog []RegionEvent
 
+	// regionArena recycles regionInst records across GoldenState resets:
+	// regionsUsed counts the records handed out this run; Reset rewinds
+	// it to zero so the next trial reuses the same records. Records are
+	// never recycled mid-run — store-buffer entries and pending
+	// detections hold region pointers beyond verification.
+	regionArena []*regionInst
+	regionsUsed int
+
 	// obs is the optional observability attachment (AttachObs). Nil means
 	// disabled; every instrumentation site is guarded by one nil check.
 	obs *Obs
@@ -85,12 +93,16 @@ type Sim struct {
 	// published remembers the counter values already pushed into it so
 	// each Step publishes deltas.
 	progress  *Progress
-	published struct {
-		Cycles, Insts, RegionsExecuted, RegionsVerified, Recoveries uint64
-	}
+	published publishedCounters
 
 	Stats  Stats
 	halted bool
+}
+
+// publishedCounters remembers the progress figures already pushed into
+// the attachment, so each Step publishes deltas.
+type publishedCounters struct {
+	Cycles, Insts, RegionsExecuted, RegionsVerified, Recoveries uint64
 }
 
 // NewContext is New under a wall-clock span: when ctx carries a span
@@ -210,6 +222,42 @@ func (s *Sim) OutputMemory() *isa.Memory {
 	return res
 }
 
+// newRegion hands out a zeroed dynamic-region record, recycling the
+// arena built up by earlier trials of a GoldenState campaign. A recycled
+// record keeps its colors map (cleared) so steady-state trials allocate
+// no per-region state at all.
+func (s *Sim) newRegion() *regionInst {
+	if s.regionsUsed < len(s.regionArena) {
+		r := s.regionArena[s.regionsUsed]
+		s.regionsUsed++
+		colors := r.colors
+		clear(colors)
+		*r = regionInst{colors: colors}
+		return r
+	}
+	r := &regionInst{}
+	s.regionArena = append(s.regionArena, r)
+	s.regionsUsed++
+	return r
+}
+
+// DrainOutput folds every still-buffered quarantined store into the
+// architectural memory in place and returns s.Mem — OutputMemory without
+// the clone and the checkpoint masking, for campaign workers that
+// classify the image with isa.Memory.EqualMasked and then Reset the
+// simulator. The returned memory still holds checkpoint and stack
+// words; callers mask those ranges during comparison.
+func (s *Sim) DrainOutput() *isa.Memory {
+	for i := range s.sb.entries {
+		e := &s.sb.entries[i]
+		if e.quarantined {
+			s.Mem.Store(e.addr, e.val)
+		}
+	}
+	s.sb.entries = s.sb.entries[:0]
+	return s.Mem
+}
+
 // advanceTo moves the issue cursor to cycle c (processing verification
 // events), attributing the stall to the given counter.
 func (s *Sim) advanceTo(c uint64, counter *uint64) {
@@ -240,7 +288,11 @@ func (s *Sim) processVerifications() {
 			return
 		}
 		r.verified = true
-		s.rbb = s.rbb[1:]
+		// Pop by copying down so the slice keeps its backing array —
+		// reslicing forward would strand the array head and force append
+		// to reallocate every trial of a GoldenState campaign.
+		n := copy(s.rbb, s.rbb[1:])
+		s.rbb = s.rbb[:n]
 		s.Stats.RegionsVerified++
 		s.regionClosed(r, false)
 		// Colors: UC -> VC, reclaiming previous VC colors.
@@ -537,13 +589,12 @@ func (s *Sim) commitBound(in *isa.Inst, now uint64) error {
 		s.advanceTo(oldest.verifyAt, &s.Stats.RBBFullStalls)
 		now = s.cycle
 	}
-	r := &regionInst{
-		id:       s.nextRegion,
-		staticID: int(in.Imm),
-		boundPC:  s.PC,
-		start:    now,
-		verifyAt: infCycle,
-	}
+	r := s.newRegion()
+	r.id = s.nextRegion
+	r.staticID = int(in.Imm)
+	r.boundPC = s.PC
+	r.start = now
+	r.verifyAt = infCycle
 	s.nextRegion++
 	s.rbb = append(s.rbb, r)
 	s.cur = r
@@ -712,7 +763,7 @@ func (s *Sim) commitCkpt(in *isa.Inst) (recovered bool, err error) {
 			s.colors.squash(r, prev)
 		}
 		if s.cur.colors == nil {
-			s.cur.colors = map[isa.Reg]int{}
+			s.cur.colors = make(map[isa.Reg]int, isa.NumRegs)
 		}
 		s.cur.colors[r] = color
 		addr := s.Prog.CkptSlot(r, color)

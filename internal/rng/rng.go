@@ -37,6 +37,11 @@ func New(seed int64) *Stream {
 	return &Stream{state: Mix(uint64(seed))}
 }
 
+// Reseed resets the stream in place to the state New(seed) would start
+// from. Campaign planners keep one Stream value per worker and reseed it
+// per trial instead of allocating a fresh stream for every plan.
+func (s *Stream) Reseed(seed int64) { s.state = Mix(uint64(seed)) }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

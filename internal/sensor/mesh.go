@@ -155,3 +155,7 @@ func (d *MeshDetector) Fork(seed int64) Sampler {
 func (d *MeshDetector) ForkMesh(seed int64) *MeshDetector {
 	return d.Fork(seed).(*MeshDetector)
 }
+
+// Reseed resets the detection stream in place to what ForkMesh(seed)
+// would produce, without allocating (see Detector.Reseed).
+func (d *MeshDetector) Reseed(seed int64) { d.rng.Reseed(seed) }

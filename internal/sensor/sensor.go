@@ -134,6 +134,11 @@ func (d *Detector) WCDL() int { return d.wcdl }
 // latencies are recorded at merge time, in trial order.
 func (d *Detector) Fork(seed int64) Sampler { return NewDetector(d.wcdl, seed) }
 
+// Reseed resets the latency stream in place to what Fork(seed) would
+// produce, without allocating. Campaign planners reuse one forked
+// detector across trials.
+func (d *Detector) Reseed(seed int64) { d.rng.Reseed(seed) }
+
 // Latency samples one detection latency in [1, WCDL].
 func (d *Detector) Latency() int {
 	lat := 1 + d.rng.Intn(d.wcdl)
@@ -213,3 +218,7 @@ func (d *PhysicalDetector) Fork(seed int64) Sampler {
 	}
 	return nd
 }
+
+// Reseed resets the latency stream in place to what Fork(seed) would
+// produce, without allocating (see Detector.Reseed).
+func (d *PhysicalDetector) Reseed(seed int64) { d.rng.Reseed(seed) }

@@ -46,6 +46,9 @@ type JobSpec struct {
 	// Workers bounds the campaign's trial pool; the result is identical
 	// for every value.
 	Workers int `json:"workers,omitempty"`
+	// Lease is the number of consecutive trials one dispatch hands a
+	// worker (0 = automatic); the result is identical for every value.
+	Lease int `json:"lease,omitempty"`
 	// FailureBudget caps SDC/crash trials before the campaign aborts
 	// (0 = first failure, -1 = record all).
 	FailureBudget int `json:"failure_budget,omitempty"`

@@ -112,16 +112,17 @@ func TestLiveCampaignServing(t *testing.T) {
 	}
 
 	// The final state must reflect the whole campaign: 60 trials plus the
-	// golden run, with live gauges present in the exposition.
-	if got := progress.Runs.Load(); got != 61 {
-		t.Errorf("progress runs = %d, want 61 (60 trials + golden)", got)
+	// cold golden run and its warm-start baseline rerun, with live gauges
+	// present in the exposition.
+	if got := progress.Runs.Load(); got != 62 {
+		t.Errorf("progress runs = %d, want 62 (60 trials + cold and warm golden)", got)
 	}
 	finalFams := parseProm(t, scrape(t, base+"/metrics"))
 	if _, ok := finalFams["live_cycles"]; !ok {
 		t.Error("live_cycles gauge missing from final exposition")
 	}
-	if finalFams["live_runs"] != 61 {
-		t.Errorf("live_runs = %d, want 61", finalFams["live_runs"])
+	if finalFams["live_runs"] != 62 {
+		t.Errorf("live_runs = %d, want 62", finalFams["live_runs"])
 	}
 	// Worker-level progress is part of the SSE/metrics contract: the
 	// gauge must be exposed, and must read zero once the pool has drained.

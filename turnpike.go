@@ -215,6 +215,10 @@ type FaultCampaignConfig struct {
 	// Workers bounds the campaign's trial worker pool; <=0 uses
 	// GOMAXPROCS. The merged result is identical for every worker count.
 	Workers int
+	// Lease is the number of consecutive trials one dispatch hands a
+	// worker; <=0 picks an automatic batch from Trials and Workers. Any
+	// lease size produces byte-identical results. See fault.Config.Lease.
+	Lease int
 	// FailureBudget caps recorded SDC/crash trials before the campaign
 	// aborts: 0 fails fast on the first failure, a negative budget
 	// records every failure without aborting. See fault.Config.
@@ -307,17 +311,35 @@ func InjectFaults(bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultR
 // stops the campaign's outstanding trials, writes a final checkpoint (when
 // configured), and returns the merged partial result alongside the error.
 func InjectFaultsContext(ctx context.Context, bench string, scheme Scheme, cfg FaultCampaignConfig) (*FaultResult, error) {
+	p, err := PrepareFaultCampaign(ctx, bench, scheme, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx)
+}
+
+// PreparedFaultCampaign re-exports the two-phase campaign handle: the
+// golden run is executed and snapshotted, per-worker simulators are
+// forked, and Run executes only the trial phase. cmd/bench uses the
+// split to meter trial throughput without the serial setup.
+type PreparedFaultCampaign = fault.Prepared
+
+// PrepareFaultCampaign runs a campaign's serial phases (compile, golden
+// run, golden-state snapshot, worker priming) and returns the campaign
+// ready to Run. InjectFaultsContext is Prepare followed by Run.
+func PrepareFaultCampaign(ctx context.Context, bench string, scheme Scheme, cfg FaultCampaignConfig) (*PreparedFaultCampaign, error) {
 	prog, sim, seedMem, err := campaignSetup(bench, scheme, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	return fault.CampaignContext(ctx, prog, fault.Config{
+	return fault.Prepare(ctx, prog, fault.Config{
 		Trials:          cfg.Trials,
 		Seed:            cfg.Seed,
 		Sim:             sim,
 		Metrics:         cfg.Metrics,
 		Progress:        cfg.Progress,
 		Workers:         cfg.Workers,
+		Lease:           cfg.Lease,
 		FailureBudget:   cfg.FailureBudget,
 		Checkpoint:      cfg.Checkpoint,
 		CheckpointEvery: cfg.CheckpointEvery,
