@@ -37,10 +37,32 @@
 // exits 0. A restart (graceful or after a crash) re-queues unfinished
 // jobs and resumes them from their watermarks; results are
 // byte-identical to an uninterrupted run.
+//
+// # Fleet mode
+//
+// The daemon is always a fleet coordinator: each campaign is opened as
+// a session whose contiguous trial ranges are leased to registered
+// workers — remote campaignd processes started with
+//
+//	campaignd -worker -join http://coordinator:8321
+//
+// Workers register (POST /fleet/workers), heartbeat, poll for leases,
+// execute each range on their own compiled copy of the campaign, and
+// post the sealed shard back. Leases carry deadlines (-fleet-lease-ttl)
+// and are reclaimed when they expire or when a worker misses
+// -fleet-misses heartbeats; leases outstanding longer than
+// -fleet-steal-after are work-stolen (duplicate grant, first complete
+// wins, cross-validated). While no workers are live the coordinator
+// executes leases itself, so a workerless daemon behaves exactly as
+// before — and every merged result is byte-identical to a single-node
+// run regardless of how many workers served it or died mid-campaign.
+// GET /fleet shows the worker and lease tables; /readyz reports fleet
+// health (degraded when registered workers are lost).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -76,6 +98,15 @@ func main() {
 		recorder    = flag.Int("recorder", 4096, "flight-recorder ring capacity (events); 0 disables the ring, /jobs/{id}/events, and SIGQUIT dumps")
 		spans       = flag.Int("spans", 8192, "wall-clock span ring capacity backing /jobs/{id}/trace and /jobs/{id}/phases; 0 disables span tracing")
 		spanFile    = flag.String("span-file", "", "stream completed spans to this file (.jsonl = JSON lines, else Chrome trace JSON for Perfetto)")
+
+		workerMode  = flag.Bool("worker", false, "run as a fleet worker: join a coordinator, execute leased trial ranges, post shards back")
+		join        = flag.String("join", "", "coordinator base URL for -worker mode, e.g. http://127.0.0.1:8321")
+		workerID    = flag.String("worker-id", "", "stable worker identity for -worker mode (default: coordinator mints one)")
+		fleetHB     = flag.Duration("fleet-heartbeat", 2*time.Second, "worker heartbeat cadence the coordinator advertises")
+		fleetMisses = flag.Int("fleet-misses", 3, "missed heartbeats before a worker is lost and its leases reclaimed")
+		fleetTTL    = flag.Duration("fleet-lease-ttl", 30*time.Second, "lease deadline; unreturned ranges are requeued after it")
+		fleetSteal  = flag.Duration("fleet-steal-after", 10*time.Second, "lease age before a straggling range is work-stolen (duplicate grant, first complete wins)")
+		fleetPoll   = flag.Duration("fleet-poll", 250*time.Millisecond, "lease-poll cadence the coordinator advertises to idle workers")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -99,6 +130,11 @@ func main() {
 	reg := obs.NewRegistry()
 	progress := &pipeline.Progress{}
 
+	if *workerMode {
+		runWorker(*join, *workerID, campaignPrepare(reg, progress, logger), logger)
+		return
+	}
+
 	// The span tracer's ring backs the per-job HTTP endpoints; -span-file
 	// adds a streaming sink behind the tracer's flusher. The service owns
 	// the tracer's shutdown (Service.Shutdown closes it).
@@ -116,9 +152,20 @@ func main() {
 		tracer = span.New(scfg)
 	}
 
+	fleet := service.NewFleet(service.FleetConfig{
+		HeartbeatInterval: *fleetHB,
+		HeartbeatMisses:   *fleetMisses,
+		LeaseTTL:          *fleetTTL,
+		StealAfter:        *fleetSteal,
+		PollInterval:      *fleetPoll,
+		Progress:          progress,
+		Metrics:           reg,
+		Logger:            logger,
+	})
 	svc, err := service.New(service.Config{
 		StateDir:         *state,
-		Runner:           campaignRunner(reg, progress, logger),
+		Executor:         &service.FleetExecutor{Fleet: fleet, Prepare: campaignPrepare(reg, progress, logger)},
+		Fleet:            fleet,
 		QueueDepth:       *queue,
 		Concurrency:      *concurrency,
 		MaxAttempts:      *attempts,
@@ -212,12 +259,16 @@ func parseLevel(s string) (slog.Level, error) {
 	return 0, fmt.Errorf("campaignd: unknown -log-level %q (want debug, info, warn, or error)", s)
 }
 
-// campaignRunner adapts the fault-campaign engine to service.Runner,
-// threading the service's registry, live-progress gauges, and structured
-// logger into every campaign so /metrics, /live, and the correlated log
-// cover the jobs as they run.
-func campaignRunner(reg *obs.Registry, progress *pipeline.Progress, logger *slog.Logger) service.Runner {
-	return func(ctx context.Context, spec service.JobSpec, checkpoint string) (*fault.Result, error) {
+// campaignPrepare adapts the two-phase fault-campaign engine to
+// service.PrepareFunc, threading the process's registry, live-progress
+// gauges, and structured logger into every campaign so /metrics, /live,
+// and the correlated log cover the jobs as they run. The coordinator's
+// FleetExecutor opens each Prepared as the session it leases from;
+// workers prepare the same spec (with checkpoint "") and execute leased
+// ranges on it — identical golden statistics on both sides prove the
+// two processes compiled the same campaign.
+func campaignPrepare(reg *obs.Registry, progress *pipeline.Progress, logger *slog.Logger) service.PrepareFunc {
+	return func(ctx context.Context, spec service.JobSpec, checkpoint string) (*fault.Prepared, error) {
 		var sc turnpike.Scheme
 		switch spec.Scheme {
 		case "", "turnpike":
@@ -227,7 +278,7 @@ func campaignRunner(reg *obs.Registry, progress *pipeline.Progress, logger *slog
 		default:
 			return nil, fmt.Errorf("%w: unknown scheme %q", fault.ErrInvalidConfig, spec.Scheme)
 		}
-		return turnpike.InjectFaultsContext(ctx, spec.Bench, sc, turnpike.FaultCampaignConfig{
+		return turnpike.PrepareFaultCampaign(ctx, spec.Bench, sc, turnpike.FaultCampaignConfig{
 			Trials:          spec.Trials,
 			Seed:            spec.Seed,
 			SBSize:          spec.SBSize,
@@ -242,5 +293,39 @@ func campaignRunner(reg *obs.Registry, progress *pipeline.Progress, logger *slog
 			Progress:        progress,
 			Logger:          logger,
 		})
+	}
+}
+
+// runWorker is -worker mode: one fleet worker process, running until a
+// signal drains it (the coordinator reclaims its leases by heartbeat
+// timeout) or the coordinator quarantines it (exit 2 — a quarantined
+// identity is never trusted again, so restarting under it is useless).
+func runWorker(join, id string, prepare service.PrepareFunc, logger *slog.Logger) {
+	if join == "" {
+		log.Fatal("-worker needs -join http://coordinator:port")
+	}
+	wc, err := service.NewWorkerClient(service.WorkerConfig{
+		Coordinator: strings.TrimRight(join, "/"),
+		Prepare:     prepare,
+		ID:          id,
+		Logger:      logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The one stdout line, mirroring the coordinator's "listening on",
+	// so scripts know the worker process came up.
+	fmt.Printf("campaignd worker joining %s\n", join)
+	err = wc.Run(ctx)
+	switch {
+	case errors.Is(err, service.ErrWorkerQuarantined):
+		log.Printf("worker %s quarantined by coordinator; exiting", wc.ID())
+		os.Exit(2)
+	case errors.Is(err, context.Canceled):
+		log.Printf("worker %s drained on signal", wc.ID())
+	case err != nil:
+		log.Fatal(err)
 	}
 }

@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -71,6 +72,7 @@ func main() {
 		containment = flag.Bool("containment", true, "abort as DUE when a detection arrives after its region verified (off = unsafe, demonstrates SDC)")
 		profileDir  = flag.String("profile", "", "directory for pprof profiles (CPU + heap) and a per-trial cost report bracketing the whole campaign (empty = off)")
 		spansOut    = flag.String("spans", "", "wall-clock span trace file (.jsonl = JSON lines, else Chrome trace JSON for Perfetto) plus a phase-budget table (empty = off)")
+		jsonOut     = flag.String("json", "", "write the merged campaign Result per benchmark as JSON to this file — the canonical form fleet CI diffs against (empty = off)")
 	)
 	cli := obs.RegisterCLI(flag.CommandLine, "faultcampaign")
 	flag.Parse()
@@ -122,6 +124,7 @@ func main() {
 	reg := obs.NewRegistry()
 	outcomes := map[string]map[string]int{}
 	failures := map[string][]fault.TrialFailure{}
+	results := map[string]*fault.Result{}
 
 	// Ctrl-C or a supervisor's SIGTERM cancels outstanding trials; with
 	// -resume each benchmark's checkpoint is flushed first, so the next
@@ -230,6 +233,7 @@ func main() {
 			per[o.String()] = n
 		}
 		outcomes[b] = per
+		results[b] = res
 		if len(res.Failures) > 0 {
 			failures[b] = res.Failures
 		}
@@ -238,6 +242,22 @@ func main() {
 		}
 	}
 	w.Flush()
+	// -json: the merged Result per benchmark, exactly as campaignd serves
+	// it in a job record. The fleet CI job regenerates this single-node
+	// form and diffs it against both the committed reference and the
+	// distributed run's merged result: three executors, one byte stream.
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("campaign results written to %s\n", *jsonOut)
+	}
 	if capture != nil {
 		usage, err := capture.Stop()
 		if err != nil {

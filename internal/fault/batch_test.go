@@ -44,7 +44,7 @@ func TestLeaseSizeInvariant(t *testing.T) {
 
 // readCheckpointRecords loads a campaign checkpoint's per-trial records
 // in trial order.
-func readCheckpointRecords(t *testing.T, path string) []trialRecord {
+func readCheckpointRecords(t *testing.T, path string) []TrialRecord {
 	t.Helper()
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -133,7 +133,7 @@ func TestTrialLoopAllocationFree(t *testing.T) {
 	}
 	e, r := prep.e, prep.runners[0]
 	ctx := context.Background()
-	var rec trialRecord
+	var rec TrialRecord
 	for i := 0; i < cfg.Trials; i++ {
 		e.runTrial(ctx, r, i, &rec)
 	}

@@ -45,10 +45,13 @@ type reseeder interface {
 	Reseed(seed int64)
 }
 
-// trialRecord is one completed trial: the plan, the classification, and
-// the simulator statistics needed to merge it into a Result. It is also
-// the checkpoint file's unit of progress.
-type trialRecord struct {
+// TrialRecord is one completed trial: the plan, the classification, and
+// the simulator statistics needed to merge it into a Result. It is the
+// checkpoint file's unit of progress and the payload of a distributed
+// campaign's ShardResult — a record is valid wherever it was executed,
+// because the injection plan is a pure function of (Seed, trial) and the
+// simulator is deterministic.
+type TrialRecord struct {
 	Trial   int            `json:"trial"`
 	Inj     Injection      `json:"injection"`
 	Outcome Outcome        `json:"outcome"`
@@ -67,7 +70,7 @@ type planScratch struct {
 // trialRunner is one worker's reusable execution state: a simulator
 // forked from the golden snapshot and Reset between trials, plus the
 // plan and event-schedule scratch. Steady-state, running a trial
-// allocates only its trialRecord.
+// allocates only its TrialRecord.
 type trialRunner struct {
 	sim     *pipeline.Sim
 	scratch planScratch
@@ -108,7 +111,7 @@ func (e *engine) warnf(format string, args ...any) {
 
 // logTrial emits one trial's Debug record. The Enabled check is hoisted
 // by the caller (debugOn) so a disabled logger costs nothing per trial.
-func (e *engine) logTrial(ctx context.Context, rec *trialRecord) {
+func (e *engine) logTrial(ctx context.Context, rec *TrialRecord) {
 	e.cfg.Logger.LogAttrs(ctx, slog.LevelDebug, "trial complete",
 		slog.String("outcome", rec.Outcome.String()),
 		slog.Int("reg", int(rec.Inj.Reg)),
@@ -293,8 +296,8 @@ func (e *engine) exec(ctx context.Context, r *trialRunner, inj *Injection) (st p
 // slab instead of heap-allocating per trial. ctx carries the worker's
 // shard correlation; the trial index is added by the worker loop so the
 // simulator's rare-event lines name it.
-func (e *engine) runTrial(ctx context.Context, r *trialRunner, trial int, rec *trialRecord) {
-	*rec = trialRecord{Trial: trial, Inj: e.planWith(trial, &r.scratch)}
+func (e *engine) runTrial(ctx context.Context, r *trialRunner, trial int, rec *TrialRecord) {
+	*rec = TrialRecord{Trial: trial, Inj: e.planWith(trial, &r.scratch)}
 	st, equal, err := e.exec(ctx, r, &rec.Inj)
 	rec.Stats = st
 	rec.Outcome = classifyResult(equal, st, err)
@@ -337,7 +340,7 @@ func classify(golden, mem *isa.Memory, st pipeline.Stats, err error) Outcome {
 // counts, aggregate statistics, histograms, slowdown samples, and the
 // failure report are identical for every worker count and for resumed
 // campaigns.
-func (e *engine) merge(records []*trialRecord, goldenStats pipeline.Stats) *Result {
+func (e *engine) merge(records []*TrialRecord, goldenStats pipeline.Stats) *Result {
 	cfg := e.cfg
 	var detLat, recLen *obs.Histogram
 	if cfg.Metrics != nil {
@@ -443,6 +446,10 @@ type Prepared struct {
 	runners     []*trialRunner
 	goldenStats pipeline.Stats
 	ran         bool
+	// mu serializes use of the runners: Run holds it for the campaign's
+	// duration, and each RunRange (the distributed shard-execution path)
+	// holds it per shard — the primed simulators are exclusive state.
+	mu sync.Mutex
 }
 
 // Prepare runs a campaign's serial phases — golden execution (captured
@@ -569,6 +576,8 @@ type trialRange struct{ lo, hi int }
 // Run executes the prepared campaign's trials and merges the result; see
 // CampaignContext for the semantics. Run may be called once.
 func (p *Prepared) Run(ctx context.Context) (*Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.ran {
 		return nil, fmt.Errorf("fault: Prepared.Run called twice")
 	}
@@ -589,8 +598,8 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 	// records holds pointers (restore fills holes with checkpoint
 	// records); fresh trials are filled into the slab so the steady-state
 	// trial loop performs zero record allocations.
-	records := make([]*trialRecord, cfg.Trials)
-	slab := make([]trialRecord, cfg.Trials)
+	records := make([]*TrialRecord, cfg.Trials)
+	slab := make([]TrialRecord, cfg.Trials)
 	if cfg.Checkpoint != "" {
 		// Restore covers reading the watermark file and re-deriving every
 		// completed trial's injection plan for validation.

@@ -27,7 +27,7 @@ type campaignCheckpoint struct {
 	GoldenCycles  uint64        `json:"golden_cycles"`
 	GoldenInsts   uint64        `json:"golden_insts"`
 	Adversary     *Adversary    `json:"adversary,omitempty"`
-	Done          []trialRecord `json:"done"`
+	Done          []TrialRecord `json:"done"`
 }
 
 // Version 2: injections gained burst/false-positive plans and the
@@ -37,7 +37,7 @@ const checkpointVersion = 2
 // save rewrites the checkpoint file with every completed trial, in trial
 // order. Callers serialize saves (the campaign holds its merge mutex or
 // has joined all workers).
-func (e *engine) save(records []*trialRecord, goldenStats pipeline.Stats) error {
+func (e *engine) save(records []*TrialRecord, goldenStats pipeline.Stats) error {
 	ck := campaignCheckpoint{
 		Version:       checkpointVersion,
 		Seed:          e.cfg.Seed,
@@ -64,7 +64,7 @@ func (e *engine) save(records []*trialRecord, goldenStats pipeline.Stats) error 
 // file whose fingerprint does not match this campaign wraps
 // ErrInvalidConfig, because it records a *different* campaign's progress
 // and must not be silently overwritten.
-func (e *engine) restore(records []*trialRecord, goldenStats pipeline.Stats) error {
+func (e *engine) restore(records []*TrialRecord, goldenStats pipeline.Stats) error {
 	b, err := os.ReadFile(e.cfg.Checkpoint)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil

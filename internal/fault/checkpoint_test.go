@@ -37,9 +37,9 @@ func TestCheckpointCorruptTyped(t *testing.T) {
 	e := checkpointEngine(t, ckpt, 11, 16)
 	gs := pipeline.Stats{Cycles: 123, Insts: 456}
 
-	records := make([]*trialRecord, 16)
+	records := make([]*TrialRecord, 16)
 	for i := 0; i < 5; i++ {
-		records[i] = &trialRecord{Trial: i, Inj: e.plan(i), Outcome: Masked}
+		records[i] = &TrialRecord{Trial: i, Inj: e.plan(i), Outcome: Masked}
 	}
 	if err := e.save(records, gs); err != nil {
 		t.Fatal(err)
@@ -66,7 +66,7 @@ func TestCheckpointCorruptTyped(t *testing.T) {
 		if err := os.WriteFile(ckpt, b, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		got := e.restore(make([]*trialRecord, 16), gs)
+		got := e.restore(make([]*TrialRecord, 16), gs)
 		if !errors.Is(got, ErrCheckpointCorrupt) {
 			t.Errorf("%s: want ErrCheckpointCorrupt, got %v", name, got)
 		}
@@ -78,7 +78,7 @@ func TestCheckpointCorruptTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	other := checkpointEngine(t, ckpt, 12, 16)
-	got := other.restore(make([]*trialRecord, 16), gs)
+	got := other.restore(make([]*TrialRecord, 16), gs)
 	if !errors.Is(got, ErrInvalidConfig) || errors.Is(got, ErrCheckpointCorrupt) {
 		t.Fatalf("fingerprint mismatch: want ErrInvalidConfig only, got %v", got)
 	}
@@ -134,9 +134,9 @@ func FuzzCheckpointRestore(f *testing.F) {
 		f.Fatal(err)
 	}
 	gs := pipeline.Stats{Cycles: 123, Insts: 456}
-	records := make([]*trialRecord, 8)
+	records := make([]*TrialRecord, 8)
 	for i := 0; i < 3; i++ {
-		records[i] = &trialRecord{Trial: i, Inj: e.plan(i), Outcome: Masked}
+		records[i] = &TrialRecord{Trial: i, Inj: e.plan(i), Outcome: Masked}
 	}
 	if err := e.save(records, gs); err != nil {
 		f.Fatal(err)
@@ -160,7 +160,7 @@ func FuzzCheckpointRestore(f *testing.F) {
 		if err := fe.resolveSampler(); err != nil {
 			t.Fatal(err)
 		}
-		err := fe.restore(make([]*trialRecord, 8), gs)
+		err := fe.restore(make([]*TrialRecord, 8), gs)
 		if err != nil && !errors.Is(err, ErrCheckpointCorrupt) && !errors.Is(err, ErrInvalidConfig) {
 			t.Fatalf("raw error surfaced from mangled checkpoint: %v", err)
 		}

@@ -18,6 +18,22 @@ import "errors"
 // attempts.
 var ErrInvalidConfig = errors.New("fault: campaign configuration can never succeed")
 
+// ErrShardInvalid marks a shard result that fails validation against the
+// campaign it claims to belong to: a broken checksum, a golden-run
+// fingerprint from a different program or simulator configuration, trial
+// indices outside the campaign, or recorded injections that contradict
+// the deterministic per-trial plan. A coordinator treats the submitting
+// worker as untrustworthy (quarantine) and re-runs the range elsewhere.
+var ErrShardInvalid = errors.New("fault: shard result failed validation")
+
+// ErrShardMismatch marks a duplicate shard completion whose records
+// disagree with records already committed for the same trials — two
+// executions of a deterministic campaign produced different bytes, so at
+// least one executor is broken. The coordinator resolves it
+// deterministically: quarantine the later submitter, revoke the range,
+// and re-run it.
+var ErrShardMismatch = errors.New("fault: shard result contradicts committed records")
+
 // ErrCheckpointCorrupt marks a checkpoint file whose bytes are not a
 // syntactically valid checkpoint — truncated JSON from a torn pre-atomic
 // write, garbage, or records that contradict the deterministic per-trial

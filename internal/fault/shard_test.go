@@ -1,0 +1,268 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// shardTestConfig is the shared campaign the shard/session tests slice
+// up: big enough for interesting splits, budget -1 so failures are
+// recorded rather than aborting.
+func shardTestConfig() Config {
+	return Config{Trials: 48, Seed: 11, FailureBudget: -1,
+		Sim: pipeline.TurnpikeConfig(4, 10)}
+}
+
+// TestSessionByteIdenticalToRun is the distributed-merge contract: a
+// campaign executed as shards — committed out of trial order, with
+// duplicate completions sprinkled in — must Finish with a Result
+// byte-identical to Prepared.Run of the same Config.
+func TestSessionByteIdenticalToRun(t *testing.T) {
+	prog, p := compiled(t, "gcc", core.Turnpike)
+	cfg := shardTestConfig()
+
+	ref, err := Campaign(prog, cfg, p.SeedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	prep, err := Prepare(ctx, prog, cfg, p.SeedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := prep.Open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Pending(); len(got) != 1 || got[0].Lo != 0 || got[0].Hi != cfg.Trials {
+		t.Fatalf("fresh session pending = %v, want [{0 %d}]", got, cfg.Trials)
+	}
+
+	// Execute shards of uneven sizes, then commit them in reverse
+	// order, re-committing one as a duplicate.
+	var shards []*ShardResult
+	for lo, step := 0, 7; lo < cfg.Trials; lo += step {
+		hi := lo + step
+		if hi > cfg.Trials {
+			hi = cfg.Trials
+		}
+		sh, err := sess.RunRange(ctx, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sh)
+	}
+	for i := len(shards) - 1; i >= 0; i-- {
+		fresh, err := sess.Commit(shards[i])
+		if err != nil {
+			t.Fatalf("commit shard [%d,%d): %v", shards[i].Lo, shards[i].Hi, err)
+		}
+		if want := shards[i].Hi - shards[i].Lo; fresh != want {
+			t.Fatalf("commit shard [%d,%d): fresh = %d, want %d", shards[i].Lo, shards[i].Hi, fresh, want)
+		}
+	}
+	if fresh, err := sess.Commit(shards[0]); err != nil || fresh != 0 {
+		t.Fatalf("duplicate commit: fresh=%d err=%v, want 0 <nil>", fresh, err)
+	}
+	if !sess.RangeComplete(0, cfg.Trials) {
+		t.Fatal("RangeComplete(0, Trials) = false after all commits")
+	}
+	if got := sess.Pending(); len(got) != 0 {
+		t.Fatalf("pending after all commits = %v, want none", got)
+	}
+
+	res, err := sess.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Error("sharded session result diverged from single-process Run")
+	}
+}
+
+// TestShardVerifyAndCommitValidation exercises every rejection class:
+// broken checksum, foreign golden fingerprint, fabricated injection
+// plans, and duplicate records that contradict committed ones — plus
+// Revoke as the mismatch resolution.
+func TestShardVerifyAndCommitValidation(t *testing.T) {
+	prog, p := compiled(t, "gcc", core.Turnpike)
+	cfg := shardTestConfig()
+	cfg.Trials = 16
+
+	ctx := context.Background()
+	prep, err := Prepare(ctx, prog, cfg, p.SeedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := prep.Open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := sess.RunRange(ctx, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tampered := *good
+	tampered.Checksum++
+	if _, err := sess.Commit(&tampered); !errors.Is(err, ErrShardInvalid) {
+		t.Errorf("broken checksum: err = %v, want ErrShardInvalid", err)
+	}
+
+	foreign := *good
+	foreign.Records = append([]TrialRecord(nil), good.Records...)
+	foreign.GoldenCycles++
+	foreign.Seal()
+	if _, err := sess.Commit(&foreign); !errors.Is(err, ErrShardInvalid) {
+		t.Errorf("foreign golden fingerprint: err = %v, want ErrShardInvalid", err)
+	}
+
+	fabricated := *good
+	fabricated.Records = append([]TrialRecord(nil), good.Records...)
+	fabricated.Records[3].Inj.AtInst += 1000
+	fabricated.Seal()
+	if _, err := sess.Commit(&fabricated); !errors.Is(err, ErrShardInvalid) {
+		t.Errorf("fabricated injection plan: err = %v, want ErrShardInvalid", err)
+	}
+
+	if fresh, err := sess.Commit(good); err != nil || fresh != 8 {
+		t.Fatalf("good shard after rejects: fresh=%d err=%v", fresh, err)
+	}
+
+	// A duplicate whose outcome bytes differ from the committed records
+	// is a mismatch — some executor is broken.
+	lying := *good
+	lying.Records = append([]TrialRecord(nil), good.Records...)
+	lying.Records[2].Stats.Cycles += 7
+	lying.Seal()
+	if _, err := sess.Commit(&lying); !errors.Is(err, ErrShardMismatch) {
+		t.Errorf("contradicting duplicate: err = %v, want ErrShardMismatch", err)
+	}
+
+	// Revoke is the deterministic resolution: clear the range, re-run,
+	// re-commit.
+	if err := sess.Revoke(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if sess.RangeComplete(0, 8) {
+		t.Fatal("range still complete after Revoke")
+	}
+	rerun, err := sess.RunRange(ctx, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh, err := sess.Commit(rerun); err != nil || fresh != 8 {
+		t.Fatalf("re-commit after revoke: fresh=%d err=%v", fresh, err)
+	}
+
+	rest, err := sess.RunRange(ctx, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Commit(rest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionCheckpointResume abandons a session mid-campaign and
+// reopens it: the new session must resume from the checkpoint watermark
+// and finish byte-identical to an uninterrupted run.
+func TestSessionCheckpointResume(t *testing.T) {
+	prog, p := compiled(t, "gcc", core.Turnpike)
+	cfg := shardTestConfig()
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "session.ckpt.json")
+	cfg.CheckpointEvery = 8
+
+	refCfg := cfg
+	refCfg.Checkpoint = ""
+	ref, err := Campaign(prog, refCfg, p.SeedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	prep, err := Prepare(ctx, prog, cfg, p.SeedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := prep.Open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit exactly two checkpoint cadences' worth, then walk away —
+	// the coordinator-killed-mid-campaign case.
+	for _, r := range []TrialRange{{0, 8}, {8, 16}} {
+		sh, err := sess.RunRange(ctx, r.Lo, r.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Commit(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prep2, err := Prepare(ctx, prog, cfg, p.SeedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := prep2.Open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess2.Completed() != 16 {
+		t.Fatalf("restored session completed = %d, want 16", sess2.Completed())
+	}
+	pending := sess2.Pending()
+	if len(pending) != 1 || pending[0].Lo != 16 || pending[0].Hi != cfg.Trials {
+		t.Fatalf("restored pending = %v, want [{16 %d}]", pending, cfg.Trials)
+	}
+	for _, r := range pending {
+		sh, err := sess2.RunRange(ctx, r.Lo, r.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess2.Commit(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess2.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Error("resumed session result diverged from uninterrupted run")
+	}
+}
+
+// TestRunRangeCancelReturnsNoShard: a cancelled context abandons the
+// shard entirely — partial shards must never merge.
+func TestRunRangeCancelReturnsNoShard(t *testing.T) {
+	prog, p := compiled(t, "gcc", core.Turnpike)
+	cfg := shardTestConfig()
+	ctx := context.Background()
+	prep, err := Prepare(ctx, prog, cfg, p.SeedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if sh, err := prep.RunRange(cctx, 0, 8); err == nil || sh != nil {
+		t.Fatalf("cancelled RunRange: sh=%v err=%v, want nil + error", sh, err)
+	}
+	if _, err := prep.RunRange(ctx, -1, 8); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("negative lo: err = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := prep.RunRange(ctx, 0, cfg.Trials+1); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("hi beyond campaign: err = %v, want ErrInvalidConfig", err)
+	}
+}

@@ -32,6 +32,16 @@ type Progress struct {
 	JobsQueued   atomic.Int64 // campaign-service jobs waiting in the bounded queue
 	JobsRunning  atomic.Int64 // campaign-service jobs currently executing
 	BreakersOpen atomic.Int64 // campaign-service circuit breakers currently open
+
+	// Fleet gauges: the distributed-campaign coordinator's view of its
+	// worker fleet and lease table. FleetWorkers/FleetWorkersLost and
+	// LeasesActive are last-value gauges; LeasesExpired/LeasesStolen only
+	// grow.
+	FleetWorkers     atomic.Int64  // registered workers currently live
+	FleetWorkersLost atomic.Int64  // registered workers that stopped heartbeating
+	LeasesActive     atomic.Int64  // trial-range leases currently outstanding
+	LeasesExpired    atomic.Uint64 // leases reclaimed on deadline or worker loss
+	LeasesStolen     atomic.Uint64 // duplicate grants issued to outrun stragglers
 }
 
 // AttachProgress makes the simulator publish into p at every Step; nil
@@ -84,6 +94,12 @@ type ProgressSample struct {
 	JobsQueued      int64   `json:"jobs_queued"`
 	JobsRunning     int64   `json:"jobs_running"`
 	BreakersOpen    int64   `json:"breakers_open"`
+
+	FleetWorkers     int64  `json:"fleet_workers"`
+	FleetWorkersLost int64  `json:"fleet_workers_lost"`
+	LeasesActive     int64  `json:"leases_active"`
+	LeasesExpired    uint64 `json:"leases_expired"`
+	LeasesStolen     uint64 `json:"leases_stolen"`
 }
 
 // Sampler periodically reads a Progress and publishes each observation as
@@ -169,6 +185,12 @@ func (sp *Sampler) sample() ProgressSample {
 		JobsQueued:      p.JobsQueued.Load(),
 		JobsRunning:     p.JobsRunning.Load(),
 		BreakersOpen:    p.BreakersOpen.Load(),
+
+		FleetWorkers:     p.FleetWorkers.Load(),
+		FleetWorkersLost: p.FleetWorkersLost.Load(),
+		LeasesActive:     p.LeasesActive.Load(),
+		LeasesExpired:    p.LeasesExpired.Load(),
+		LeasesStolen:     p.LeasesStolen.Load(),
 	}
 	if s.Cycles > 0 {
 		s.IPC = float64(s.Insts) / float64(s.Cycles)
@@ -193,6 +215,11 @@ func (sp *Sampler) sample() ProgressSample {
 		sp.reg.Gauge("live.jobs_queued").Set(s.JobsQueued)
 		sp.reg.Gauge("live.jobs_running").Set(s.JobsRunning)
 		sp.reg.Gauge("live.breakers_open").Set(s.BreakersOpen)
+		sp.reg.Gauge("live.fleet_workers").Set(s.FleetWorkers)
+		sp.reg.Gauge("live.fleet_workers_lost").Set(s.FleetWorkersLost)
+		sp.reg.Gauge("live.leases_active").Set(s.LeasesActive)
+		sp.reg.Gauge("live.leases_expired").Set(int64(s.LeasesExpired))
+		sp.reg.Gauge("live.leases_stolen").Set(int64(s.LeasesStolen))
 	}
 	if sp.onSample != nil {
 		sp.onSample(s)

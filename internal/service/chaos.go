@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ChaosTransport is the fleet's adversarial network: an http.RoundTripper
+// that injects seeded drops, delays, and duplicate deliveries between a
+// WorkerClient and its coordinator. The fault schedule is a pure
+// function of the seed (rng.Mix/SplitMix64, the same generator the
+// campaigns use), so a chaos run is reproducible: the determinism tests
+// prove that campaign results stay byte-identical to a single-node run
+// under any seed, and nightly CI fuzzes fresh seeds.
+//
+// Failure modes:
+//
+//   - drop: the request errors before reaching the server, as a severed
+//     connection would — http.Client wraps it in *url.Error, which
+//     Classify calls Transient, exercising every retry path;
+//   - delay: up to Delay of added latency, enough to trip lease
+//     deadlines and heartbeat misses when the knobs are tightened;
+//   - duplicate: the request is delivered twice and the second response
+//     returned, exercising the coordinator's first-complete-wins
+//     idempotency (duplicate registrations, heartbeats, and shard
+//     completions must all be harmless).
+type ChaosTransport struct {
+	// Base performs the real delivery. Default http.DefaultTransport.
+	Base http.RoundTripper
+	// Drop and Dup are per-request probabilities in [0,1]; Delay is the
+	// added-latency cap (0 disables).
+	Drop  float64
+	Dup   float64
+	Delay time.Duration
+
+	mu  sync.Mutex
+	rng *rng.Stream
+
+	drops  atomic.Uint64
+	dups   atomic.Uint64
+	delays atomic.Uint64
+}
+
+// NewChaosTransport seeds a chaos transport over base.
+func NewChaosTransport(base http.RoundTripper, seed int64, drop, dup float64, delay time.Duration) *ChaosTransport {
+	return &ChaosTransport{Base: base, Drop: drop, Dup: dup, Delay: delay, rng: rng.New(seed)}
+}
+
+// Stats reports how many faults the transport has injected.
+func (t *ChaosTransport) Stats() (drops, dups, delays uint64) {
+	return t.drops.Load(), t.dups.Load(), t.delays.Load()
+}
+
+func (t *ChaosTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// chaosDroppedError is the injected connection failure. http.Client
+// wraps it in *url.Error, so Classify sees it as Transient — exactly
+// like a real severed connection.
+type chaosDroppedError struct{ seq uint64 }
+
+func (e *chaosDroppedError) Error() string {
+	return fmt.Sprintf("chaos: request dropped (injected fault #%d)", e.seq)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	drop := t.rng.Float64() < t.Drop
+	dup := !drop && t.rng.Float64() < t.Dup
+	var delay time.Duration
+	if t.Delay > 0 {
+		delay = time.Duration(t.rng.Int63n(int64(t.Delay) + 1))
+	}
+	t.mu.Unlock()
+
+	if delay > 0 {
+		t.delays.Add(1)
+		timer := time.NewTimer(delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if drop {
+		return nil, &chaosDroppedError{seq: t.drops.Add(1)}
+	}
+	if dup && req.GetBody != nil {
+		// Deliver the request once ahead of time and discard the
+		// response; the "real" delivery below returns the second
+		// server-side execution's answer — the duplicate-delivery case
+		// an at-least-once network produces.
+		if body, err := req.GetBody(); err == nil {
+			first := req.Clone(req.Context())
+			first.Body = body
+			if resp, err := t.base().RoundTrip(first); err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				t.dups.Add(1)
+			}
+		}
+	}
+	return t.base().RoundTrip(req)
+}

@@ -10,6 +10,8 @@ import (
 	"context"
 	"errors"
 	"io/fs"
+	"net"
+	"net/url"
 
 	"repro/internal/fault"
 )
@@ -74,8 +76,12 @@ func MarkPermanent(err error) error {
 //   - fault.ErrCheckpointCorrupt → Transient: the engine restarts fresh
 //     over a corrupt file, so a retry proceeds;
 //   - filesystem errors → Transient: disks fill and unfill;
+//   - network errors (net.Error, *url.Error — the fleet's worker ↔
+//     coordinator transport) → Transient: connections drop and reconnect;
 //   - fault.ErrInvalidConfig → Permanent: the campaign configuration can
 //     never succeed;
+//   - fault.ErrShardInvalid / fault.ErrShardMismatch → Permanent: the
+//     submitting executor is broken, not the network;
 //   - anything else → Permanent: the simulator is deterministic, so an
 //     unexplained failure will recur on every retry.
 func Classify(err error) Class {
@@ -90,9 +96,19 @@ func Classify(err error) Class {
 		return Transient
 	case errors.Is(err, fault.ErrInvalidConfig):
 		return Permanent
+	case errors.Is(err, fault.ErrShardInvalid), errors.Is(err, fault.ErrShardMismatch):
+		return Permanent
 	}
 	var pathErr *fs.PathError
 	if errors.As(err, &pathErr) {
+		return Transient
+	}
+	var urlErr *url.Error
+	if errors.As(err, &urlErr) {
+		return Transient
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) {
 		return Transient
 	}
 	return Permanent

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Executor is the transport-agnostic campaign execution strategy: the
+// service's worker supervisor hands it one job attempt and gets back the
+// merged Result. The two implementations are a plain Runner (the whole
+// campaign runs in this process — Prepared.Run) and the FleetExecutor
+// (the campaign is opened as a Session and its trial ranges are leased
+// to a worker fleet, falling back to local execution when no workers are
+// live). Either way, checkpoint is the job's resume file and a cancelled
+// ctx must flush it and return promptly.
+type Executor interface {
+	Execute(ctx context.Context, spec JobSpec, checkpoint string) (*fault.Result, error)
+}
+
+// Execute makes the legacy Runner func an Executor.
+func (r Runner) Execute(ctx context.Context, spec JobSpec, checkpoint string) (*fault.Result, error) {
+	return r(ctx, spec, checkpoint)
+}
+
+// PrepareFunc compiles one job's campaign up to (and including) its
+// golden run, without executing any trials: the expensive, shared half
+// of campaign setup. The coordinator uses it to open the Session it
+// leases from; workers use it (with checkpoint "") to prime the
+// simulators a leased range runs on. Both sides compiling the same spec
+// must produce identical golden statistics — that fingerprint is how a
+// shard proves it came from the same campaign.
+type PrepareFunc func(ctx context.Context, spec JobSpec, checkpoint string) (*fault.Prepared, error)
+
+// FleetExecutor runs each job through the fleet coordinator: Prepare
+// compiles the campaign and captures golden state once, the Session is
+// registered with the Fleet, and trial ranges are leased to registered
+// workers (or executed locally while none are live) until the campaign
+// merges. Results are byte-identical to a single-process run of the same
+// spec.
+type FleetExecutor struct {
+	Fleet   *Fleet
+	Prepare PrepareFunc
+}
+
+// Execute implements Executor.
+func (fe *FleetExecutor) Execute(ctx context.Context, spec JobSpec, checkpoint string) (*fault.Result, error) {
+	if fe.Fleet == nil || fe.Prepare == nil {
+		return nil, MarkPermanent(fmt.Errorf("service: FleetExecutor needs both a Fleet and a Prepare func"))
+	}
+	p, err := fe.Prepare(ctx, spec, checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := p.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return fe.Fleet.Run(ctx, spec, sess)
+}

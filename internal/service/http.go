@@ -28,7 +28,13 @@ import (
 //	                           per phase, % of job, critical path)
 //	DELETE /jobs/{id}          cancel one job
 //	GET    /healthz            liveness: 200 while the process serves
-//	GET    /readyz             readiness: 503 while draining or saturated
+//	GET    /readyz             readiness: 503 while draining or saturated;
+//	                           reports fleet health (degraded when
+//	                           registered workers are lost)
+//
+// With Config.Fleet set, the coordinator endpoints are registered too
+// (see fleethttp.go): POST /fleet/workers, /fleet/heartbeat,
+// /fleet/lease, /fleet/complete, and the GET /fleet status page.
 //
 // Every handler runs behind the access middleware: the request gets a
 // correlation ID (the caller's X-Request-ID, or a fresh one), the ID is
@@ -44,6 +50,9 @@ func (s *Service) Mount(srv *obs.Server) {
 	srv.HandleFunc("DELETE /jobs/{id}", s.access(s.handleCancel))
 	srv.HandleFunc("GET /healthz", s.access(s.handleHealthz))
 	srv.HandleFunc("GET /readyz", s.access(s.handleReadyz))
+	if s.cfg.Fleet != nil {
+		s.mountFleet(srv.HandleFunc)
+	}
 }
 
 // access is the correlation + access-log middleware. It reuses the RED
@@ -200,14 +209,27 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz reports whether the service should receive traffic: not
 // while draining (shutdown in progress) and not while the queue is
-// saturated (a load balancer should prefer a sibling daemon).
+// saturated (a load balancer should prefer a sibling daemon). With a
+// fleet attached it also reports fleet health: lost workers mark the
+// coordinator degraded — still ready (the local fallback and the
+// surviving workers keep campaigns moving; dropping the coordinator
+// from the balancer would help nothing) but visibly impaired, so
+// operators and probes see worker loss without scraping /fleet.
 func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	type fleetHealth struct {
+		WorkersLive        int  `json:"workers_live"`
+		WorkersLost        int  `json:"workers_lost"`
+		WorkersQuarantined int  `json:"workers_quarantined"`
+		LeasesActive       int  `json:"leases_active"`
+		Degraded           bool `json:"degraded"`
+	}
 	type readiness struct {
-		Ready    bool   `json:"ready"`
-		Reason   string `json:"reason,omitempty"`
-		Queued   int    `json:"queued"`
-		Running  int    `json:"running"`
-		Draining bool   `json:"draining"`
+		Ready    bool         `json:"ready"`
+		Reason   string       `json:"reason,omitempty"`
+		Queued   int          `json:"queued"`
+		Running  int          `json:"running"`
+		Draining bool         `json:"draining"`
+		Fleet    *fleetHealth `json:"fleet,omitempty"`
 	}
 	s.mu.Lock()
 	st := readiness{
@@ -218,11 +240,23 @@ func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	saturated := len(s.pending) >= s.cfg.QueueDepth
 	s.mu.Unlock()
+	if s.cfg.Fleet != nil {
+		snap := s.cfg.Fleet.Snapshot()
+		st.Fleet = &fleetHealth{
+			WorkersLive:        snap.WorkersLive,
+			WorkersLost:        snap.WorkersLost,
+			WorkersQuarantined: snap.WorkersQuarantined,
+			LeasesActive:       snap.LeasesActive,
+			Degraded:           snap.WorkersLost > 0,
+		}
+	}
 	switch {
 	case st.Draining:
 		st.Ready, st.Reason = false, "draining"
 	case saturated:
 		st.Ready, st.Reason = false, "queue saturated"
+	case st.Fleet != nil && st.Fleet.Degraded:
+		st.Reason = fmt.Sprintf("degraded: %d fleet worker(s) lost", st.Fleet.WorkersLost)
 	}
 	if st.Ready {
 		writeJSON(w, http.StatusOK, st)

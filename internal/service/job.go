@@ -71,6 +71,15 @@ func (s *JobSpec) Validate() error {
 	if s.Trials < 0 {
 		return fmt.Errorf("service: negative trial count %d", s.Trials)
 	}
+	if s.Lease < 0 {
+		return fmt.Errorf("service: negative lease size %d", s.Lease)
+	}
+	if s.Trials > 0 && s.Lease > s.Trials {
+		// Rejected rather than silently clamped: a lease wider than the
+		// campaign is a spec mistake, and quietly shrinking it would
+		// mask typos like swapped lease/trials fields.
+		return fmt.Errorf("service: lease size %d exceeds the campaign's %d trials", s.Lease, s.Trials)
+	}
 	return nil
 }
 

@@ -30,8 +30,18 @@ type Config struct {
 	// StateDir holds jobs.json and the per-job campaign checkpoints
 	// (required). Created if missing.
 	StateDir string
-	// Runner executes one job (required).
+	// Runner executes one job in-process. Exactly one of Runner and
+	// Executor is required; a Runner is the single-process Executor.
 	Runner Runner
+	// Executor is the transport-agnostic execution strategy; set it to a
+	// *FleetExecutor to lease each campaign's trial ranges to the worker
+	// fleet instead of running them inline. When nil, Runner is used.
+	Executor Executor
+	// Fleet, when set, is the coordinator state machine whose lease
+	// table is persisted alongside the jobs (jobs.json v2), reported by
+	// /readyz, and served on /fleet. Mount registers the fleet endpoints
+	// only when this is set.
+	Fleet *Fleet
 	// QueueDepth bounds the waiting-job queue; a full queue rejects
 	// submissions with backpressure (HTTP 429 + Retry-After). Default 64.
 	QueueDepth int
@@ -96,8 +106,11 @@ func (c *Config) fillDefaults() error {
 	if c.StateDir == "" {
 		return fmt.Errorf("service: Config.StateDir is required")
 	}
-	if c.Runner == nil {
-		return fmt.Errorf("service: Config.Runner is required")
+	if c.Runner == nil && c.Executor == nil {
+		return fmt.Errorf("service: Config needs a Runner or an Executor")
+	}
+	if c.Executor == nil {
+		c.Executor = c.Runner
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
@@ -186,6 +199,10 @@ type Service struct {
 	nextID   int
 	draining bool
 	aborted  bool // simulated crash: skip all persistence on the way out
+	// restoredLeases is the previous life's lease table (active grants
+	// downgraded to expired), re-persisted until the fleet produces its
+	// own records.
+	restoredLeases []Lease
 
 	wg  sync.WaitGroup
 	now func() time.Time // test hook
@@ -228,6 +245,22 @@ func New(cfg Config) (*Service, error) {
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.loadState(); err != nil {
 		return nil, err
+	}
+	if cfg.Fleet != nil {
+		// Fleet state changes (registration, grants, completions,
+		// expiries) rewrite jobs.json so the lease table survives a
+		// coordinator restart. The hook fires with no fleet lock held;
+		// lock order is always Service.mu → Fleet.mu.
+		cfg.Fleet.SetOnChange(func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.aborted {
+				return
+			}
+			if err := s.persistLocked(); err != nil {
+				s.warn(context.Background(), err)
+			}
+		})
 	}
 	restored := 0
 	for _, id := range s.order {
@@ -568,7 +601,7 @@ func (s *Service) runJob(id string) {
 	attemptSpan.SetArg("attempt", attempt)
 	attemptSpan.SetArg("workload", spec.Workload())
 	started := time.Now()
-	res, err := s.cfg.Runner(runCtx, spec, ckpt)
+	res, err := s.cfg.Executor.Execute(runCtx, spec, ckpt)
 	elapsed := time.Since(started)
 	attemptSpan.End()
 	cancel()

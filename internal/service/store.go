@@ -20,13 +20,20 @@ import (
 // lives in the per-job checkpoint files the fault engine maintains; the
 // store only needs to remember which jobs exist and where they stood.
 
-const stateFileVersion = 1
+// stateFileVersion 2 added the fleet lease table. Version-1 files (no
+// leases) load unchanged — the coordinator starts with an empty table.
+const stateFileVersion = 2
 
 // stateFile is the on-disk layout of jobs.json.
 type stateFile struct {
 	Version int    `json:"version"`
 	NextID  int    `json:"next_id"`
 	Jobs    []*Job `json:"jobs"`
+	// Leases is the fleet coordinator's lease table at the last
+	// persist. Informational across restarts: campaign progress lives
+	// in the checkpoint files, so restored active leases are recorded
+	// as expired — the grants of a dead coordinator life bind no one.
+	Leases []Lease `json:"leases,omitempty"`
 }
 
 func (s *Service) statePath() string { return filepath.Join(s.cfg.StateDir, "jobs.json") }
@@ -36,6 +43,12 @@ func (s *Service) persistLocked() error {
 	sf := stateFile{Version: stateFileVersion, NextID: s.nextID}
 	for _, id := range s.order {
 		sf.Jobs = append(sf.Jobs, s.jobs[id])
+	}
+	if s.cfg.Fleet != nil {
+		sf.Leases = s.cfg.Fleet.LeaseRecords()
+	}
+	if len(sf.Leases) == 0 {
+		sf.Leases = s.restoredLeases
 	}
 	err := obs.WriteFileAtomic(s.statePath(), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
@@ -75,9 +88,18 @@ func (s *Service) loadState() error {
 			fault.ErrCheckpointCorrupt, path, err, aside)
 		return nil
 	}
-	if sf.Version != stateFileVersion {
+	if sf.Version != stateFileVersion && sf.Version != 1 {
 		return fmt.Errorf("service: state file %s is version %d, this daemon speaks %d",
 			path, sf.Version, stateFileVersion)
+	}
+	for _, l := range sf.Leases {
+		if l.State == LeaseActive {
+			// A lease granted by the previous coordinator life binds no
+			// one now; the worker holding it will fail its completion
+			// (unknown lease) and poll for fresh work.
+			l.State = LeaseExpired
+		}
+		s.restoredLeases = append(s.restoredLeases, l)
 	}
 	s.nextID = sf.NextID
 	for _, j := range sf.Jobs {
