@@ -62,24 +62,31 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	turnpike "repro"
+	"repro/internal/artifact"
 	"repro/internal/fault"
+	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
 	"repro/internal/obs/span"
 	"repro/internal/pipeline"
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -98,6 +105,11 @@ func main() {
 		recorder    = flag.Int("recorder", 4096, "flight-recorder ring capacity (events); 0 disables the ring, /jobs/{id}/events, and SIGQUIT dumps")
 		spans       = flag.Int("spans", 8192, "wall-clock span ring capacity backing /jobs/{id}/trace and /jobs/{id}/phases; 0 disables span tracing")
 		spanFile    = flag.String("span-file", "", "stream completed spans to this file (.jsonl = JSON lines, else Chrome trace JSON for Perfetto)")
+
+		tenants       = flag.String("tenants", "", "JSON tenants file (API keys + quotas); empty = anonymous single-tenant mode")
+		maxBody       = flag.Int64("max-body", 1<<20, "POST request body cap in bytes (413 beyond it)")
+		cacheBytes    = flag.Int64("artifact-cache", 64<<20, "compiled-artifact cache bound in bytes (LRU eviction beyond it)")
+		compileBudget = flag.Duration("compile-budget", 30*time.Second, "wall-time bound for compiling one submitted program under every scheme")
 
 		workerMode  = flag.Bool("worker", false, "run as a fleet worker: join a coordinator, execute leased trial ranges, post shards back")
 		join        = flag.String("join", "", "coordinator base URL for -worker mode, e.g. http://127.0.0.1:8321")
@@ -131,8 +143,27 @@ func main() {
 	progress := &pipeline.Progress{}
 
 	if *workerMode {
-		runWorker(*join, *workerID, campaignPrepare(reg, progress, logger), logger)
+		// Workers resolve program:<fp> workloads by fetching the source
+		// from the coordinator and compiling it locally (cached); the
+		// golden statistics cross-check proves both sides built the same
+		// campaign.
+		resolve := workerProgramResolver(strings.TrimRight(*join, "/"), *compileBudget)
+		runWorker(*join, *workerID, campaignPrepare(reg, progress, logger, resolve), logger)
 		return
+	}
+
+	registry, err := loadTenants(*tenants)
+	if err != nil {
+		log.Fatal(err)
+	}
+	programs, err := service.NewProgramStore(service.ProgramStoreConfig{
+		Dir:           filepath.Join(*state, "programs"),
+		Cache:         artifact.NewCache(*cacheBytes, reg),
+		CompileBudget: *compileBudget,
+		Logger:        logger,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// The span tracer's ring backs the per-job HTTP endpoints; -span-file
@@ -162,10 +193,14 @@ func main() {
 		Metrics:           reg,
 		Logger:            logger,
 	})
+	prepare := campaignPrepare(reg, progress, logger, programs.Entry)
 	svc, err := service.New(service.Config{
 		StateDir:         *state,
-		Executor:         &service.FleetExecutor{Fleet: fleet, Prepare: campaignPrepare(reg, progress, logger)},
+		Executor:         &service.FleetExecutor{Fleet: fleet, Prepare: prepare},
 		Fleet:            fleet,
+		Tenants:          registry,
+		Programs:         programs,
+		MaxBodyBytes:     *maxBody,
 		QueueDepth:       *queue,
 		Concurrency:      *concurrency,
 		MaxAttempts:      *attempts,
@@ -267,18 +302,19 @@ func parseLevel(s string) (slog.Level, error) {
 // workers prepare the same spec (with checkpoint "") and execute leased
 // ranges on it — identical golden statistics on both sides prove the
 // two processes compiled the same campaign.
-func campaignPrepare(reg *obs.Registry, progress *pipeline.Progress, logger *slog.Logger) service.PrepareFunc {
+func campaignPrepare(reg *obs.Registry, progress *pipeline.Progress, logger *slog.Logger, programs programResolver) service.PrepareFunc {
 	return func(ctx context.Context, spec service.JobSpec, checkpoint string) (*fault.Prepared, error) {
 		var sc turnpike.Scheme
+		schemeName := spec.Scheme
 		switch spec.Scheme {
 		case "", "turnpike":
-			sc = turnpike.Turnpike
+			sc, schemeName = turnpike.Turnpike, "turnpike"
 		case "turnstile":
 			sc = turnpike.Turnstile
 		default:
 			return nil, fmt.Errorf("%w: unknown scheme %q", fault.ErrInvalidConfig, spec.Scheme)
 		}
-		return turnpike.PrepareFaultCampaign(ctx, spec.Bench, sc, turnpike.FaultCampaignConfig{
+		cfg := turnpike.FaultCampaignConfig{
 			Trials:          spec.Trials,
 			Seed:            spec.Seed,
 			SBSize:          spec.SBSize,
@@ -292,8 +328,110 @@ func campaignPrepare(reg *obs.Registry, progress *pipeline.Progress, logger *slo
 			Metrics:         reg,
 			Progress:        progress,
 			Logger:          logger,
-		})
+		}
+		if spec.IsProgram() {
+			if programs == nil {
+				return nil, fmt.Errorf("%w: this process resolves no submitted programs", fault.ErrInvalidConfig)
+			}
+			entry, err := programs(ctx, spec.ProgramFingerprint())
+			if err != nil {
+				return nil, err
+			}
+			prog, ok := entry.Schemes[schemeName]
+			if !ok {
+				return nil, fmt.Errorf("%w: program %s has no %s image", fault.ErrInvalidConfig,
+					entry.Fingerprint, schemeName)
+			}
+			cfg.SBSize = entry.SBSize
+			return turnpike.PrepareCompiledFaultCampaign(ctx, prog, sc, cfg)
+		}
+		return turnpike.PrepareFaultCampaign(ctx, spec.Bench, sc, cfg)
 	}
+}
+
+// programResolver resolves a submitted program's fingerprint to its
+// compiled artifact. The coordinator reads its ProgramStore; workers
+// fetch from the coordinator and compile locally.
+type programResolver func(ctx context.Context, fp string) (*artifact.Entry, error)
+
+// loadTenants builds the tenant registry: from -tenants when set, else
+// the anonymous single-tenant registry.
+func loadTenants(path string) (*tenant.Registry, error) {
+	if path == "" {
+		return tenant.New(nil)
+	}
+	r, err := tenant.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("loaded %d tenant(s) from %s; API keys required on submissions", len(r.IDs()), path)
+	return r, nil
+}
+
+// workerProgramResolver resolves program workloads over the fleet wire:
+// GET /programs/{fp} for the store-buffer size the artifact must match,
+// GET /programs/{fp}/source for the canonical IR, then a local compile
+// into a worker-side cache so repeat leases against one program compile
+// once.
+func workerProgramResolver(coordinator string, budget time.Duration) programResolver {
+	cache := artifact.NewCache(0, nil)
+	client := &http.Client{Timeout: 30 * time.Second}
+	return func(ctx context.Context, fp string) (*artifact.Entry, error) {
+		entry, _, err := cache.GetOrCompute(fp, func() (*artifact.Entry, error) {
+			var meta struct {
+				SBSize int `json:"sb_size"`
+			}
+			if err := fetchJSON(ctx, client, coordinator+"/programs/"+fp, &meta); err != nil {
+				return nil, fmt.Errorf("campaignd: fetch program %s: %w", fp, err)
+			}
+			src, err := fetchText(ctx, client, coordinator+"/programs/"+fp+"/source")
+			if err != nil {
+				return nil, fmt.Errorf("campaignd: fetch program %s source: %w", fp, err)
+			}
+			f, err := ir.ParseFuncLimits(src, ir.DefaultParseLimits())
+			if err != nil {
+				return nil, fmt.Errorf("%w: program %s from coordinator does not parse: %v",
+					fault.ErrInvalidConfig, fp, err)
+			}
+			cctx, cancel := artifact.Deadline(ctx, budget)
+			defer cancel()
+			return artifact.CompileAllContext(cctx, f, meta.SBSize, len(src))
+		})
+		return entry, err
+	}
+}
+
+func fetchJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func fetchText(ctx context.Context, client *http.Client, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }
 
 // runWorker is -worker mode: one fleet worker process, running until a

@@ -1,8 +1,10 @@
-// Artifact cache: compile once, serialize the binary (including its
-// recovery metadata), load it back, and prove the deserialized program is
-// the same artifact — same simulation results, and it still passes the
-// independent resilience verifier. This is how a deployment would ship
-// pre-compiled resilient kernels to fleets of in-order devices.
+// Artifact cache: the content-addressed compiled-program cache behind
+// the multi-tenant front door. A submitted IR text is fingerprinted over
+// its canonical form, compiled once under every scheme (single-flight —
+// concurrent identical submissions share one compile), audited by the
+// independent resilience verifier, and served from the cache for every
+// later submission or campaign. The example also ships one image over
+// the wire and proves the deserialized artifact is the same program.
 //
 //	go run ./examples/artifactcache
 package main
@@ -11,60 +13,109 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"sync"
 
-	"repro/internal/core"
+	"repro/internal/artifact"
+	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
-	"repro/internal/workload"
 )
 
+// What a tenant would POST to /programs: textual IR that initializes its
+// own memory.
+const submission = `func dot
+b0: -> b1
+    movi v0, #7
+    movi v1, #0
+b1: -> b2 b1
+    ld v2, [v1, #0]
+    ld v3, [v1, #1024]
+    mul v2, v2, v3
+    add v0, v0, v2
+    add v1, v1, #8
+    blt v1, #64
+b2:
+    st v0, [v1, #4096]
+    halt
+`
+
+// The same program as a careless client would format it.
+const resubmission = "func dot\n\nb0:   ->  b1\n  movi v0, #7\n\tmovi v1, #0\n" +
+	"b1: -> b2 b1\n  ld v2, [v1, #0]\n  ld v3, [v1, #1024]\n  mul v2, v2, v3\n" +
+	"  add v0, v0, v2\n  add v1, v1, #8\n  blt v1, #64\nb2:\n  st v0, [v1, #4096]\n  halt\n"
+
 func main() {
-	p, _ := workload.ByName("fft")
-	f := p.Build(10)
-	compiled, err := core.Compile(f, core.TurnpikeAll(4))
+	cache := artifact.NewCache(64<<20, nil)
+
+	// Eight concurrent submissions of the same program: the cache's
+	// single-flight dedup runs exactly one compile and every submitter
+	// shares the result.
+	f, err := ir.ParseFuncLimits(submission, ir.DefaultParseLimits())
 	if err != nil {
 		log.Fatal(err)
 	}
+	fp := artifact.Fingerprint(f)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := cache.GetOrCompute(fp, func() (*artifact.Entry, error) {
+				return artifact.CompileAll(f.Clone(), 4, len(submission))
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := cache.Stats()
+	fmt.Printf("8 concurrent submissions of %s: %d compile(s), %d resident entries\n",
+		fp[:12], st.Compiles, st.Entries)
 
-	// Serialize (a file in a real deployment; a buffer here).
+	// A resubmission with different formatting canonicalizes to the same
+	// fingerprint, so it is a pure cache hit — zero new compiles.
+	f2, err := ir.ParseFuncLimits(resubmission, ir.DefaultParseLimits())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if artifact.Fingerprint(f2) != fp {
+		log.Fatal("formatting changed the fingerprint")
+	}
+	entry, hit := cache.Get(fp)
+	if !hit {
+		log.Fatal("resubmission missed the cache")
+	}
+	fmt.Printf("reformatted resubmission: cache hit, still %d compile(s)\n", cache.Stats().Compiles)
+	fmt.Printf("entry carries %d schemes, %d bytes of artifacts\n", len(entry.Schemes), entry.Size())
+
+	// Ship the turnpike image to a "device" and audit it there, exactly
+	// as a fleet worker would before campaigning against it.
 	var image bytes.Buffer
-	n, err := compiled.Prog.WriteTo(&image)
-	if err != nil {
+	if _, err := entry.Schemes["turnpike"].WriteTo(&image); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("compiled %s: %d instructions, %d regions -> %d bytes on the wire\n",
-		p.Name, len(compiled.Prog.Insts), len(compiled.Prog.Regions), n)
-
-	// Load on the "device".
 	loaded, err := isa.ReadProgram(bytes.NewReader(image.Bytes()))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The device can audit the artifact before trusting it.
-	if err := core.VerifyResilience(loaded, 2, false); err != nil {
-		log.Fatalf("artifact failed the resilience audit: %v", err)
-	}
-	fmt.Println("artifact passed the static resilience audit")
-
 	// Same artifact, same results.
 	run := func(prog *isa.Program) (uint64, *isa.Memory) {
-		s, err := pipeline.New(prog, pipeline.TurnpikeConfig(4, 10))
+		s, err := pipeline.New(prog, pipeline.TurnpikeConfig(entry.SBSize, 10))
 		if err != nil {
 			log.Fatal(err)
 		}
-		p.SeedMemory(s.Mem)
 		st, err := s.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
 		return st.Cycles, s.OutputMemory()
 	}
-	c1, m1 := run(compiled.Prog)
+	c1, m1 := run(entry.Schemes["turnpike"])
 	c2, m2 := run(loaded)
 	if c1 != c2 || !m1.Equal(m2) {
 		log.Fatalf("deserialized artifact diverged: %d vs %d cycles", c1, c2)
 	}
-	fmt.Printf("original and deserialized artifacts agree: %d cycles, %d output words\n",
+	fmt.Printf("cached and deserialized artifacts agree: %d cycles, %d output words\n",
 		c1, m1.Len())
 }

@@ -62,12 +62,27 @@ func (it *Interp) Run(f *Func) error {
 }
 
 func (it *Interp) runBlock(b *Block) (next *Block, halted bool, err error) {
+	if len(b.Instrs) == 0 {
+		// An empty block's traversal is an implicit jump and must cost a
+		// step: a cycle of empty blocks executes no instructions, and
+		// without this charge it would spin under the limit forever — a
+		// hang any untrusted submission could trigger.
+		if it.Executed >= it.StepLimit {
+			return nil, false, fmt.Errorf("%w: %d steps without halting (at %s)", ErrStepLimit, it.StepLimit, b)
+		}
+		it.Executed++
+	}
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
-		it.Executed++
-		if it.Executed > it.StepLimit {
-			return nil, false, fmt.Errorf("ir: step limit %d exceeded in %s", it.StepLimit, b)
+		// The bound is checked before the increment so the interpreter
+		// halts having executed exactly StepLimit instructions: Executed
+		// never overshoots the limit, and the typed error lets services
+		// classify the failure as permanent (the interpreter is
+		// deterministic, so a retry would burn the same budget again).
+		if it.Executed >= it.StepLimit {
+			return nil, false, fmt.Errorf("%w: %d steps without halting (at %s)", ErrStepLimit, it.StepLimit, b)
 		}
+		it.Executed++
 		if it.Trace != nil {
 			it.Trace(in, it.Regs)
 		}

@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrProgramTooLarge is the typed rejection for source text exceeding a
+// ParseLimits bound. Front doors match it with errors.Is and map it to
+// their "payload too large" contract (distinct from a syntax error: the
+// program may be well-formed, it is just bigger than the caller is
+// willing to compile).
+var ErrProgramTooLarge = errors.New("ir: program exceeds parse limits")
+
+// ErrStepLimit is the typed halt of an Interp that reached its StepLimit
+// without executing HALT. It is deterministic — the interpreter has no
+// hidden inputs — so services classify it as a permanent failure of the
+// program, never a transient one worth retrying.
+var ErrStepLimit = errors.New("ir: step limit exceeded")
+
+// ParseLimits bounds ParseFuncLimits against hostile or runaway input.
+// Zero fields are unlimited; DefaultParseLimits returns the sane bounds
+// the ingestion front door uses.
+type ParseLimits struct {
+	// MaxSourceBytes caps len(text) before any parsing happens.
+	MaxSourceBytes int
+	// MaxBlocks caps the number of basic blocks.
+	MaxBlocks int
+	// MaxInstrsPerBlock caps the instructions in any one block.
+	MaxInstrsPerBlock int
+	// MaxVRegs caps the virtual register count (highest vreg + 1).
+	MaxVRegs int
+}
+
+// DefaultParseLimits returns bounds generous enough for every kernel in
+// internal/workload at full scale, and small enough that parsing plus
+// compiling a maximal program stays well under a second.
+func DefaultParseLimits() ParseLimits {
+	return ParseLimits{
+		MaxSourceBytes:    1 << 20, // 1 MiB of IR text
+		MaxBlocks:         4096,
+		MaxInstrsPerBlock: 4096,
+		MaxVRegs:          1024,
+	}
+}
+
+// check verifies one dimension, wrapping ErrProgramTooLarge so callers
+// can match the class and still read the specific bound in the message.
+func (l ParseLimits) checkSource(n int) error {
+	if l.MaxSourceBytes > 0 && n > l.MaxSourceBytes {
+		return fmt.Errorf("%w: %d source bytes (max %d)", ErrProgramTooLarge, n, l.MaxSourceBytes)
+	}
+	return nil
+}
+
+func (l ParseLimits) checkBlocks(n int) error {
+	if l.MaxBlocks > 0 && n > l.MaxBlocks {
+		return fmt.Errorf("%w: %d blocks (max %d)", ErrProgramTooLarge, n, l.MaxBlocks)
+	}
+	return nil
+}
+
+func (l ParseLimits) checkInstrs(b *Block) error {
+	if l.MaxInstrsPerBlock > 0 && len(b.Instrs) > l.MaxInstrsPerBlock {
+		return fmt.Errorf("%w: %s has %d instructions (max %d per block)",
+			ErrProgramTooLarge, b, len(b.Instrs), l.MaxInstrsPerBlock)
+	}
+	return nil
+}
+
+func (l ParseLimits) checkVRegs(n int) error {
+	if l.MaxVRegs > 0 && n > l.MaxVRegs {
+		return fmt.Errorf("%w: %d virtual registers (max %d)", ErrProgramTooLarge, n, l.MaxVRegs)
+	}
+	return nil
+}

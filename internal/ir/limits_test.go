@@ -1,0 +1,164 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// A minimal well-formed kernel for limit probing: one loop, one store,
+// a halt.
+const limitKernel = `func k
+b0: -> b1
+    movi v0, #0
+b1: -> b2 b1
+    add v0, v0, #1
+    blt v0, #4
+b2:
+    st v0, [v0, #64]
+    halt
+`
+
+func TestParseFuncLimitsDefaultsAdmitRealPrograms(t *testing.T) {
+	if _, err := ParseFuncLimits(limitKernel, DefaultParseLimits()); err != nil {
+		t.Fatalf("default limits rejected a normal kernel: %v", err)
+	}
+	// The unlimited path (ParseFunc) must behave identically.
+	if _, err := ParseFunc(limitKernel); err != nil {
+		t.Fatalf("ParseFunc rejected a normal kernel: %v", err)
+	}
+}
+
+func TestParseFuncLimitsSourceBytes(t *testing.T) {
+	lim := ParseLimits{MaxSourceBytes: 16}
+	_, err := ParseFuncLimits(limitKernel, lim)
+	if !errors.Is(err, ErrProgramTooLarge) {
+		t.Fatalf("oversized source: got %v, want ErrProgramTooLarge", err)
+	}
+}
+
+func TestParseFuncLimitsBlocks(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("func many\n")
+	for i := 0; i < 8; i++ {
+		if i < 7 {
+			fmt.Fprintf(&b, "b%d: -> b%d\n    movi v0, #1\n", i, i+1)
+		} else {
+			fmt.Fprintf(&b, "b%d:\n    halt\n", i)
+		}
+	}
+	src := b.String()
+	if _, err := ParseFuncLimits(src, ParseLimits{MaxBlocks: 8}); err != nil {
+		t.Fatalf("8 blocks under MaxBlocks=8 rejected: %v", err)
+	}
+	_, err := ParseFuncLimits(src, ParseLimits{MaxBlocks: 7})
+	if !errors.Is(err, ErrProgramTooLarge) {
+		t.Fatalf("8 blocks under MaxBlocks=7: got %v, want ErrProgramTooLarge", err)
+	}
+}
+
+func TestParseFuncLimitsInstrsPerBlock(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("func wide\nb0:\n")
+	for i := 0; i < 9; i++ {
+		b.WriteString("    movi v0, #1\n")
+	}
+	b.WriteString("    halt\n")
+	src := b.String()
+	if _, err := ParseFuncLimits(src, ParseLimits{MaxInstrsPerBlock: 10}); err != nil {
+		t.Fatalf("10 instrs under MaxInstrsPerBlock=10 rejected: %v", err)
+	}
+	_, err := ParseFuncLimits(src, ParseLimits{MaxInstrsPerBlock: 9})
+	if !errors.Is(err, ErrProgramTooLarge) {
+		t.Fatalf("10 instrs under MaxInstrsPerBlock=9: got %v, want ErrProgramTooLarge", err)
+	}
+}
+
+func TestParseFuncLimitsVRegs(t *testing.T) {
+	src := "func regs\nb0:\n    movi v7, #1\n    halt\n"
+	if _, err := ParseFuncLimits(src, ParseLimits{MaxVRegs: 8}); err != nil {
+		t.Fatalf("v7 under MaxVRegs=8 rejected: %v", err)
+	}
+	_, err := ParseFuncLimits(src, ParseLimits{MaxVRegs: 7})
+	if !errors.Is(err, ErrProgramTooLarge) {
+		t.Fatalf("v7 under MaxVRegs=7: got %v, want ErrProgramTooLarge", err)
+	}
+}
+
+// TestInterpStepLimitExact pins the step-limit boundary: a program that
+// halts in exactly N dynamic instructions runs to completion under
+// StepLimit N, fails under N-1 with the typed ErrStepLimit, and the
+// interpreter's Executed counter never overshoots the limit. The bound
+// is checked before each instruction executes, so "Executed == limit at
+// failure" is the contract a service's compute envelope relies on.
+func TestInterpStepLimitExact(t *testing.T) {
+	// Straight-line: 3 movi + halt = 4 dynamic instructions.
+	src := "func four\nb0:\n    movi v0, #1\n    movi v1, #2\n    movi v2, #3\n    halt\n"
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(limit uint64) (*Interp, error) {
+		it := &Interp{Regs: make([]uint64, f.NumVRegs), Mem: isa.NewMemory(), StepLimit: limit}
+		return it, it.Run(f)
+	}
+
+	if it, err := run(4); err != nil {
+		t.Fatalf("StepLimit 4 for a 4-instruction program failed: %v", err)
+	} else if it.Executed != 4 {
+		t.Fatalf("Executed = %d after clean halt, want 4", it.Executed)
+	}
+
+	it, err := run(3)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("StepLimit 3: got %v, want ErrStepLimit", err)
+	}
+	if it.Executed != 3 {
+		t.Fatalf("Executed = %d at the limit, want exactly 3 (no overshoot)", it.Executed)
+	}
+}
+
+// TestInterpStepLimitEmptyBlockCycle is the regression test for a
+// fuzzer-found hang: a cycle of empty blocks executes no instructions,
+// so a per-instruction step bound alone never fires. Empty-block
+// traversal must itself cost a step.
+func TestInterpStepLimitEmptyBlockCycle(t *testing.T) {
+	f, err := ParseFunc("func spin\nb0: -> b0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Skipf("verifier now rejects empty self-loops: %v", err)
+	}
+	it := &Interp{Regs: make([]uint64, f.NumVRegs), Mem: isa.NewMemory(), StepLimit: 100}
+	err = it.Run(f)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("empty-block cycle: got %v, want ErrStepLimit", err)
+	}
+	if it.Executed != 100 {
+		t.Fatalf("Executed = %d, want exactly the 100-step limit", it.Executed)
+	}
+}
+
+// TestInterpStepLimitInfiniteLoop proves the envelope catches
+// non-terminating submissions: an infinite loop stops at exactly the
+// limit with the typed error.
+func TestInterpStepLimitInfiniteLoop(t *testing.T) {
+	src := "func spin\nb0: -> b0\n    movi v0, #1\n    jmp\n"
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := &Interp{Regs: make([]uint64, f.NumVRegs), Mem: isa.NewMemory(), StepLimit: 1000}
+	err = it.Run(f)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("infinite loop: got %v, want ErrStepLimit", err)
+	}
+	if it.Executed != 1000 {
+		t.Fatalf("Executed = %d, want exactly the 1000-step limit", it.Executed)
+	}
+}

@@ -34,8 +34,24 @@ import (
 	"repro/internal/isa"
 )
 
-// ParseFunc parses the textual IR format produced by Func.String.
+// ParseFunc parses the textual IR format produced by Func.String with no
+// size bounds — the trusted-input path for tests and checked-in kernels.
+// Untrusted input (anything that crossed a network) should go through
+// ParseFuncLimits instead.
 func ParseFunc(text string) (*Func, error) {
+	return ParseFuncLimits(text, ParseLimits{})
+}
+
+// ParseFuncLimits is ParseFunc under resource bounds: source bytes,
+// block count, instructions per block, and virtual registers are each
+// capped by lim (zero fields are unlimited), and a violation returns an
+// error matching ErrProgramTooLarge. Limits are enforced during parsing,
+// so a hostile payload is rejected before it can allocate beyond the
+// configured envelope.
+func ParseFuncLimits(text string, lim ParseLimits) (*Func, error) {
+	if err := lim.checkSource(len(text)); err != nil {
+		return nil, err
+	}
 	f := &Func{Name: "parsed"}
 	blocks := map[string]*Block{}
 	succNames := map[*Block][]string{}
@@ -68,6 +84,9 @@ func ParseFunc(text string) (*Func, error) {
 			// Block label, optionally followed by "-> b1 b2".
 			name := line[:colon]
 			cur = getBlock(name)
+			if err := lim.checkBlocks(len(f.Blocks)); err != nil {
+				return nil, err
+			}
 			rest := strings.TrimSpace(line[colon+1:])
 			if rest != "" {
 				if !strings.HasPrefix(rest, "->") {
@@ -87,7 +106,13 @@ func ParseFunc(text string) (*Func, error) {
 		if hi > maxVReg {
 			maxVReg = hi
 		}
+		if err := lim.checkVRegs(hi + 1); err != nil {
+			return nil, err
+		}
 		cur.Instrs = append(cur.Instrs, in)
+		if err := lim.checkInstrs(cur); err != nil {
+			return nil, err
+		}
 	}
 	if len(f.Blocks) == 0 {
 		return nil, fmt.Errorf("ir: no blocks")

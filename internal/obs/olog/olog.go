@@ -29,17 +29,19 @@ import (
 // flight-recorder timeline key off them, so renaming one is a breaking
 // schema change.
 const (
+	KeyTenantID  = "tenant_id"
 	KeyRequestID = "request_id"
 	KeyJobID     = "job_id"
 	KeyShard     = "shard"
 	KeyTrial     = "trial"
 )
 
-// Corr is the correlation chain carried through a context: which HTTP
-// request became which job, which campaign shard (worker) is executing,
-// and which trial index it is on. Zero string fields and negative
-// numeric fields are "unset" and are not emitted.
+// Corr is the correlation chain carried through a context: which tenant's
+// HTTP request became which job, which campaign shard (worker) is
+// executing, and which trial index it is on. Zero string fields and
+// negative numeric fields are "unset" and are not emitted.
 type Corr struct {
+	TenantID  string
 	RequestID string
 	JobID     string
 	Shard     int
@@ -66,6 +68,17 @@ func FromContext(ctx context.Context) Corr {
 // for deriving a fresh job context from a stored record. Callers must
 // set unused Shard/Trial to -1 (0 is a valid index for both).
 func WithCorr(ctx context.Context, c Corr) context.Context {
+	return context.WithValue(ctx, corrKey{}, c)
+}
+
+// WithTenantID returns a context whose correlation chain carries the
+// authenticated tenant's ID — the outermost link of the chain, stamped
+// by the front door's access middleware so every downstream record
+// (access log, job lifecycle, per-trial campaign lines) can be filtered
+// per tenant.
+func WithTenantID(ctx context.Context, id string) context.Context {
+	c := FromContext(ctx)
+	c.TenantID = id
 	return context.WithValue(ctx, corrKey{}, c)
 }
 
@@ -102,7 +115,10 @@ func WithTrial(ctx context.Context, trial int) context.Context {
 
 // attrs renders the set fields of the chain in schema order.
 func (c Corr) attrs() []slog.Attr {
-	out := make([]slog.Attr, 0, 4)
+	out := make([]slog.Attr, 0, 5)
+	if c.TenantID != "" {
+		out = append(out, slog.String(KeyTenantID, c.TenantID))
+	}
 	if c.RequestID != "" {
 		out = append(out, slog.String(KeyRequestID, c.RequestID))
 	}

@@ -20,8 +20,8 @@ import (
 func TestLogSchemaGolden(t *testing.T) {
 	var buf bytes.Buffer
 	l := New(&buf, Options{Format: "json", Level: slog.LevelDebug})
-	ctx := WithTrial(WithShard(WithJobID(WithRequestID(context.Background(),
-		"req-abc"), "job-000001"), 3), 17)
+	ctx := WithTrial(WithShard(WithJobID(WithRequestID(WithTenantID(context.Background(),
+		"acme"), "req-abc"), "job-000001"), 3), 17)
 	l.LogAttrs(ctx, slog.LevelInfo, "campaign trial",
 		slog.String("outcome", "recovered"), slog.Int("attempt", 1))
 
@@ -29,7 +29,7 @@ func TestLogSchemaGolden(t *testing.T) {
 	// Field order is part of the schema: slog's base trio, then the call
 	// site's attrs, then the correlation chain outermost-first.
 	wantOrder := []string{"time", "level", "msg", "outcome", "attempt",
-		KeyRequestID, KeyJobID, KeyShard, KeyTrial}
+		KeyTenantID, KeyRequestID, KeyJobID, KeyShard, KeyTrial}
 	pos := -1
 	for _, k := range wantOrder {
 		idx := strings.Index(line, `"`+k+`":`)
@@ -56,7 +56,7 @@ func TestLogSchemaGolden(t *testing.T) {
 	if !reflect.DeepEqual(keys, want) {
 		t.Errorf("schema drifted:\n got %v\nwant %v", keys, want)
 	}
-	if m["msg"] != "campaign trial" || m[KeyRequestID] != "req-abc" ||
+	if m["msg"] != "campaign trial" || m[KeyTenantID] != "acme" || m[KeyRequestID] != "req-abc" ||
 		m[KeyJobID] != "job-000001" || m[KeyShard] != float64(3) || m[KeyTrial] != float64(17) {
 		t.Errorf("schema values wrong: %v", m)
 	}
@@ -65,7 +65,7 @@ func TestLogSchemaGolden(t *testing.T) {
 func TestUnsetCorrelationEmitsNothing(t *testing.T) {
 	var buf bytes.Buffer
 	New(&buf, Options{}).Info("plain")
-	for _, k := range []string{KeyRequestID, KeyJobID, KeyShard, KeyTrial} {
+	for _, k := range []string{KeyTenantID, KeyRequestID, KeyJobID, KeyShard, KeyTrial} {
 		if strings.Contains(buf.String(), k) {
 			t.Errorf("unset correlation key %q emitted: %s", k, buf.String())
 		}

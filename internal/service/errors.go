@@ -14,6 +14,7 @@ import (
 	"net/url"
 
 	"repro/internal/fault"
+	"repro/internal/ir"
 )
 
 // Class is the retry supervisor's verdict on a job failure.
@@ -82,6 +83,9 @@ func MarkPermanent(err error) error {
 //     never succeed;
 //   - fault.ErrShardInvalid / fault.ErrShardMismatch → Permanent: the
 //     submitting executor is broken, not the network;
+//   - ir.ErrStepLimit → Permanent: the interpreter is deterministic, so
+//     a program that burned its whole step budget without halting will
+//     burn it again on every retry;
 //   - anything else → Permanent: the simulator is deterministic, so an
 //     unexplained failure will recur on every retry.
 func Classify(err error) Class {
@@ -97,6 +101,8 @@ func Classify(err error) Class {
 	case errors.Is(err, fault.ErrInvalidConfig):
 		return Permanent
 	case errors.Is(err, fault.ErrShardInvalid), errors.Is(err, fault.ErrShardMismatch):
+		return Permanent
+	case errors.Is(err, ir.ErrStepLimit):
 		return Permanent
 	}
 	var pathErr *fs.PathError

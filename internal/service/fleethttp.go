@@ -1,7 +1,6 @@
 package service
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -65,10 +64,10 @@ type CompleteReply struct {
 // mountFleet registers the fleet endpoints; called by Mount when
 // Config.Fleet is set.
 func (s *Service) mountFleet(handle func(pattern string, h func(http.ResponseWriter, *http.Request))) {
-	handle("POST /fleet/workers", s.access(s.handleFleetRegister))
-	handle("POST /fleet/heartbeat", s.access(s.handleFleetHeartbeat))
-	handle("POST /fleet/lease", s.access(s.handleFleetLease))
-	handle("POST /fleet/complete", s.access(s.handleFleetComplete))
+	handle("POST /fleet/workers", s.access(s.capBody(s.handleFleetRegister)))
+	handle("POST /fleet/heartbeat", s.access(s.capBody(s.handleFleetHeartbeat)))
+	handle("POST /fleet/lease", s.access(s.capBody(s.handleFleetLease)))
+	handle("POST /fleet/complete", s.access(s.capBody(s.handleFleetComplete)))
 	handle("GET /fleet", s.access(s.handleFleetStatus))
 }
 
@@ -87,8 +86,7 @@ func fleetStatus(err error) int {
 
 func (s *Service) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad register payload: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	info, err := s.cfg.Fleet.Register(req.ID, req.Addr)
@@ -106,7 +104,10 @@ func (s *Service) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req WorkerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad heartbeat payload"))
 		return
 	}
@@ -119,7 +120,10 @@ func (s *Service) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleFleetLease(w http.ResponseWriter, r *http.Request) {
 	var req WorkerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad lease payload"))
 		return
 	}
@@ -137,7 +141,10 @@ func (s *Service) handleFleetLease(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleFleetComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" || req.LeaseID == "" {
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" || req.LeaseID == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad complete payload"))
 		return
 	}

@@ -1,0 +1,82 @@
+package service
+
+// FuzzSubmitProgram throws adversarial submission text at the admission
+// envelope — the exact surface POST /programs exposes to untrusted
+// tenants. The envelope must never panic, must stay inside its
+// declared bounds (parse limits, step budget), and must keep the
+// content-addressing invariant: an accepted program's canonical form
+// reparses to the same fingerprint.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/ir"
+)
+
+func FuzzSubmitProgram(f *testing.F) {
+	// Seeds: a real kernel, its formatting variant, and the abuse
+	// classes the front door must reject — malformed text, an infinite
+	// loop, a block bomb, a vreg bomb, truncation, and binary junk.
+	f.Add(frontDoorKernel)
+	f.Add(frontDoorKernelMessy)
+	f.Add("")
+	f.Add("this is not IR")
+	f.Add("func spin\nb0: -> b0\n    movi v0, #1\n    jmp\n")
+	f.Add("func x\nb0:\n    halt\n")
+	f.Add("func bomb\n" + strings.Repeat("b0:\n    movi v0, #1\n", 100))
+	f.Add("func regs\nb0:\n    movi v9999, #1\n    halt\n")
+	f.Add(frontDoorKernel[:len(frontDoorKernel)/2])
+	f.Add("func j\nb0:\n    ld v0, [v1, #-8]\n    halt\n")
+	f.Add("\x00\xff\xfe func \x01")
+
+	limits := ir.ParseLimits{
+		MaxSourceBytes:    4096,
+		MaxBlocks:         64,
+		MaxInstrsPerBlock: 64,
+		MaxVRegs:          64,
+	}
+	store, err := NewProgramStore(ProgramStoreConfig{Dir: f.TempDir(), Limits: limits})
+	if err != nil {
+		f.Fatal(err)
+	}
+	const budget uint64 = 10_000
+
+	f.Fuzz(func(t *testing.T, source string) {
+		fn, steps, err := store.Validate(source, budget)
+		if err != nil {
+			// Rejections must be classifiable, typed failures — the 422
+			// path — never raw panics (the harness catches those) and
+			// never an accepted program.
+			if fn != nil {
+				t.Fatalf("Validate returned both a function and an error: %v", err)
+			}
+			return
+		}
+		if steps > budget {
+			t.Fatalf("validation ran %d steps past the %d budget", steps, budget)
+		}
+		if len(source) > limits.MaxSourceBytes {
+			t.Fatalf("accepted %d bytes past the %d source cap", len(source), limits.MaxSourceBytes)
+		}
+		// Content addressing: the canonical rendering must reparse to an
+		// identical fingerprint, or the cache would serve wrong artifacts.
+		fp := artifact.Fingerprint(fn)
+		again, err := ir.ParseFuncLimits(fn.String(), limits)
+		if err != nil {
+			// Canonical output should always be within the same limits it
+			// was admitted under — except a rare edge: String can render
+			// longer than the submitted text. That is only acceptable for
+			// the size cap, nothing structural.
+			if !errors.Is(err, ir.ErrProgramTooLarge) {
+				t.Fatalf("canonical form does not reparse: %v\n%s", err, fn.String())
+			}
+			return
+		}
+		if artifact.Fingerprint(again) != fp {
+			t.Fatalf("canonical round-trip changed the fingerprint\nsource: %q", source)
+		}
+	})
+}

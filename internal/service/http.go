@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
 	"repro/internal/obs/span"
+	"repro/internal/tenant"
 )
 
 // Mount registers the job API and the probe endpoints on an obs.Server's
@@ -41,7 +42,7 @@ import (
 // echoed on the response, and exactly one access-log line is emitted per
 // request — rejections (429/503) included.
 func (s *Service) Mount(srv *obs.Server) {
-	srv.HandleFunc("POST /jobs", s.access(s.handleSubmit))
+	srv.HandleFunc("POST /jobs", s.access(s.authed(s.handleSubmit)))
 	srv.HandleFunc("GET /jobs", s.access(s.handleList))
 	srv.HandleFunc("GET /jobs/{id}", s.access(s.handleJob))
 	srv.HandleFunc("GET /jobs/{id}/events", s.access(s.handleEvents))
@@ -50,6 +51,12 @@ func (s *Service) Mount(srv *obs.Server) {
 	srv.HandleFunc("DELETE /jobs/{id}", s.access(s.handleCancel))
 	srv.HandleFunc("GET /healthz", s.access(s.handleHealthz))
 	srv.HandleFunc("GET /readyz", s.access(s.handleReadyz))
+	if s.cfg.Programs != nil {
+		srv.HandleFunc("POST /programs", s.access(s.authed(s.handleProgramSubmit)))
+		srv.HandleFunc("GET /programs", s.access(s.handlePrograms))
+		srv.HandleFunc("GET /programs/{fp}", s.access(s.handleProgram))
+		srv.HandleFunc("GET /programs/{fp}/source", s.access(s.handleProgramSource))
+	}
 	if s.cfg.Fleet != nil {
 		s.mountFleet(srv.HandleFunc)
 	}
@@ -57,7 +64,11 @@ func (s *Service) Mount(srv *obs.Server) {
 
 // access is the correlation + access-log middleware. It reuses the RED
 // middleware's response recorder when the obs.Server layer already
-// installed one, so both layers agree on the status code.
+// installed one, so both layers agree on the status code. When the
+// request's X-API-Key resolves to a tenant (always, in anonymous mode),
+// the tenant ID joins the correlation chain before the request ID —
+// every access-log line, job record, and trial line downstream carries
+// it — and the tenant's RED counters are bumped.
 func (s *Service) access(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get("X-Request-ID")
@@ -66,16 +77,52 @@ func (s *Service) access(next http.HandlerFunc) http.HandlerFunc {
 		}
 		w.Header().Set("X-Request-ID", reqID)
 		ctx := olog.WithRequestID(r.Context(), reqID)
+		tenantID := ""
+		if t, err := s.cfg.Tenants.Authenticate(r.Header.Get("X-API-Key")); err == nil {
+			tenantID = t.ID
+			ctx = olog.WithTenantID(ctx, tenantID)
+		}
 		rec, ok := w.(*obs.ResponseRecorder)
 		if !ok {
 			rec = obs.NewResponseRecorder(w)
 		}
 		start := time.Now()
 		next(rec, r.WithContext(ctx))
+		if s.cfg.Metrics != nil && tenantID != "" {
+			s.cfg.Metrics.Counter("service.tenant." + tenantID + ".requests").Inc()
+			if rec.Status() >= 400 {
+				s.cfg.Metrics.Counter("service.tenant." + tenantID + ".errors").Inc()
+			}
+		}
 		s.log.InfoContext(ctx, "http request",
 			"method", r.Method, "path", r.URL.Path,
 			"status", rec.Status(), "bytes", rec.Bytes(),
 			"duration_us", time.Since(start).Microseconds())
+	}
+}
+
+// authed guards a mutating endpoint: the request body is capped at
+// Config.MaxBodyBytes (reads beyond it fail with *http.MaxBytesError,
+// rendered as 413) and an authenticated tenant is required (401
+// otherwise; in anonymous mode every request authenticates).
+func (s *Service) authed(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if olog.FromContext(r.Context()).TenantID == "" {
+			writeError(w, http.StatusUnauthorized, tenant.ErrUnauthorized)
+			return
+		}
+		next(w, r)
+	}
+}
+
+// capBody is the body bound without the identity requirement, for the
+// fleet wire protocol (workers hold no API keys; the fleet state
+// machine authenticates them by worker ID and quarantine instead).
+func (s *Service) capBody(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		next(w, r)
 	}
 }
 
@@ -91,10 +138,61 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// decodeJSON reads one JSON payload with the shared POST error
+// contract: a body over the MaxBytesReader cap answers 413 with a JSON
+// error, anything else that fails to parse answers 400. Returns false
+// when the response has been written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeBodyError(w, err)
+		return false
+	}
+	return true
+}
+
+// writeBodyError maps a request-body read failure: 413 for the
+// MaxBytesReader cap, 400 for everything else.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("service: request body exceeds %d bytes", mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request payload: %w", err))
+}
+
+// writeTenantError maps the tenant layer's rejections: 401 for a
+// missing identity, 429 + Retry-After for rate limits (next-token time)
+// and quotas (the generic backpressure hint — the resource frees when
+// jobs finish or programs are removed). Returns false if err was not a
+// tenant rejection.
+func (s *Service) writeTenantError(w http.ResponseWriter, err error) bool {
+	var rate *tenant.RateLimitError
+	var quota *tenant.QuotaError
+	switch {
+	case errors.As(err, &rate):
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(rate.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &quota):
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.cfg.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, tenant.ErrUnauthorized):
+		writeError(w, http.StatusUnauthorized, err)
+	default:
+		return false
+	}
+	return true
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if err := s.cfg.Tenants.Allow(olog.FromContext(r.Context()).TenantID); err != nil {
+		s.count("service.rejected_ratelimit")
+		s.writeTenantError(w, err)
+		return
+	}
 	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
+	if !decodeJSON(w, r, &spec) {
 		return
 	}
 	j, err := s.SubmitCtx(r.Context(), spec)
@@ -115,6 +213,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrUnknownProgram):
+		writeError(w, http.StatusNotFound, err)
+	case s.writeTenantError(w, err):
+		// Concurrent-job quota exhausted (429, Retry-After set).
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}

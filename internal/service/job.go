@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/fault"
@@ -33,7 +34,9 @@ func (s State) open() bool {
 // JobSpec is the submit payload: which campaign to run. The zero values
 // of the numeric knobs defer to the engine's defaults.
 type JobSpec struct {
-	// Bench is the benchmark name (required).
+	// Bench is the workload: a built-in benchmark name, or
+	// "program:<fingerprint>" referencing a program accepted through
+	// POST /programs (required).
 	Bench string `json:"bench"`
 	// Scheme is "turnpike" (default) or "turnstile".
 	Scheme string `json:"scheme,omitempty"`
@@ -58,10 +61,25 @@ type JobSpec struct {
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
+// ProgramFingerprint returns the fingerprint of a "program:<fp>" bench,
+// or "" for built-in benchmarks.
+func (s *JobSpec) ProgramFingerprint() string {
+	return strings.TrimPrefix(s.Bench, ProgramBenchPrefix)
+}
+
+// IsProgram reports whether the spec targets a submitted program.
+func (s *JobSpec) IsProgram() bool {
+	return strings.HasPrefix(s.Bench, ProgramBenchPrefix)
+}
+
 // Validate rejects specs no runner could execute.
 func (s *JobSpec) Validate() error {
 	if s.Bench == "" {
 		return fmt.Errorf("service: job spec needs a bench")
+	}
+	if s.IsProgram() && !fingerprintRE.MatchString(s.ProgramFingerprint()) {
+		return fmt.Errorf("service: %q is not a program fingerprint (want %s<32 hex chars>)",
+			s.Bench, ProgramBenchPrefix)
 	}
 	switch s.Scheme {
 	case "", "turnpike", "turnstile":
@@ -104,6 +122,11 @@ type Job struct {
 	// records, and its campaign's per-trial lines. Persisted so log
 	// correlation survives a daemon restart.
 	RequestID string `json:"request_id,omitempty"`
+	// TenantID is the submitting tenant: the outermost correlation link
+	// and the identity whose concurrent-job quota slot this job holds
+	// while open. Persisted so the slot is re-counted after a restart
+	// and released when the restored job finishes.
+	TenantID string `json:"tenant_id,omitempty"`
 	// Attempts counts started runs of this job (retries included).
 	Attempts int `json:"attempts,omitempty"`
 	// Error is the most recent failure, kept across retries until a

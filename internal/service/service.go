@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs/olog"
 	"repro/internal/obs/span"
 	"repro/internal/pipeline"
+	"repro/internal/tenant"
 )
 
 // Runner executes one campaign job. checkpoint is the absolute path of
@@ -91,6 +92,18 @@ type Config struct {
 	// same Recorder as a fanout leg of Logger (olog.Attach) so every
 	// logged record lands in the ring with its correlation intact.
 	Events *olog.Recorder
+	// Tenants authenticates API keys and meters per-tenant rate limits
+	// and quotas on the HTTP front door. Nil builds an anonymous
+	// single-tenant registry (zero-config development mode): everything
+	// is admitted under default quotas and logged as tenant "anonymous".
+	Tenants *tenant.Registry
+	// Programs, when set, is the submitted-program store; Mount then
+	// registers the POST /programs front door and SubmitCtx accepts
+	// "program:<fingerprint>" workloads.
+	Programs *ProgramStore
+	// MaxBodyBytes caps every POST request body (413 beyond it).
+	// Default 1 MiB.
+	MaxBodyBytes int64
 	// Spans, when set, is the wall-clock span tracer. The service records
 	// the job lifecycle phases (queue wait, attempt, backoff, breaker
 	// wait, persist, drain requeue) onto it, threads it through each
@@ -138,6 +151,14 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 5 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Tenants == nil {
+		// tenant.New with no records cannot fail; it builds the
+		// anonymous single-tenant registry.
+		c.Tenants, _ = tenant.New(nil)
 	}
 	return nil
 }
@@ -264,10 +285,23 @@ func New(cfg Config) (*Service, error) {
 	}
 	restored := 0
 	for _, id := range s.order {
-		if s.jobs[id].State == StateQueued {
-			s.jobs[id].queuedAt = s.now()
+		j := s.jobs[id]
+		if j.State == StateQueued {
+			j.queuedAt = s.now()
 			s.pending = append(s.pending, id)
 			restored++
+			if j.TenantID != "" {
+				// The restored job still holds its tenant's concurrent-job
+				// slot; re-count it so the release at completion balances.
+				cfg.Tenants.RestoreJob(j.TenantID)
+			}
+		}
+	}
+	if cfg.Programs != nil {
+		for _, m := range cfg.Programs.List() {
+			if m.TenantID != "" {
+				cfg.Tenants.RestoreProgram(m.TenantID)
+			}
 		}
 	}
 	if restored > 0 {
@@ -301,10 +335,13 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	return s.SubmitCtx(context.Background(), spec)
 }
 
-// SubmitCtx is Submit plus correlation: the request ID carried by ctx
-// (olog.WithRequestID — the HTTP layer stamps it) is recorded on the
-// job, so the access log, the job's lifecycle records, and its
-// campaign's trial lines all join on one ID.
+// SubmitCtx is Submit plus correlation: the request ID and tenant ID
+// carried by ctx (olog.WithRequestID / olog.WithTenantID — the HTTP
+// layer stamps both) are recorded on the job, so the access log, the
+// job's lifecycle records, and its campaign's trial lines all join on
+// one chain. A tenant-stamped submission holds one of the tenant's
+// concurrent-job quota slots until the job reaches a terminal state;
+// exhausting the quota rejects with *tenant.QuotaError (429).
 func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -317,6 +354,21 @@ func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 		// work, loose enough that checkpoint writes don't dominate.
 		spec.CheckpointEvery = 16
 	}
+	if spec.IsProgram() {
+		if s.cfg.Programs == nil {
+			return nil, fmt.Errorf("%w: this service accepts no submitted programs", ErrUnknownProgram)
+		}
+		m, ok := s.cfg.Programs.Get(spec.ProgramFingerprint())
+		if !ok {
+			return nil, fmt.Errorf("%w: %s (submit it via POST /programs first)", ErrUnknownProgram, spec.Bench)
+		}
+		if spec.SBSize != 0 && spec.SBSize != m.SBSize {
+			return nil, fmt.Errorf("service: program %s is compiled for sb_size %d, not %d",
+				m.Fingerprint, m.SBSize, spec.SBSize)
+		}
+		spec.SBSize = m.SBSize
+	}
+	tenantID := olog.FromContext(ctx).TenantID
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -339,6 +391,12 @@ func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 		s.count("service.rejected_backpressure")
 		return nil, &QueueFullError{Depth: len(s.pending), RetryAfter: s.cfg.RetryAfter}
 	}
+	if tenantID != "" {
+		if err := s.cfg.Tenants.AcquireJob(tenantID); err != nil {
+			s.count("service.rejected_quota")
+			return nil, err
+		}
+	}
 	id := fmt.Sprintf("job-%06d", s.nextID)
 	s.nextID++
 	j := &Job{
@@ -346,6 +404,7 @@ func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 		Spec:        spec,
 		State:       StateQueued,
 		RequestID:   olog.FromContext(ctx).RequestID,
+		TenantID:    tenantID,
 		Checkpoint:  id + ".ckpt.json",
 		SubmittedAt: now,
 		queuedAt:    now,
@@ -361,6 +420,9 @@ func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 		delete(s.jobs, id)
 		s.order = s.order[:len(s.order)-1]
 		s.pending = s.pending[:len(s.pending)-1]
+		if tenantID != "" {
+			s.cfg.Tenants.ReleaseJob(tenantID)
+		}
 		return nil, err
 	}
 	if s.cfg.Spans.Enabled() {
@@ -429,6 +491,7 @@ func (s *Service) Cancel(id string) error {
 	}
 	j.State = StateCanceled
 	j.FinishedAt = s.now()
+	s.releaseQuotaLocked(j)
 	s.count("service.jobs_canceled")
 	s.updateGauges()
 	return s.persistLocked()
@@ -571,7 +634,7 @@ func (s *Service) runJob(id string) {
 	// the span tracer rides the same context, so the campaign's phases
 	// nest under this job's attempt span.
 	jobCtx := olog.WithCorr(context.Background(), olog.Corr{
-		RequestID: j.RequestID, JobID: id, Shard: -1, Trial: -1,
+		TenantID: j.TenantID, RequestID: j.RequestID, JobID: id, Shard: -1, Trial: -1,
 	})
 	jobCtx = span.Into(jobCtx, s.cfg.Spans)
 	if !j.queuedAt.IsZero() {
@@ -624,6 +687,7 @@ func (s *Service) runJob(id string) {
 		j.Result = res
 		j.Error = ""
 		j.FinishedAt = now
+		s.releaseQuotaLocked(j)
 		b := s.breakerFor(spec.Workload())
 		if b.isOpen {
 			s.log.InfoContext(jobCtx, "breaker closed", "workload", spec.Workload())
@@ -662,6 +726,7 @@ func (s *Service) runJob(id string) {
 		} else {
 			j.State = StateFailed
 			j.FinishedAt = now
+			s.releaseQuotaLocked(j)
 			s.count("service.jobs_failed")
 			if class == Permanent {
 				b := s.breakerFor(spec.Workload())
@@ -730,7 +795,7 @@ func (s *Service) requeue(id string) {
 	j.queuedAt = s.now()
 	s.pending = append(s.pending, id)
 	ctx := olog.WithCorr(context.Background(), olog.Corr{
-		RequestID: j.RequestID, JobID: id, Shard: -1, Trial: -1,
+		TenantID: j.TenantID, RequestID: j.RequestID, JobID: id, Shard: -1, Trial: -1,
 	})
 	if !j.backoffAt.IsZero() {
 		s.cfg.Spans.Record(ctx, "service", "backoff", j.backoffAt, j.queuedAt,
@@ -759,6 +824,16 @@ func (s *Service) backoff(n int) time.Duration {
 		d += time.Duration(rand.Int63n(int64(d)/4 + 1))
 	}
 	return d
+}
+
+// releaseQuotaLocked returns a job's concurrent-job quota slot when it
+// reaches a terminal state. Caller holds s.mu; the transition into the
+// terminal state and this release happen under one critical section, so
+// the slot is returned exactly once.
+func (s *Service) releaseQuotaLocked(j *Job) {
+	if j.TenantID != "" {
+		s.cfg.Tenants.ReleaseJob(j.TenantID)
+	}
 }
 
 // breakerFor returns (creating if needed) the workload's breaker. Caller

@@ -1,0 +1,58 @@
+package tenant
+
+import (
+	"math"
+	"time"
+)
+
+// bucket is a classic token bucket: tokens refill continuously at rate
+// per second up to burst capacity; each take consumes one. All time
+// arithmetic goes through the timestamps the registry passes in, so a
+// fake clock drives refill deterministically in tests.
+type bucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int, now time.Time) *bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take consumes one token if available. When the bucket is empty it
+// reports how long until the next token refills (rounded up to a whole
+// second, the Retry-After granularity, and never below 1s so a client
+// honoring the header cannot busy-loop).
+func (b *bucket) take(now time.Time) (ok bool, wait time.Duration) {
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		// No refill ever: burst-only bucket that has run dry.
+		return false, time.Hour
+	}
+	need := 1 - b.tokens
+	wait = time.Duration(math.Ceil(need/b.rate)) * time.Second
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+func (b *bucket) refill(now time.Time) {
+	if !now.After(b.last) {
+		return
+	}
+	dt := now.Sub(b.last).Seconds()
+	b.last = now
+	b.tokens += dt * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}

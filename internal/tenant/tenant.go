@@ -1,0 +1,363 @@
+// Package tenant is the multi-tenancy substrate of the campaign
+// service's ingestion front door: per-tenant API keys, token-bucket rate
+// limits, and resource quotas (stored programs, concurrent jobs, and the
+// interpreter step budget that bounds how much compute one submission
+// may burn during validation). The registry is deliberately small — a
+// JSON file of tenants loaded at boot — because the hard part is not
+// identity, it is making one tenant's abuse invisible to every other
+// tenant: each tenant has its own bucket and its own quota counters, so
+// exhausting one never blocks another.
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrUnauthorized rejects a missing or unknown API key (401).
+	ErrUnauthorized = errors.New("tenant: missing or unknown API key")
+)
+
+// RateLimitError is a token-bucket rejection (429 + Retry-After).
+type RateLimitError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("tenant %s: rate limit exceeded; retry in %s", e.Tenant, e.RetryAfter)
+}
+
+// QuotaError is a resource-quota rejection (429 + Retry-After: the
+// resource frees up when jobs finish or programs are deleted).
+type QuotaError struct {
+	Tenant string
+	Kind   string // "concurrent jobs", "stored programs", ...
+	Used   int
+	Limit  int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant %s: %s quota exhausted (%d of %d in use)",
+		e.Tenant, e.Kind, e.Used, e.Limit)
+}
+
+// Quotas bounds one tenant's resource consumption. Zero fields take the
+// registry defaults (DefaultQuotas); explicit -1 means unlimited.
+type Quotas struct {
+	// RatePerSec is the token-bucket refill rate for submissions
+	// (programs and jobs share one bucket per tenant).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity: how many submissions can land
+	// back-to-back before the rate applies.
+	Burst int `json:"burst,omitempty"`
+	// MaxStoredPrograms caps the programs a tenant may keep submitted.
+	MaxStoredPrograms int `json:"max_stored_programs,omitempty"`
+	// MaxConcurrentJobs caps the tenant's open (queued/running/retrying)
+	// campaign jobs.
+	MaxConcurrentJobs int `json:"max_concurrent_jobs,omitempty"`
+	// StepBudget is the interpreter step limit used to validate a
+	// submitted program halts — the per-submission compute envelope.
+	StepBudget uint64 `json:"step_budget,omitempty"`
+}
+
+// DefaultQuotas are the bounds a tenant gets when its record leaves a
+// field zero, and the full quota set of the anonymous tenant.
+func DefaultQuotas() Quotas {
+	return Quotas{
+		RatePerSec:        10,
+		Burst:             20,
+		MaxStoredPrograms: 64,
+		MaxConcurrentJobs: 8,
+		StepBudget:        2_000_000,
+	}
+}
+
+// fill resolves zero fields against the defaults.
+func (q Quotas) fill(d Quotas) Quotas {
+	if q.RatePerSec == 0 {
+		q.RatePerSec = d.RatePerSec
+	}
+	if q.Burst == 0 {
+		q.Burst = d.Burst
+	}
+	if q.MaxStoredPrograms == 0 {
+		q.MaxStoredPrograms = d.MaxStoredPrograms
+	}
+	if q.MaxConcurrentJobs == 0 {
+		q.MaxConcurrentJobs = d.MaxConcurrentJobs
+	}
+	if q.StepBudget == 0 {
+		q.StepBudget = d.StepBudget
+	}
+	return q
+}
+
+// Tenant is one registered API consumer.
+type Tenant struct {
+	// ID is the stable identity stamped into logs and metrics.
+	ID string `json:"id"`
+	// Name is a human label (informational).
+	Name string `json:"name,omitempty"`
+	// Key is the API key presented in the X-API-Key header. Keys are
+	// opaque strings; the registry only ever compares them.
+	Key string `json:"key"`
+	// Quotas are the tenant's bounds; zero fields take the defaults.
+	Quotas Quotas `json:"quotas,omitempty"`
+}
+
+// AnonymousID is the implicit tenant used when the registry has no
+// configured tenants (the single-user development deployment): requests
+// without a key are admitted under default quotas. As soon as one real
+// tenant is configured, anonymous access is off and every request must
+// present a key.
+const AnonymousID = "anonymous"
+
+// Registry authenticates API keys, meters each tenant's token bucket,
+// and tracks quota usage. Safe for concurrent use. The now hook makes
+// bucket refill testable against a fake clock.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*Tenant
+	byID  map[string]*Tenant
+	anon  *Tenant // non-nil only for an empty registry
+
+	buckets map[string]*bucket
+	usage   map[string]*usage
+
+	now func() time.Time
+}
+
+// usage is one tenant's live resource consumption.
+type usage struct {
+	jobs     int
+	programs int
+}
+
+// New builds a registry over the given tenants. With none, the registry
+// serves the anonymous tenant under default quotas — the zero-config
+// development mode. Duplicate IDs or keys are an error: a shared key
+// would silently merge two tenants' quotas.
+func New(tenants []Tenant) (*Registry, error) {
+	r := &Registry{
+		byKey:   map[string]*Tenant{},
+		byID:    map[string]*Tenant{},
+		buckets: map[string]*bucket{},
+		usage:   map[string]*usage{},
+		now:     time.Now,
+	}
+	for i := range tenants {
+		t := tenants[i]
+		if t.ID == "" {
+			return nil, fmt.Errorf("tenant: record %d has no id", i)
+		}
+		if t.Key == "" {
+			return nil, fmt.Errorf("tenant %s: empty API key", t.ID)
+		}
+		if _, dup := r.byID[t.ID]; dup {
+			return nil, fmt.Errorf("tenant: duplicate id %q", t.ID)
+		}
+		if _, dup := r.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("tenant %s: key already registered to another tenant", t.ID)
+		}
+		t.Quotas = t.Quotas.fill(DefaultQuotas())
+		r.byID[t.ID] = &t
+		r.byKey[t.Key] = &t
+	}
+	if len(r.byID) == 0 {
+		r.anon = &Tenant{ID: AnonymousID, Name: "anonymous", Quotas: DefaultQuotas()}
+		r.byID[AnonymousID] = r.anon
+	}
+	return r, nil
+}
+
+// LoadFile reads a JSON tenants file: either a bare array of Tenant
+// records or {"tenants": [...]}.
+func LoadFile(path string) (*Registry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	var wrapped struct {
+		Tenants []Tenant `json:"tenants"`
+	}
+	if err := json.Unmarshal(b, &wrapped); err != nil || len(wrapped.Tenants) == 0 {
+		var bare []Tenant
+		if err2 := json.Unmarshal(b, &bare); err2 != nil {
+			if err == nil {
+				err = err2
+			}
+			return nil, fmt.Errorf("tenant: %s does not parse as a tenants file: %w", path, err)
+		}
+		wrapped.Tenants = bare
+	}
+	return New(wrapped.Tenants)
+}
+
+// SetNow replaces the clock (tests).
+func (r *Registry) SetNow(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Anonymous reports whether the registry is in zero-config mode.
+func (r *Registry) Anonymous() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.anon != nil
+}
+
+// Authenticate resolves an API key to its tenant. An empty key is
+// accepted only in anonymous mode.
+func (r *Registry) Authenticate(key string) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.anon != nil {
+		return r.anon, nil
+	}
+	t, ok := r.byKey[key]
+	if !ok {
+		return nil, ErrUnauthorized
+	}
+	return t, nil
+}
+
+// ByID resolves a tenant ID (for restart-time usage restoration).
+func (r *Registry) ByID(id string) (*Tenant, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// IDs lists registered tenant IDs (stable registry order not guaranteed).
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.byID))
+	for id := range r.byID {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Allow consumes one token from the tenant's bucket, or returns a
+// *RateLimitError telling the caller when the next token arrives.
+func (r *Registry) Allow(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	if !ok {
+		return ErrUnauthorized
+	}
+	if t.Quotas.RatePerSec < 0 {
+		return nil // unlimited
+	}
+	b, ok := r.buckets[id]
+	if !ok {
+		b = newBucket(t.Quotas.RatePerSec, t.Quotas.Burst, r.now())
+		r.buckets[id] = b
+	}
+	ok, wait := b.take(r.now())
+	if !ok {
+		return &RateLimitError{Tenant: id, RetryAfter: wait}
+	}
+	return nil
+}
+
+// AcquireJob reserves one concurrent-job slot, or returns *QuotaError.
+// Release with ReleaseJob when the job reaches a terminal state.
+func (r *Registry) AcquireJob(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	if !ok {
+		return ErrUnauthorized
+	}
+	u := r.usageLocked(id)
+	if lim := t.Quotas.MaxConcurrentJobs; lim >= 0 && u.jobs >= lim {
+		return &QuotaError{Tenant: id, Kind: "concurrent jobs", Used: u.jobs, Limit: lim}
+	}
+	u.jobs++
+	return nil
+}
+
+// RestoreJob re-counts a job restored from a previous life's state file
+// against its tenant's usage without enforcing the limit: the job was
+// already admitted once, and refusing to re-count it would let usage
+// drift below reality.
+func (r *Registry) RestoreJob(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.usageLocked(id).jobs++
+}
+
+// RestoreProgram re-counts a stored program restored at boot; see
+// RestoreJob.
+func (r *Registry) RestoreProgram(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.usageLocked(id).programs++
+}
+
+// ReleaseJob returns a concurrent-job slot.
+func (r *Registry) ReleaseJob(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if u, ok := r.usage[id]; ok && u.jobs > 0 {
+		u.jobs--
+	}
+}
+
+// AcquireProgram reserves one stored-program slot, or returns
+// *QuotaError. Resubmitting an already-stored program must not call
+// this — a cache hit costs no quota.
+func (r *Registry) AcquireProgram(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	if !ok {
+		return ErrUnauthorized
+	}
+	u := r.usageLocked(id)
+	if lim := t.Quotas.MaxStoredPrograms; lim >= 0 && u.programs >= lim {
+		return &QuotaError{Tenant: id, Kind: "stored programs", Used: u.programs, Limit: lim}
+	}
+	u.programs++
+	return nil
+}
+
+// ReleaseProgram returns a stored-program slot (program deleted).
+func (r *Registry) ReleaseProgram(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if u, ok := r.usage[id]; ok && u.programs > 0 {
+		u.programs--
+	}
+}
+
+// Usage reports a tenant's live consumption (jobs, programs).
+func (r *Registry) Usage(id string) (jobs, programs int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if u, ok := r.usage[id]; ok {
+		return u.jobs, u.programs
+	}
+	return 0, 0
+}
+
+func (r *Registry) usageLocked(id string) *usage {
+	u, ok := r.usage[id]
+	if !ok {
+		u = &usage{}
+		r.usage[id] = u
+	}
+	return u
+}

@@ -1,0 +1,240 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked clock for deterministic bucket refill.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testRegistry(t *testing.T, tenants []Tenant) (*Registry, *fakeClock) {
+	t.Helper()
+	r, err := New(tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	r.SetNow(clk.now)
+	return r, clk
+}
+
+// TestRateLimitTenantIsolation is the acceptance proof for the front
+// door's rate limiting: tenant A burning through its token bucket gets
+// 429-mapped RateLimitErrors with a usable Retry-After, while tenant B —
+// its own bucket, its own counters — is completely unaffected.
+func TestRateLimitTenantIsolation(t *testing.T) {
+	r, clk := testRegistry(t, []Tenant{
+		{ID: "a", Key: "key-a", Quotas: Quotas{RatePerSec: 1, Burst: 3}},
+		{ID: "b", Key: "key-b", Quotas: Quotas{RatePerSec: 1, Burst: 3}},
+	})
+
+	// A drains its burst.
+	for i := 0; i < 3; i++ {
+		if err := r.Allow("a"); err != nil {
+			t.Fatalf("a request %d inside burst rejected: %v", i, err)
+		}
+	}
+	err := r.Allow("a")
+	var rle *RateLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("a over burst: got %v, want *RateLimitError", err)
+	}
+	if rle.Tenant != "a" {
+		t.Errorf("RateLimitError.Tenant = %q, want a", rle.Tenant)
+	}
+	if rle.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s so clients cannot busy-loop", rle.RetryAfter)
+	}
+
+	// B is untouched by A's exhaustion.
+	for i := 0; i < 3; i++ {
+		if err := r.Allow("b"); err != nil {
+			t.Fatalf("b request %d rejected while a is limited: %v", i, err)
+		}
+	}
+
+	// After the advertised wait, A's bucket has refilled exactly one token.
+	clk.advance(rle.RetryAfter)
+	if err := r.Allow("a"); err != nil {
+		t.Fatalf("a after waiting Retry-After still rejected: %v", err)
+	}
+	if err := r.Allow("a"); err == nil {
+		t.Fatal("a got two tokens from a one-token refill")
+	}
+}
+
+func TestRateLimitRefillCapsAtBurst(t *testing.T) {
+	r, clk := testRegistry(t, []Tenant{
+		{ID: "a", Key: "k", Quotas: Quotas{RatePerSec: 10, Burst: 2}},
+	})
+	for i := 0; i < 2; i++ {
+		if err := r.Allow("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A long idle period must not bank more than the burst.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if err := r.Allow("a"); err != nil {
+			t.Fatalf("request %d after refill rejected: %v", i, err)
+		}
+	}
+	if err := r.Allow("a"); err == nil {
+		t.Fatal("bucket banked tokens beyond burst")
+	}
+}
+
+func TestRateUnlimited(t *testing.T) {
+	r, _ := testRegistry(t, []Tenant{
+		{ID: "a", Key: "k", Quotas: Quotas{RatePerSec: -1}},
+	})
+	for i := 0; i < 1000; i++ {
+		if err := r.Allow("a"); err != nil {
+			t.Fatalf("unlimited tenant rejected at request %d: %v", i, err)
+		}
+	}
+}
+
+func TestJobQuotaAcquireReleaseRestore(t *testing.T) {
+	r, _ := testRegistry(t, []Tenant{
+		{ID: "a", Key: "k", Quotas: Quotas{MaxConcurrentJobs: 2}},
+	})
+	if err := r.AcquireJob("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AcquireJob("a"); err != nil {
+		t.Fatal(err)
+	}
+	err := r.AcquireJob("a")
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("over job quota: got %v, want *QuotaError", err)
+	}
+	if qe.Kind != "concurrent jobs" || qe.Used != 2 || qe.Limit != 2 {
+		t.Errorf("QuotaError = %+v", qe)
+	}
+	r.ReleaseJob("a")
+	if err := r.AcquireJob("a"); err != nil {
+		t.Fatalf("slot not returned by ReleaseJob: %v", err)
+	}
+
+	// Restore bypasses the limit (restart re-count must never strand
+	// already-admitted work), but the usage still counts.
+	r.RestoreJob("a")
+	if jobs, _ := r.Usage("a"); jobs != 3 {
+		t.Fatalf("usage after restore = %d jobs, want 3 (over the limit of 2)", jobs)
+	}
+	if err := r.AcquireJob("a"); err == nil {
+		t.Fatal("new acquire admitted while restored usage exceeds the limit")
+	}
+}
+
+func TestProgramQuota(t *testing.T) {
+	r, _ := testRegistry(t, []Tenant{
+		{ID: "a", Key: "k", Quotas: Quotas{MaxStoredPrograms: 1}},
+	})
+	if err := r.AcquireProgram("a"); err != nil {
+		t.Fatal(err)
+	}
+	var qe *QuotaError
+	if err := r.AcquireProgram("a"); !errors.As(err, &qe) || qe.Kind != "stored programs" {
+		t.Fatalf("over program quota: got %v", err)
+	}
+	r.ReleaseProgram("a")
+	if err := r.AcquireProgram("a"); err != nil {
+		t.Fatalf("slot not returned by ReleaseProgram: %v", err)
+	}
+}
+
+func TestAnonymousMode(t *testing.T) {
+	r, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Anonymous() {
+		t.Fatal("empty registry must be anonymous")
+	}
+	tn, err := r.Authenticate("")
+	if err != nil || tn.ID != AnonymousID {
+		t.Fatalf("anonymous auth = %v, %v", tn, err)
+	}
+	// Any key is accepted in anonymous mode — there is nothing to check.
+	if _, err := r.Authenticate("whatever"); err != nil {
+		t.Fatalf("anonymous mode rejected a key: %v", err)
+	}
+	if tn.Quotas != DefaultQuotas() {
+		t.Errorf("anonymous quotas = %+v, want defaults", tn.Quotas)
+	}
+}
+
+func TestConfiguredModeRequiresKey(t *testing.T) {
+	r, _ := testRegistry(t, []Tenant{{ID: "a", Key: "secret"}})
+	if _, err := r.Authenticate(""); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("empty key with tenants configured: got %v, want ErrUnauthorized", err)
+	}
+	if _, err := r.Authenticate("wrong"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unknown key: got %v, want ErrUnauthorized", err)
+	}
+	tn, err := r.Authenticate("secret")
+	if err != nil || tn.ID != "a" {
+		t.Fatalf("valid key = %v, %v", tn, err)
+	}
+	// Zero quota fields were filled from the defaults at registration.
+	if tn.Quotas.StepBudget != DefaultQuotas().StepBudget {
+		t.Errorf("zero StepBudget not defaulted: %+v", tn.Quotas)
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	if _, err := New([]Tenant{{ID: "a", Key: "k1"}, {ID: "a", Key: "k2"}}); err == nil {
+		t.Error("duplicate tenant ID accepted")
+	}
+	if _, err := New([]Tenant{{ID: "a", Key: "k"}, {ID: "b", Key: "k"}}); err == nil {
+		t.Error("shared API key accepted — would merge two tenants' quotas")
+	}
+	if _, err := New([]Tenant{{ID: "", Key: "k"}}); err == nil {
+		t.Error("empty tenant ID accepted")
+	}
+	if _, err := New([]Tenant{{ID: "a", Key: ""}}); err == nil {
+		t.Error("empty API key accepted")
+	}
+}
+
+func TestLoadFileBothShapes(t *testing.T) {
+	dir := t.TempDir()
+	wrapped := filepath.Join(dir, "wrapped.json")
+	bare := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(wrapped, []byte(`{"tenants":[{"id":"a","key":"ka"},{"id":"b","key":"kb"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bare, []byte(`[{"id":"a","key":"ka"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{wrapped, bare} {
+		r, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", path, err)
+		}
+		if r.Anonymous() {
+			t.Errorf("%s: loaded registry is anonymous", path)
+		}
+		if _, err := r.Authenticate("ka"); err != nil {
+			t.Errorf("%s: tenant a key rejected: %v", path, err)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	junk := filepath.Join(dir, "junk.json")
+	os.WriteFile(junk, []byte("not json"), 0o644)
+	if _, err := LoadFile(junk); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

@@ -349,6 +349,54 @@ func PrepareFaultCampaign(ctx context.Context, bench string, scheme Scheme, cfg 
 	}, seedMem)
 }
 
+// PrepareCompiledFaultCampaign is PrepareFaultCampaign for an
+// already-compiled resilient image instead of a named benchmark — the
+// campaign path for front-door submissions served from the artifact
+// cache. The program must self-initialize its memory: unlike the
+// built-in benchmarks, a submitted program has no memory seeder, so the
+// golden run (and every trial) starts from zeroed memory exactly as the
+// admission interpreter did. cfg.SBSize must match the size the image
+// was compiled for (the caller knows it from the artifact entry).
+func PrepareCompiledFaultCampaign(ctx context.Context, prog *Program, scheme Scheme, cfg FaultCampaignConfig) (*PreparedFaultCampaign, error) {
+	if scheme == Baseline {
+		return nil, fmt.Errorf("turnpike: the baseline has no detection or recovery to campaign against")
+	}
+	if prog == nil {
+		return nil, fmt.Errorf("turnpike: no program to campaign against")
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 100
+	}
+	if cfg.SBSize == 0 {
+		cfg.SBSize = 4
+	}
+	if cfg.WCDL == 0 {
+		cfg.WCDL = 10
+	}
+	sim := pipeline.TurnstileConfig(cfg.SBSize, cfg.WCDL)
+	if scheme == Turnpike {
+		sim = pipeline.TurnpikeConfig(cfg.SBSize, cfg.WCDL)
+	}
+	if cfg.Containment != nil {
+		sim.Containment = *cfg.Containment
+	}
+	return fault.Prepare(ctx, prog, fault.Config{
+		Trials:          cfg.Trials,
+		Seed:            cfg.Seed,
+		Sim:             sim,
+		Metrics:         cfg.Metrics,
+		Progress:        cfg.Progress,
+		Workers:         cfg.Workers,
+		Lease:           cfg.Lease,
+		FailureBudget:   cfg.FailureBudget,
+		Checkpoint:      cfg.Checkpoint,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Adversary:       cfg.Adversary,
+		Warnf:           cfg.Warnf,
+		Logger:          cfg.Logger,
+	}, nil)
+}
+
 // ReplayFault re-executes one recorded injection from a campaign's
 // failure report against a freshly compiled benchmark and returns its
 // classification — the debugging half of the campaign engine's replayable
